@@ -1,0 +1,147 @@
+package ddc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmptyRegion is returned by AverageRange when no observations fall
+// inside the queried box.
+var ErrEmptyRegion = errors.New("ddc: no observations in region")
+
+// Aggregate answers SUM, COUNT and AVERAGE range queries over a stream
+// of point observations by maintaining two Dynamic Data Cubes (one of
+// values, one of observation counts) — the construction the paper notes
+// works "for any binary operator + for which there exists an inverse".
+type Aggregate struct {
+	sum   *DynamicCube
+	count *DynamicCube
+}
+
+// RestoreAggregate rebuilds an Aggregate from previously persisted sum
+// and count cubes (see DynamicCube.Save). The two cubes must share a
+// domain; this is the caller's responsibility.
+func RestoreAggregate(sum, count *DynamicCube) *Aggregate {
+	return &Aggregate{sum: sum, count: count}
+}
+
+// NewAggregate returns an Aggregate over the given domain.
+func NewAggregate(dims []int, opt Options) (*Aggregate, error) {
+	sum, err := NewDynamicWithOptions(dims, opt)
+	if err != nil {
+		return nil, err
+	}
+	count, err := NewDynamicWithOptions(dims, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Aggregate{sum: sum, count: count}, nil
+}
+
+// Record adds one observation with the given value at cell p.
+func (a *Aggregate) Record(p []int, value int64) error {
+	if err := a.sum.Add(p, value); err != nil {
+		return err
+	}
+	return a.count.Add(p, 1)
+}
+
+// Remove retracts one previously recorded observation (the inverse
+// operator the paper's aggregation framework requires).
+func (a *Aggregate) Remove(p []int, value int64) error {
+	if err := a.sum.Add(p, -value); err != nil {
+		return err
+	}
+	return a.count.Add(p, -1)
+}
+
+// SumRange returns the total value over the inclusive box [lo, hi].
+func (a *Aggregate) SumRange(lo, hi []int) (int64, error) {
+	return a.sum.RangeSum(lo, hi)
+}
+
+// CountRange returns the number of observations in the box.
+func (a *Aggregate) CountRange(lo, hi []int) (int64, error) {
+	return a.count.RangeSum(lo, hi)
+}
+
+// AverageRange returns the mean observation value over the box, or
+// ErrEmptyRegion when the box holds no observations.
+func (a *Aggregate) AverageRange(lo, hi []int) (float64, error) {
+	n, err := a.count.RangeSum(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, ErrEmptyRegion
+	}
+	s, err := a.sum.RangeSum(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return float64(s) / float64(n), nil
+}
+
+// RollingSums returns the series of window sums obtained by sliding an
+// inclusive window of the given length along dimension dim, with the
+// other dimensions fixed to the box [lo, hi] — the ROLLING SUM aggregate
+// the paper lists. The first window starts at lo[dim]; the last ends at
+// hi[dim]. Each point costs one O(log^d n) range query.
+func (a *Aggregate) RollingSums(lo, hi []int, dim, window int) ([]int64, error) {
+	if dim < 0 || dim >= len(lo) {
+		return nil, fmt.Errorf("ddc: rolling dimension %d out of range", dim)
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("ddc: rolling window %d must be >= 1", window)
+	}
+	span := hi[dim] - lo[dim] + 1
+	if span < window {
+		return nil, fmt.Errorf("ddc: window %d exceeds range length %d", window, span)
+	}
+	out := make([]int64, 0, span-window+1)
+	wlo := append([]int(nil), lo...)
+	whi := append([]int(nil), hi...)
+	for start := lo[dim]; start+window-1 <= hi[dim]; start++ {
+		wlo[dim] = start
+		whi[dim] = start + window - 1
+		v, err := a.sum.RangeSum(wlo, whi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// RollingAverages is RollingSums divided by the matching observation
+// counts; windows with no observations yield NaN.
+func (a *Aggregate) RollingAverages(lo, hi []int, dim, window int) ([]float64, error) {
+	sums, err := a.RollingSums(lo, hi, dim, window)
+	if err != nil {
+		return nil, err
+	}
+	wlo := append([]int(nil), lo...)
+	whi := append([]int(nil), hi...)
+	out := make([]float64, len(sums))
+	for i := range sums {
+		wlo[dim] = lo[dim] + i
+		whi[dim] = lo[dim] + i + window - 1
+		n, err := a.count.RangeSum(wlo, whi)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = float64(sums[i]) / float64(n)
+		}
+	}
+	return out, nil
+}
+
+// Sum exposes the underlying sum cube (e.g. for growth or stats).
+func (a *Aggregate) Sum() *DynamicCube { return a.sum }
+
+// Count exposes the underlying count cube.
+func (a *Aggregate) Count() *DynamicCube { return a.count }

@@ -1,0 +1,366 @@
+package ddc
+
+// Benchmark harness: one benchmark per table and figure of the paper
+// (each regenerates the corresponding artifact through the experiment
+// runners), plus per-method micro-benchmarks whose shapes back the
+// analytic claims. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"ddc/internal/experiments"
+	"ddc/internal/workload"
+)
+
+// benchExperiment reruns a registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- one benchmark per paper table / figure --------------------------
+
+// BenchmarkTable1 regenerates Table 1 (update cost functions, d=8).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFigure1 regenerates Figure 1 (update-function curves).
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "figure1") }
+
+// BenchmarkFigure2 regenerates Figure 2 (the running-example array A).
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "figure2") }
+
+// BenchmarkFigure3 regenerates Figure 3 (array P of the PS method).
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }
+
+// BenchmarkFigure5 regenerates Figure 5 (cascading updates in P).
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "figure5") }
+
+// BenchmarkFigure9 regenerates Figure 9 (the basic tree's levels;
+// Figures 6-8 are the same overlay decomposition at the root level).
+func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "figure9") }
+
+// BenchmarkFigure11 regenerates Figures 10-12 (the worked query whose
+// contributions sum to 151, and the follow-up update).
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "figure11") }
+
+// BenchmarkFigure14 regenerates Figure 14 (the B_c tree walk-through;
+// Figure 13's dependency chain is what the B_c tree removes).
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "figure14") }
+
+// BenchmarkTable2 regenerates Table 2 (overlay storage ratios).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTheorem1 measures O(log n) tree navigation across d.
+func BenchmarkTheorem1(b *testing.B) { benchExperiment(b, "thm1") }
+
+// BenchmarkTheorem2 measures the O(log^d n) query/update balance.
+func BenchmarkTheorem2(b *testing.B) { benchExperiment(b, "thm2") }
+
+// BenchmarkSection5Sparse measures clustered-data storage (Section 5).
+func BenchmarkSection5Sparse(b *testing.B) { benchExperiment(b, "sec5sparse") }
+
+// BenchmarkSection5Growth measures any-direction growth (Section 5 /
+// Figure 16).
+func BenchmarkSection5Growth(b *testing.B) { benchExperiment(b, "sec5growth") }
+
+// BenchmarkCrossover regenerates the measured per-method cost tables
+// behind the Section 1 narrative.
+func BenchmarkCrossover(b *testing.B) { benchExperiment(b, "crossover") }
+
+// BenchmarkCrossover3D regenerates the d=3 method comparison.
+func BenchmarkCrossover3D(b *testing.B) { benchExperiment(b, "crossover3d") }
+
+// BenchmarkRangeCost regenerates the query-cost-vs-volume study.
+func BenchmarkRangeCost(b *testing.B) { benchExperiment(b, "rangecost") }
+
+// BenchmarkAblationTile regenerates the Section 4.4 tile sweep.
+func BenchmarkAblationTile(b *testing.B) { benchExperiment(b, "ablation-tile") }
+
+// BenchmarkAblationFanout regenerates the B_c fanout sweep.
+func BenchmarkAblationFanout(b *testing.B) { benchExperiment(b, "ablation-fanout") }
+
+// BenchmarkAblationFenwick regenerates the DDC-vs-Fenwick comparison.
+func BenchmarkAblationFenwick(b *testing.B) { benchExperiment(b, "ablation-fenwick") }
+
+// BenchmarkAblationBulk regenerates the bulk-vs-incremental comparison.
+func BenchmarkAblationBulk(b *testing.B) { benchExperiment(b, "ablation-bulk") }
+
+// ---- per-method micro-benchmarks --------------------------------------
+
+type benchMethod struct {
+	name string
+	make func(dims []int) (Cube, error)
+}
+
+func benchMethods() []benchMethod {
+	return []benchMethod{
+		{"naive", func(d []int) (Cube, error) { return NewNaive(d) }},
+		{"prefixsum", func(d []int) (Cube, error) { return NewPrefixSum(d) }},
+		{"relprefix", func(d []int) (Cube, error) { return NewRelativePrefixSum(d) }},
+		{"basic", func(d []int) (Cube, error) { return NewBasicDynamic(d, 4) }},
+		{"ddc", func(d []int) (Cube, error) { return NewDynamic(d) }},
+		{"fenwick", func(d []int) (Cube, error) { return NewFenwick(d) }},
+	}
+}
+
+func loadedCube(b *testing.B, m benchMethod, dims []int, load int) (Cube, []workload.Update, []workload.Query) {
+	b.Helper()
+	c, err := m.make(dims)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := workload.NewRNG(12345)
+	ups := workload.Uniform(r, dims, load, 100)
+	for _, u := range ups {
+		if err := c.Add(u.Point, u.Value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	more := workload.Uniform(r, dims, 4096, 100)
+	qs := workload.Ranges(r, dims, 4096, 0.5)
+	return c, more, qs
+}
+
+// BenchmarkUpdate measures one point update per iteration for every
+// method on a 256x256 cube — the left half of Table 1's trade-off.
+func BenchmarkUpdate(b *testing.B) {
+	dims := []int{256, 256}
+	for _, m := range benchMethods() {
+		b.Run(m.name, func(b *testing.B) {
+			c, ups, _ := loadedCube(b, m, dims, 2000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := ups[i%len(ups)]
+				if err := c.Add(u.Point, u.Value); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRangeQuery measures one range-sum query per iteration for
+// every method on a 256x256 cube — the right half of the trade-off.
+func BenchmarkRangeQuery(b *testing.B) {
+	dims := []int{256, 256}
+	for _, m := range benchMethods() {
+		b.Run(m.name, func(b *testing.B) {
+			c, _, qs := loadedCube(b, m, dims, 2000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				v, err := c.RangeSum(q.Lo, q.Hi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += v
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkDDCByDimension measures the DDC's update cost as d grows at a
+// fixed domain budget — the log^d n factor of Theorem 2.
+func BenchmarkDDCByDimension(b *testing.B) {
+	cases := []struct {
+		name string
+		dims []int
+	}{
+		{"d=1/n=65536", []int{65536}},
+		{"d=2/n=256", []int{256, 256}},
+		{"d=3/n=64", []int{64, 64, 64}},
+		{"d=4/n=16", []int{16, 16, 16, 16}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cb, ups, _ := loadedCube(b, benchMethod{"ddc", func(d []int) (Cube, error) { return NewDynamic(d) }}, c.dims, 2000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := ups[i%len(ups)]
+				if err := cb.Add(u.Point, u.Value); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGrow measures one O(1) growth step (Section 5).
+func BenchmarkGrow(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := NewDynamic([]int{16, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Add([]int{3, 3}, 7); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := c.Grow([]bool{true, false}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRoundTrip measures Save+Load of a sparse cube.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	c, err := NewDynamic([]int{4096, 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, u := range workload.Clustered(workload.NewRNG(3), []int{4096, 4096}, 6, 2000, 20, 50) {
+		if err := c.Add(u.Point, u.Value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf discardCounter
+		if err := c.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discardCounter struct{ n int }
+
+func (d *discardCounter) Write(p []byte) (int, error) {
+	d.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkWALAppend measures the logging overhead per update.
+func BenchmarkWALAppend(b *testing.B) {
+	c, err := NewDynamic([]int{256, 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink discardCounter
+	w, err := NewWAL(c, &sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ups := workload.Uniform(workload.NewRNG(5), []int{256, 256}, 4096, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := ups[i%len(ups)]
+		if err := w.Add(u.Point, u.Value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBulkLoad measures bottom-up construction of a dense 256x256
+// cube through the public API (contrast with BenchmarkUpdate's per-cell
+// path; see also the ablation-bulk experiment).
+func BenchmarkBulkLoad(b *testing.B) {
+	vals := make([]int64, 256*256)
+	r := workload.NewRNG(9)
+	for i := range vals {
+		vals[i] = r.Int63n(100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildDynamic([]int{256, 256}, vals, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedThroughput measures concurrent update throughput as
+// the shard count grows (run with -cpu to vary parallelism).
+func BenchmarkShardedThroughput(b *testing.B) {
+	dims := []int{1024, 256}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sc, err := NewSharded(dims, shards, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				r := workload.NewRNG(uint64(shards) * 7)
+				for pb.Next() {
+					p := []int{r.Intn(1024), r.Intn(256)}
+					if err := sc.Add(p, 1); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSkewedUpdates measures update cost under a hot-key (Zipf)
+// stream, where a few cells absorb most updates; tree paths for hot
+// cells stay cache-resident, so this is the DDC's friendly case.
+func BenchmarkSkewedUpdates(b *testing.B) {
+	dims := []int{1024, 1024}
+	for _, m := range []benchMethod{
+		{"ddc", func(d []int) (Cube, error) { return NewDynamic(d) }},
+		{"fenwick", func(d []int) (Cube, error) { return NewFenwick(d) }},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			c, err := m.make(dims)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ups := workload.Skewed(workload.NewRNG(4), dims, 8192, 1.2, 100)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := ups[i%len(ups)]
+				if err := c.Add(u.Point, u.Value); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaterialize measures rebuilding grown-level row sums over a
+// sparse grown cube.
+func BenchmarkMaterialize(b *testing.B) {
+	ups := workload.Expanding(workload.NewRNG(2), 2, 2000, 0.5, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := NewDynamicWithOptions([]int{16, 16}, Options{AutoGrow: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, u := range ups {
+			if err := c.Add(u.Point, u.Value); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		c.Materialize()
+	}
+}

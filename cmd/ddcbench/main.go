@@ -1,0 +1,70 @@
+// Command ddcbench regenerates the paper's tables and figures and the
+// repository's measured-scaling and ablation experiments.
+//
+// Usage:
+//
+//	ddcbench -list           list experiment ids
+//	ddcbench <id> [<id>...]  run selected experiments
+//	ddcbench all             run everything (the EXPERIMENTS.md inputs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ddc/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvOut := flag.Bool("csv", false, "emit CSV series instead of tables (figure1 only)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ddcbench [-list] <experiment-id>... | all\n\nexperiments:\n")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", e.ID, e.Title)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *csvOut {
+		if len(args) != 1 || args[0] != "figure1" {
+			fmt.Fprintln(os.Stderr, "ddcbench: -csv is supported for figure1")
+			os.Exit(2)
+		}
+		if err := experiments.Figure1CSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ddcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) == 1 && args[0] == "all" {
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ddcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range args {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ddcbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s: %s ====\n\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ddcbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Command ddccube builds Dynamic Data Cubes from CSV point data and runs
+// range-sum queries, point reads and updates against persisted cubes.
+//
+//	ddccube build -dims 100,366 -csv sales.csv -o sales.cube
+//	ddccube query -cube sales.cube -range "27,220:45,251"
+//	ddccube add   -cube sales.cube -point "45,341" -delta 250
+//	ddccube stats -cube sales.cube
+package main
+
+import (
+	"os"
+
+	"ddc/internal/cubecli"
+)
+
+func main() {
+	os.Exit(cubecli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

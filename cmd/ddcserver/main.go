@@ -1,0 +1,82 @@
+// Command ddcserver serves a Dynamic Data Cube over HTTP/JSON: live
+// point updates and range-sum analytics against the same cube — the
+// interactive, continuously-updated data cube Section 1 of the paper
+// argues for.
+//
+//	ddcserver -dims 100,366 -addr :8080 [-cube snap] [-wal log] [-autogrow]
+//
+// Endpoints: POST /v1/add, POST /v1/set, GET /v1/get, GET /v1/sum,
+// GET /v1/stats, GET /v1/snapshot. See internal/cubeserver.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"ddc"
+	"ddc/internal/cubecli"
+	"ddc/internal/cubeserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dimsFlag := flag.String("dims", "", "dimension sizes for a fresh cube, e.g. 100,366")
+	cubePath := flag.String("cube", "", "snapshot to load instead of a fresh cube")
+	walPath := flag.String("wal", "", "append mutations to this write-ahead log (replayed at startup if it exists)")
+	autogrow := flag.Bool("autogrow", false, "grow the cube for out-of-range updates")
+	flag.Parse()
+
+	cube, err := openCube(*dimsFlag, *cubePath, *autogrow)
+	if err != nil {
+		log.Fatal("ddcserver: ", err)
+	}
+	var wal *ddc.WAL
+	if *walPath != "" {
+		// Recover: replay any existing log into the cube, then rotate it
+		// aside (<path>.old) so the fresh log starts from the recovered
+		// state without losing the previous records on disk.
+		if f, err := os.Open(*walPath); err == nil {
+			n, rerr := ddc.ReplayWAL(f, cube)
+			f.Close()
+			if rerr != nil {
+				log.Fatalf("ddcserver: replaying %s: %v", *walPath, rerr)
+			}
+			log.Printf("replayed %d records from %s", n, *walPath)
+			if err := os.Rename(*walPath, *walPath+".old"); err != nil {
+				log.Fatal("ddcserver: rotating log: ", err)
+			}
+		}
+		f, err := os.Create(*walPath)
+		if err != nil {
+			log.Fatal("ddcserver: ", err)
+		}
+		defer f.Close()
+		if wal, err = ddc.NewWAL(cube, f); err != nil {
+			log.Fatal("ddcserver: ", err)
+		}
+	}
+	log.Printf("serving cube dims=%v on %s", cube.Dims(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, cubeserver.New(cube, wal)))
+}
+
+func openCube(dims, cubePath string, autogrow bool) (*ddc.DynamicCube, error) {
+	if cubePath != "" {
+		f, err := os.Open(cubePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ddc.LoadDynamic(f)
+	}
+	if dims == "" {
+		return nil, fmt.Errorf("need -dims or -cube")
+	}
+	d, err := cubecli.ParsePoint(dims)
+	if err != nil {
+		return nil, fmt.Errorf("-dims: %v", err)
+	}
+	return ddc.NewDynamicWithOptions(d, ddc.Options{AutoGrow: autogrow})
+}

@@ -1,0 +1,105 @@
+package ddc
+
+import (
+	"testing"
+
+	"ddc/internal/workload"
+)
+
+func TestCompactReclaimsChurn(t *testing.T) {
+	c := mustNewDynamic(t, []int{1024, 1024})
+	r := workload.NewRNG(77)
+	ups := workload.Uniform(r, []int{1024, 1024}, 3000, 50)
+	for _, u := range ups {
+		if err := c.Add(u.Point, u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Zero out most of the data — storage stays allocated.
+	for _, u := range ups[:2700] {
+		if err := c.Set(u.Point, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.StorageCells()
+	nzBefore := c.NonZeroCells()
+	totalBefore := c.Total()
+	prefixBefore := c.Prefix([]int{700, 700})
+
+	c.Compact()
+
+	if got := c.StorageCells(); got >= before/2 {
+		t.Fatalf("Compact reclaimed too little: %d -> %d cells", before, got)
+	}
+	if c.NonZeroCells() != nzBefore {
+		t.Fatalf("NonZeroCells changed: %d -> %d", nzBefore, c.NonZeroCells())
+	}
+	if c.Total() != totalBefore {
+		t.Fatalf("Total changed: %d -> %d", totalBefore, c.Total())
+	}
+	if c.Prefix([]int{700, 700}) != prefixBefore {
+		t.Fatal("Prefix changed after Compact")
+	}
+	// The cube remains fully usable.
+	if err := c.Add([]int{5, 5}, 9); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != totalBefore+9 {
+		t.Fatal("post-compact update lost")
+	}
+}
+
+func TestCompactEmptyAndGrown(t *testing.T) {
+	c := mustNewDynamic(t, []int{8, 8})
+	c.Compact() // empty: no-op, no panic
+	if c.Total() != 0 {
+		t.Fatal("empty compact")
+	}
+	g, err := NewDynamicWithOptions([]int{8, 8}, Options{AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g.Set([]int{-20, 3}, 5)
+	_ = g.Set([]int{2, 2}, 7)
+	_ = g.Set([]int{2, 2}, 0) // churn
+	lo1, hi1 := g.Bounds()
+	g.Compact()
+	lo2, hi2 := g.Bounds()
+	for i := range lo1 {
+		if lo1[i] != lo2[i] || hi1[i] != hi2[i] {
+			t.Fatalf("bounds changed: [%v,%v) -> [%v,%v)", lo1, hi1, lo2, hi2)
+		}
+	}
+	if g.Total() != 5 || g.Get([]int{-20, 3}) != 5 {
+		t.Fatal("grown compact lost data")
+	}
+	// Compaction materialises grown levels (fresh boxes are regular).
+	if g.HasDelegates() {
+		t.Fatal("delegates survived compaction")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := mustNewDynamic(t, []int{64, 64})
+	empty := c.Stats()
+	if empty.Nodes != 0 || empty.Boxes != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+	if empty.Height < 2 {
+		t.Fatalf("height = %d", empty.Height)
+	}
+	_ = c.Add([]int{10, 10}, 5)
+	s := c.Stats()
+	if s.Nodes == 0 || s.Boxes == 0 || s.LeafTiles != 1 || s.StorageCells == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Delegates != 0 {
+		t.Fatalf("unexpected delegates: %+v", s)
+	}
+	g, _ := NewDynamicWithOptions([]int{8, 8}, Options{AutoGrow: true})
+	_ = g.Set([]int{1, 1}, 1)
+	_ = g.Set([]int{100, 100}, 1)
+	if gs := g.Stats(); gs.Delegates == 0 {
+		t.Fatalf("grown stats should report delegates: %+v", gs)
+	}
+}

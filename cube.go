@@ -1,0 +1,320 @@
+package ddc
+
+import (
+	"ddc/internal/cube"
+	"ddc/internal/ddcbasic"
+	"ddc/internal/fenwick"
+	"ddc/internal/grid"
+	"ddc/internal/prefixsum"
+	"ddc/internal/relprefix"
+)
+
+// Cube is a d-dimensional range-sum index. All implementations in this
+// package satisfy it, so methods can be swapped and compared.
+//
+// Coordinates are slices of d ints. For fixed-domain cubes valid
+// coordinates are [0, dims[i]) per dimension; the growable DynamicCube
+// extends this (see DynamicCube.Bounds).
+type Cube interface {
+	// Dims returns the declared dimension sizes.
+	Dims() []int
+	// Get returns the raw value of one cell (0 outside the domain).
+	Get(p []int) int64
+	// Set stores value into one cell.
+	Set(p []int, value int64) error
+	// Add adds delta to one cell.
+	Add(p []int, delta int64) error
+	// Prefix returns the sum of all cells dominated by p. Coordinates
+	// beyond the domain are clamped; below it the result is 0.
+	Prefix(p []int) int64
+	// RangeSum returns the sum over the inclusive box [lo, hi].
+	RangeSum(lo, hi []int) (int64, error)
+	// Total returns the sum of every cell.
+	Total() int64
+	// Ops returns deterministic operation counts (cells/nodes touched)
+	// accumulated since the last ResetOps.
+	Ops() OpCounts
+	// ResetOps zeroes the operation counters.
+	ResetOps()
+}
+
+// OpCounts reports how many cells and nodes a structure touched; the
+// benchmark harness compares methods on these counts, matching the
+// paper's operation-based cost model.
+type OpCounts struct {
+	QueryCells  uint64
+	UpdateCells uint64
+	NodeVisits  uint64
+}
+
+func fromInternal(c cube.OpCounter) OpCounts {
+	return OpCounts{QueryCells: c.QueryCells, UpdateCells: c.UpdateCells, NodeVisits: c.NodeVisits}
+}
+
+// ---------------------------------------------------------------------
+// Naive array (Section 2's baseline: O(n^d) query, O(1) update).
+
+// NaiveCube is the dense array A used directly.
+type NaiveCube struct{ a *cube.Array }
+
+// NewNaive returns a dense array cube.
+func NewNaive(dims []int) (*NaiveCube, error) {
+	a, err := cube.New(dims)
+	if err != nil {
+		return nil, err
+	}
+	return &NaiveCube{a: a}, nil
+}
+
+// Dims implements Cube.
+func (c *NaiveCube) Dims() []int { return c.a.Dims() }
+
+// Get implements Cube.
+func (c *NaiveCube) Get(p []int) int64 { return c.a.Get(grid.Point(p)) }
+
+// Set implements Cube.
+func (c *NaiveCube) Set(p []int, v int64) error { return c.a.Set(grid.Point(p), v) }
+
+// Add implements Cube.
+func (c *NaiveCube) Add(p []int, d int64) error { return c.a.Add(grid.Point(p), d) }
+
+// Prefix implements Cube.
+func (c *NaiveCube) Prefix(p []int) int64 { return c.a.Prefix(grid.Point(p)) }
+
+// RangeSum implements Cube.
+func (c *NaiveCube) RangeSum(lo, hi []int) (int64, error) {
+	return c.a.RangeSum(grid.Point(lo), grid.Point(hi))
+}
+
+// Total implements Cube.
+func (c *NaiveCube) Total() int64 { return c.a.Total() }
+
+// Ops implements Cube.
+func (c *NaiveCube) Ops() OpCounts { return fromInternal(c.a.Ops()) }
+
+// ResetOps implements Cube.
+func (c *NaiveCube) ResetOps() { c.a.ResetOps() }
+
+// ---------------------------------------------------------------------
+// Prefix sum method [HAMS97]: O(1) query, O(n^d) update.
+
+// PrefixSumCube is the prefix sum method of Ho et al.
+type PrefixSumCube struct{ ps *prefixsum.PS }
+
+// NewPrefixSum returns a prefix-sum cube.
+func NewPrefixSum(dims []int) (*PrefixSumCube, error) {
+	ps, err := prefixsum.New(dims)
+	if err != nil {
+		return nil, err
+	}
+	return &PrefixSumCube{ps: ps}, nil
+}
+
+// Dims implements Cube.
+func (c *PrefixSumCube) Dims() []int { return c.ps.Dims() }
+
+// Get implements Cube.
+func (c *PrefixSumCube) Get(p []int) int64 { return c.ps.Get(grid.Point(p)) }
+
+// Set implements Cube.
+func (c *PrefixSumCube) Set(p []int, v int64) error {
+	_, err := c.ps.Set(grid.Point(p), v)
+	return err
+}
+
+// Add implements Cube.
+func (c *PrefixSumCube) Add(p []int, d int64) error {
+	_, err := c.ps.Add(grid.Point(p), d)
+	return err
+}
+
+// Prefix implements Cube.
+func (c *PrefixSumCube) Prefix(p []int) int64 { return c.ps.Prefix(grid.Point(p)) }
+
+// RangeSum implements Cube.
+func (c *PrefixSumCube) RangeSum(lo, hi []int) (int64, error) {
+	return c.ps.RangeSum(grid.Point(lo), grid.Point(hi))
+}
+
+// Total implements Cube.
+func (c *PrefixSumCube) Total() int64 {
+	hi := c.ps.Dims()
+	for i := range hi {
+		hi[i]--
+	}
+	return c.ps.Prefix(hi)
+}
+
+// Ops implements Cube.
+func (c *PrefixSumCube) Ops() OpCounts { return fromInternal(c.ps.Ops()) }
+
+// ResetOps implements Cube.
+func (c *PrefixSumCube) ResetOps() { c.ps.ResetOps() }
+
+// CascadeSize returns how many cells an update at p would rewrite — the
+// cascading-update region of Figure 5.
+func (c *PrefixSumCube) CascadeSize(p []int) (int, error) {
+	return c.ps.CascadeSize(grid.Point(p))
+}
+
+// ---------------------------------------------------------------------
+// Relative prefix sum method [GAES99]: O(1) query, O(n^{d/2}) update.
+
+// RelativePrefixSumCube is the relative prefix sum method.
+type RelativePrefixSumCube struct{ r *relprefix.RPS }
+
+// NewRelativePrefixSum returns a relative-prefix-sum cube with the
+// update-optimal block side sqrt(n).
+func NewRelativePrefixSum(dims []int) (*RelativePrefixSumCube, error) {
+	r, err := relprefix.New(dims)
+	if err != nil {
+		return nil, err
+	}
+	return &RelativePrefixSumCube{r: r}, nil
+}
+
+// Dims implements Cube.
+func (c *RelativePrefixSumCube) Dims() []int { return c.r.Dims() }
+
+// Get implements Cube.
+func (c *RelativePrefixSumCube) Get(p []int) int64 { return c.r.Get(grid.Point(p)) }
+
+// Set implements Cube.
+func (c *RelativePrefixSumCube) Set(p []int, v int64) error {
+	_, err := c.r.Set(grid.Point(p), v)
+	return err
+}
+
+// Add implements Cube.
+func (c *RelativePrefixSumCube) Add(p []int, d int64) error {
+	_, err := c.r.Add(grid.Point(p), d)
+	return err
+}
+
+// Prefix implements Cube.
+func (c *RelativePrefixSumCube) Prefix(p []int) int64 { return c.r.Prefix(grid.Point(p)) }
+
+// RangeSum implements Cube.
+func (c *RelativePrefixSumCube) RangeSum(lo, hi []int) (int64, error) {
+	return c.r.RangeSum(grid.Point(lo), grid.Point(hi))
+}
+
+// Total implements Cube.
+func (c *RelativePrefixSumCube) Total() int64 {
+	hi := c.r.Dims()
+	for i := range hi {
+		hi[i]--
+	}
+	return c.r.Prefix(hi)
+}
+
+// Ops implements Cube.
+func (c *RelativePrefixSumCube) Ops() OpCounts { return fromInternal(c.r.Ops()) }
+
+// ResetOps implements Cube.
+func (c *RelativePrefixSumCube) ResetOps() { c.r.ResetOps() }
+
+// ---------------------------------------------------------------------
+// d-dimensional Fenwick tree: the folklore O(log^d n) comparator.
+
+// FenwickCube is a d-dimensional binary indexed tree.
+type FenwickCube struct{ f *fenwick.Tree }
+
+// NewFenwick returns a Fenwick-tree cube.
+func NewFenwick(dims []int) (*FenwickCube, error) {
+	f, err := fenwick.New(dims)
+	if err != nil {
+		return nil, err
+	}
+	return &FenwickCube{f: f}, nil
+}
+
+// Dims implements Cube.
+func (c *FenwickCube) Dims() []int { return c.f.Dims() }
+
+// Get implements Cube.
+func (c *FenwickCube) Get(p []int) int64 { return c.f.Get(grid.Point(p)) }
+
+// Set implements Cube.
+func (c *FenwickCube) Set(p []int, v int64) error { return c.f.Set(grid.Point(p), v) }
+
+// Add implements Cube.
+func (c *FenwickCube) Add(p []int, d int64) error { return c.f.Add(grid.Point(p), d) }
+
+// Prefix implements Cube.
+func (c *FenwickCube) Prefix(p []int) int64 { return c.f.Prefix(grid.Point(p)) }
+
+// RangeSum implements Cube.
+func (c *FenwickCube) RangeSum(lo, hi []int) (int64, error) {
+	return c.f.RangeSum(grid.Point(lo), grid.Point(hi))
+}
+
+// Total implements Cube.
+func (c *FenwickCube) Total() int64 {
+	hi := c.f.Dims()
+	for i := range hi {
+		hi[i]--
+	}
+	return c.f.Prefix(hi)
+}
+
+// Ops implements Cube.
+func (c *FenwickCube) Ops() OpCounts { return fromInternal(c.f.Ops()) }
+
+// ResetOps implements Cube.
+func (c *FenwickCube) ResetOps() { c.f.ResetOps() }
+
+// ---------------------------------------------------------------------
+// Basic Dynamic Data Cube (Section 3): O(log n) query, O(n^{d-1}) update.
+
+// BasicDynamicCube is the paper's intermediate structure, provided for
+// study and for the ablation benchmarks; prefer DynamicCube.
+type BasicDynamicCube struct{ t *ddcbasic.Tree }
+
+// NewBasicDynamic returns a basic DDC with the given leaf tile side
+// (1 reproduces the paper's full tree).
+func NewBasicDynamic(dims []int, tile int) (*BasicDynamicCube, error) {
+	t, err := ddcbasic.NewWithTile(dims, tile)
+	if err != nil {
+		return nil, err
+	}
+	return &BasicDynamicCube{t: t}, nil
+}
+
+// Dims implements Cube.
+func (c *BasicDynamicCube) Dims() []int { return c.t.Dims() }
+
+// Get implements Cube.
+func (c *BasicDynamicCube) Get(p []int) int64 { return c.t.Get(grid.Point(p)) }
+
+// Set implements Cube.
+func (c *BasicDynamicCube) Set(p []int, v int64) error { return c.t.Set(grid.Point(p), v) }
+
+// Add implements Cube.
+func (c *BasicDynamicCube) Add(p []int, d int64) error { return c.t.Add(grid.Point(p), d) }
+
+// Prefix implements Cube.
+func (c *BasicDynamicCube) Prefix(p []int) int64 { return c.t.Prefix(grid.Point(p)) }
+
+// RangeSum implements Cube.
+func (c *BasicDynamicCube) RangeSum(lo, hi []int) (int64, error) {
+	return c.t.RangeSum(grid.Point(lo), grid.Point(hi))
+}
+
+// Total implements Cube.
+func (c *BasicDynamicCube) Total() int64 { return c.t.Total() }
+
+// Ops implements Cube.
+func (c *BasicDynamicCube) Ops() OpCounts { return fromInternal(c.t.Ops()) }
+
+// ResetOps implements Cube.
+func (c *BasicDynamicCube) ResetOps() { c.t.ResetOps() }
+
+// StorageCells returns the number of allocated value cells.
+func (c *BasicDynamicCube) StorageCells() int { return c.t.StorageCells() }
+
+// PrefixTrace returns the prefix sum and the per-box contributions of the
+// descent — the decomposition of Figure 11.
+func (c *BasicDynamicCube) PrefixTrace(p []int) (int64, []int64) {
+	return c.t.PrefixTrace(grid.Point(p))
+}

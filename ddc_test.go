@@ -1,0 +1,389 @@
+package ddc
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"ddc/internal/workload"
+)
+
+// factories builds one of every Cube implementation for a domain.
+func factories(t *testing.T, dims []int) map[string]Cube {
+	t.Helper()
+	out := map[string]Cube{}
+	mustCube := func(name string, c Cube, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = c
+	}
+	n, err := NewNaive(dims)
+	mustCube("naive", n, err)
+	ps, err := NewPrefixSum(dims)
+	mustCube("prefixsum", ps, err)
+	rps, err := NewRelativePrefixSum(dims)
+	mustCube("relprefix", rps, err)
+	fw, err := NewFenwick(dims)
+	mustCube("fenwick", fw, err)
+	b1, err := NewBasicDynamic(dims, 1)
+	mustCube("basic-tile1", b1, err)
+	b2, err := NewBasicDynamic(dims, 2)
+	mustCube("basic-tile2", b2, err)
+	d1, err := NewDynamicWithOptions(dims, Options{Tile: 1, Fanout: 3})
+	mustCube("ddc-tile1", d1, err)
+	d4, err := NewDynamic(dims)
+	mustCube("ddc-default", d4, err)
+	sy := NewSynchronized(mustNewDynamic(t, dims))
+	out["synchronized"] = sy
+	return out
+}
+
+func mustNewDynamic(t *testing.T, dims []int) *DynamicCube {
+	t.Helper()
+	c, err := NewDynamic(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestAllMethodsAgree drives every implementation through the same
+// random update stream and checks every range query against the naive
+// ground truth — the central equivalence property of the repository.
+func TestAllMethodsAgree(t *testing.T) {
+	for _, dims := range [][]int{{17}, {9, 13}, {8, 8}, {5, 6, 7}, {3, 3, 3, 3}} {
+		cubes := factories(t, dims)
+		naive := cubes["naive"]
+		r := workload.NewRNG(2026)
+		ups := workload.Uniform(r, dims, 120, 50)
+		qs := workload.Ranges(r, dims, 60, 0.7)
+		for i, u := range ups {
+			for name, c := range cubes {
+				if err := c.Add(u.Point, u.Value); err != nil {
+					t.Fatalf("dims %v %s: Add: %v", dims, name, err)
+				}
+			}
+			if i%10 != 9 {
+				continue
+			}
+			for _, q := range qs[:10+(i%17)] {
+				want, err := naive.RangeSum(q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, c := range cubes {
+					got, err := c.RangeSum(q.Lo, q.Hi)
+					if err != nil {
+						t.Fatalf("dims %v %s: RangeSum: %v", dims, name, err)
+					}
+					if got != want {
+						t.Fatalf("dims %v %s: RangeSum(%v,%v) = %d, want %d",
+							dims, name, q.Lo, q.Hi, got, want)
+					}
+				}
+			}
+		}
+		// Totals and point reads agree at the end.
+		for name, c := range cubes {
+			if got, want := c.Total(), naive.Total(); got != want {
+				t.Fatalf("dims %v %s: Total = %d, want %d", dims, name, got, want)
+			}
+			for _, u := range ups[:20] {
+				if got, want := c.Get(u.Point), naive.Get(u.Point); got != want {
+					t.Fatalf("dims %v %s: Get(%v) = %d, want %d", dims, name, u.Point, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSetSemanticsAgree(t *testing.T) {
+	dims := []int{7, 7}
+	cubes := factories(t, dims)
+	naive := cubes["naive"]
+	r := workload.NewRNG(7)
+	for i := 0; i < 60; i++ {
+		p := []int{r.Intn(7), r.Intn(7)}
+		v := r.Int63n(100) - 50
+		for name, c := range cubes {
+			if err := c.Set(p, v); err != nil {
+				t.Fatalf("%s: Set: %v", name, err)
+			}
+		}
+		q := []int{r.Intn(7), r.Intn(7)}
+		want := naive.Prefix(q)
+		for name, c := range cubes {
+			if got := c.Prefix(q); got != want {
+				t.Fatalf("%s: Prefix(%v) = %d, want %d", name, q, got, want)
+			}
+		}
+	}
+}
+
+func TestOpsCountersWork(t *testing.T) {
+	cubes := factories(t, []int{8, 8})
+	for name, c := range cubes {
+		if err := c.Add([]int{3, 3}, 5); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = c.RangeSum([]int{0, 0}, []int{7, 7})
+		ops := c.Ops()
+		if ops.QueryCells == 0 && ops.NodeVisits == 0 {
+			t.Errorf("%s: no query ops recorded", name)
+		}
+		if ops.UpdateCells == 0 {
+			t.Errorf("%s: no update ops recorded", name)
+		}
+		c.ResetOps()
+		if got := c.Ops(); got != (OpCounts{}) {
+			t.Errorf("%s: ResetOps left %+v", name, got)
+		}
+	}
+}
+
+func TestDimsAccessor(t *testing.T) {
+	cubes := factories(t, []int{4, 6})
+	for name, c := range cubes {
+		d := c.Dims()
+		if len(d) != 2 || d[0] != 4 || d[1] != 6 {
+			t.Errorf("%s: Dims = %v", name, d)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c, err := NewDynamicWithOptions([]int{16, 16}, Options{Tile: 2, Fanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workload.NewRNG(5)
+	for _, u := range workload.Uniform(r, []int{16, 16}, 40, 100) {
+		if err := c.Add(u.Point, u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDynamic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != c.Total() {
+		t.Fatalf("Total = %d, want %d", got.Total(), c.Total())
+	}
+	if o := got.Options(); o.Tile != 2 || o.Fanout != 4 {
+		t.Fatalf("Options = %+v", o)
+	}
+	c.ForEachNonZero(func(p []int, v int64) {
+		if got.Get(p) != v {
+			t.Fatalf("cell %v = %d, want %d", p, got.Get(p), v)
+		}
+	})
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 16; y++ {
+			if got.Prefix([]int{x, y}) != c.Prefix([]int{x, y}) {
+				t.Fatalf("Prefix(%d,%d) mismatch", x, y)
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTripGrown(t *testing.T) {
+	c, err := NewDynamicWithOptions([]int{4, 4}, Options{AutoGrow: true, Tile: 1, Fanout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := [][2]int{{1, 1}, {-7, 3}, {10, -22}, {-30, -30}, {40, 40}}
+	for i, p := range pts {
+		if err := c.Set([]int{p[0], p[1]}, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDynamic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glo, ghi := got.Bounds()
+	clo, chi := c.Bounds()
+	for i := range glo {
+		if glo[i] != clo[i] || ghi[i] != chi[i] {
+			t.Fatalf("bounds [%v,%v) != [%v,%v)", glo, ghi, clo, chi)
+		}
+	}
+	for i, p := range pts {
+		if v := got.Get([]int{p[0], p[1]}); v != int64(i+1) {
+			t.Fatalf("cell %v = %d, want %d", p, v, i+1)
+		}
+	}
+	if got.Total() != c.Total() {
+		t.Fatalf("Total mismatch")
+	}
+	s, err := got.RangeSum([]int{-30, -30}, []int{-1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := c.RangeSum([]int{-30, -30}, []int{-1, 3})
+	if s != want {
+		t.Fatalf("grown RangeSum = %d, want %d", s, want)
+	}
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	c := mustNewDynamic(t, []int{8, 8})
+	_ = c.Add([]int{1, 1}, 5)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOTADDCX"), full[8:]...),
+		"truncated":   full[:len(full)-4],
+		"header only": full[:32],
+	}
+	for name, data := range cases {
+		if _, err := LoadDynamic(bytes.NewReader(data)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: error = %v, want ErrBadSnapshot", name, err)
+		}
+	}
+}
+
+func TestSynchronizedConcurrentUse(t *testing.T) {
+	s := NewSynchronized(mustNewDynamic(t, []int{32, 32}))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := workload.NewRNG(uint64(g))
+			for i := 0; i < 200; i++ {
+				p := []int{r.Intn(32), r.Intn(32)}
+				if i%3 == 0 {
+					if err := s.Add(p, 1); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					_ = s.Prefix(p)
+					_, _ = s.RangeSum([]int{0, 0}, p)
+					_ = s.Total()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 8 goroutines, every 3rd of 200 ops is an Add of +1: ceil(200/3)=67.
+	if got := s.Total(); got != 8*67 {
+		t.Fatalf("Total = %d, want %d", got, 8*67)
+	}
+	if s.Unwrap() == nil {
+		t.Fatal("Unwrap returned nil")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a, err := NewAggregate([]int{100, 366}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sales by (age, day): the paper's running example.
+	if err := a.Record([]int{37, 220}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Record([]int{37, 221}, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Record([]int{40, 225}, 50); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := a.SumRange([]int{27, 220}, []int{45, 251})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 350 {
+		t.Fatalf("SumRange = %d, want 350", sum)
+	}
+	n, err := a.CountRange([]int{27, 220}, []int{45, 251})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("CountRange = %d, want 3", n)
+	}
+	avg, err := a.AverageRange([]int{27, 220}, []int{45, 251})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg < 116.6 || avg > 116.7 {
+		t.Fatalf("AverageRange = %f", avg)
+	}
+	if _, err := a.AverageRange([]int{0, 0}, []int{5, 5}); !errors.Is(err, ErrEmptyRegion) {
+		t.Fatalf("empty region error = %v", err)
+	}
+	if err := a.Remove([]int{37, 221}, 200); err != nil {
+		t.Fatal(err)
+	}
+	avg, err = a.AverageRange([]int{27, 220}, []int{45, 251})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 75 {
+		t.Fatalf("after Remove, AverageRange = %f, want 75", avg)
+	}
+	if a.Sum() == nil || a.Count() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}
+
+func TestDynamicGrowthThroughPublicAPI(t *testing.T) {
+	c, err := NewDynamicWithOptions([]int{4, 4}, Options{AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set([]int{-10, 20}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GrowToInclude([]int{100, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasDelegates() {
+		t.Fatal("growth should leave delegating boxes")
+	}
+	c.Materialize()
+	if c.HasDelegates() {
+		t.Fatal("Materialize failed")
+	}
+	got, err := c.RangeSum([]int{-10, 0}, []int{0, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("RangeSum = %d, want 7", got)
+	}
+	if c.NonZeroCells() != 1 {
+		t.Fatalf("NonZeroCells = %d", c.NonZeroCells())
+	}
+	if c.StorageCells() <= 0 {
+		t.Fatal("StorageCells not positive")
+	}
+	var seen int
+	c.ForEachNonZero(func(p []int, v int64) {
+		seen++
+		if p[0] != -10 || p[1] != 20 || v != 7 {
+			t.Fatalf("nonzero cell %v = %d", p, v)
+		}
+	})
+	if seen != 1 {
+		t.Fatalf("ForEachNonZero visited %d", seen)
+	}
+}

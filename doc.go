@@ -1,0 +1,45 @@
+// Package ddc implements the Dynamic Data Cube (Geffner, Agrawal,
+// El Abbadi — EDBT 2000): a multidimensional range-sum index with
+// O(log^d n) cost for both range-sum queries and point updates, graceful
+// handling of sparse and clustered data, and dynamic growth of the cube
+// in any direction.
+//
+// # The problem
+//
+// A data cube aggregates a measure attribute (e.g. SALES) over d
+// functional attributes (e.g. CUSTOMER_AGE x DAY). A range-sum query asks
+// for the aggregate over an axis-aligned box of cells ("total sales to
+// customers aged 27-45 between day 220 and day 251"). The classic
+// trade-off:
+//
+//	method               query         update
+//	naive array          O(n^d)        O(1)
+//	prefix sum [HAMS97]  O(1)          O(n^d)
+//	relative PS [GAES99] O(1)          O(n^{d/2})
+//	Dynamic Data Cube    O(log^d n)    O(log^d n)
+//
+// The package provides all four (plus the paper's intermediate "basic"
+// tree and a d-dimensional Fenwick tree comparator) behind the single
+// Cube interface, so they can be swapped and compared.
+//
+// # Quick start
+//
+//	c, _ := ddc.NewDynamic([]int{100, 366}) // age x day-of-year
+//	_ = c.Add([]int{45, 341}, 250)          // record a sale
+//	sum, _ := c.RangeSum([]int{27, 220}, []int{45, 251})
+//
+// See the examples directory for complete programs, including the
+// paper's star-catalog (growth), EOSDIS (clustered data) and trading
+// (interleaved update/query) scenarios.
+//
+// # Values and aggregates
+//
+// Cells hold int64 values and queries return exact int64 sums. COUNT,
+// AVERAGE and other invertible aggregates are built from SUM cubes; the
+// Aggregate helper bundles a sum cube and a count cube.
+//
+// # Concurrency
+//
+// Cubes are not safe for concurrent use; wrap any Cube in Synchronized
+// for a mutex-guarded view that allows concurrent readers.
+package ddc

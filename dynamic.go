@@ -1,0 +1,234 @@
+package ddc
+
+import (
+	"ddc/internal/core"
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+// Options tunes a DynamicCube. The zero value selects the defaults
+// (tile side 4, B_c fanout 16, fixed domain).
+type Options struct {
+	// Tile is the leaf tile side, a power of two. Tile = 1 is the
+	// paper's full tree; larger values elide the densest tree levels
+	// (the Section 4.4 storage optimization) at the cost of up to
+	// Tile^d cell adds per query.
+	Tile int
+	// Fanout is the B_c tree fanout used by the two-dimensional
+	// row-sum groups (minimum 3).
+	Fanout int
+	// AutoGrow makes Set/Add on out-of-bounds coordinates grow the
+	// cube to include them (in any direction, Section 5) instead of
+	// returning an error.
+	AutoGrow bool
+}
+
+// DynamicCube is the Dynamic Data Cube: O(log^d n) range-sum queries and
+// point updates, lazy (sparse) allocation, and dynamic growth of the
+// domain in any direction.
+type DynamicCube struct{ t *core.Tree }
+
+// NewDynamic returns a Dynamic Data Cube over the given dimension sizes
+// with default options.
+func NewDynamic(dims []int) (*DynamicCube, error) {
+	return NewDynamicWithOptions(dims, Options{})
+}
+
+// NewDynamicWithOptions returns a Dynamic Data Cube with explicit
+// options.
+func NewDynamicWithOptions(dims []int, opt Options) (*DynamicCube, error) {
+	t, err := core.NewWithConfig(dims, core.Config{
+		Tile:     opt.Tile,
+		Fanout:   opt.Fanout,
+		AutoGrow: opt.AutoGrow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicCube{t: t}, nil
+}
+
+// BuildDynamic bulk-loads a Dynamic Data Cube from dense row-major
+// values (len(values) must equal the product of dims). Construction is
+// bottom-up — several times faster and far fewer allocations than
+// replaying one Add per cell — and the result is identical to the
+// incremental path.
+func BuildDynamic(dims []int, values []int64, opt Options) (*DynamicCube, error) {
+	a, err := cube.FromValues(dims, values)
+	if err != nil {
+		return nil, err
+	}
+	t, err := core.BuildFromArray(a, core.Config{
+		Tile:     opt.Tile,
+		Fanout:   opt.Fanout,
+		AutoGrow: opt.AutoGrow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicCube{t: t}, nil
+}
+
+// BuildDynamicParallel is BuildDynamic with the 2^d top-level subtrees
+// constructed concurrently; the result is identical.
+func BuildDynamicParallel(dims []int, values []int64, opt Options) (*DynamicCube, error) {
+	a, err := cube.FromValues(dims, values)
+	if err != nil {
+		return nil, err
+	}
+	t, err := core.BuildFromArrayParallel(a, core.Config{
+		Tile:     opt.Tile,
+		Fanout:   opt.Fanout,
+		AutoGrow: opt.AutoGrow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicCube{t: t}, nil
+}
+
+// Dims implements Cube (the sizes declared at construction; see Bounds
+// for the current grown domain).
+func (c *DynamicCube) Dims() []int { return c.t.Dims() }
+
+// Bounds returns the current logical domain as an inclusive low corner
+// and exclusive high corner; growth in a "before" direction makes the
+// low corner negative.
+func (c *DynamicCube) Bounds() (lo, hi []int) {
+	l, h := c.t.Bounds()
+	return l, h
+}
+
+// Get implements Cube.
+func (c *DynamicCube) Get(p []int) int64 { return c.t.Get(grid.Point(p)) }
+
+// Set implements Cube.
+func (c *DynamicCube) Set(p []int, v int64) error { return c.t.Set(grid.Point(p), v) }
+
+// Add implements Cube.
+func (c *DynamicCube) Add(p []int, d int64) error { return c.t.Add(grid.Point(p), d) }
+
+// Prefix implements Cube.
+func (c *DynamicCube) Prefix(p []int) int64 { return c.t.Prefix(grid.Point(p)) }
+
+// RangeSum implements Cube.
+func (c *DynamicCube) RangeSum(lo, hi []int) (int64, error) {
+	return c.t.RangeSum(grid.Point(lo), grid.Point(hi))
+}
+
+// Total implements Cube.
+func (c *DynamicCube) Total() int64 { return c.t.Total() }
+
+// Ops implements Cube.
+func (c *DynamicCube) Ops() OpCounts { return fromInternal(c.t.Ops()) }
+
+// ResetOps implements Cube.
+func (c *DynamicCube) ResetOps() { c.t.ResetOps() }
+
+// Grow doubles the domain, expanding toward negative coordinates in
+// every dimension i with before[i] true and toward positive coordinates
+// otherwise. Growth is O(1); see Materialize.
+func (c *DynamicCube) Grow(before []bool) error { return c.t.Grow(before) }
+
+// GrowToInclude grows the cube until the point p is inside its bounds.
+func (c *DynamicCube) GrowToInclude(p []int) error {
+	return c.t.GrowToInclude(grid.Point(p))
+}
+
+// Materialize rebuilds the row-sum groups that growth left in delegating
+// mode, restoring full query speed for ranges crossing grown regions.
+// Cost is proportional to the nonzero cells below grown roots.
+func (c *DynamicCube) Materialize() { c.t.Materialize() }
+
+// HasDelegates reports whether any grown region still answers through
+// delegation (i.e. Materialize would do work).
+func (c *DynamicCube) HasDelegates() bool { return c.t.HasDelegates() }
+
+// StorageCells returns the number of allocated value cells — proportional
+// to the data, not the domain, for sparse cubes.
+func (c *DynamicCube) StorageCells() int { return c.t.StorageCells() }
+
+// Stats summarises the allocated structure.
+type Stats struct {
+	Height       int // tree levels from root to leaf tiles
+	Nodes        int // allocated tree nodes
+	LeafTiles    int // allocated leaf tiles
+	Boxes        int // allocated overlay boxes
+	Delegates    int // boxes still answering through delegation (growth)
+	StorageCells int // total values retained, including group stores
+}
+
+// Stats walks the structure and returns its Stats.
+func (c *DynamicCube) Stats() Stats {
+	s := c.t.TreeStats()
+	return Stats{
+		Height:       s.Height,
+		Nodes:        s.Nodes,
+		LeafTiles:    s.LeafTiles,
+		Boxes:        s.Boxes,
+		Delegates:    s.Delegates,
+		StorageCells: s.StorageCells,
+	}
+}
+
+// Compact rebuilds the structure from its nonzero cells, releasing
+// storage held for cells that have returned to zero. Queries answer
+// identically afterwards; bounds and options are preserved.
+func (c *DynamicCube) Compact() { c.t.Compact() }
+
+// NonZeroCells returns the number of cells holding nonzero values.
+func (c *DynamicCube) NonZeroCells() int { return c.t.NonZeroCells() }
+
+// ForEachNonZero calls fn for every nonzero cell with its logical
+// coordinates. The slice passed to fn is reused between calls.
+func (c *DynamicCube) ForEachNonZero(fn func(p []int, v int64)) {
+	c.t.ForEachNonZero(func(p grid.Point, v int64) { fn(p, v) })
+}
+
+// ForEachNonZeroInRange calls fn for every nonzero cell in the inclusive
+// box [lo, hi], pruning subtrees outside the box. The slice passed to fn
+// is reused between calls.
+func (c *DynamicCube) ForEachNonZeroInRange(lo, hi []int, fn func(p []int, v int64)) error {
+	return c.t.ForEachNonZeroInRange(grid.Point(lo), grid.Point(hi), func(p grid.Point, v int64) { fn(p, v) })
+}
+
+// Options returns the cube's effective options.
+func (c *DynamicCube) Options() Options {
+	cfg := c.t.Config()
+	return Options{Tile: cfg.Tile, Fanout: cfg.Fanout, AutoGrow: cfg.AutoGrow}
+}
+
+// Contribution is one value a prefix query collected on its descent —
+// the decomposition the paper walks through in Figures 10-11a.
+type Contribution struct {
+	// Level is the tree level, 0 at the root.
+	Level int
+	// BoxAnchor is the logical anchor of the contributing overlay box.
+	BoxAnchor []int
+	// K is the box side.
+	K int
+	// Kind names the contribution: "subtotal", "row sum", "delegated"
+	// (a grown, unmaterialised box answered through its subtree) or
+	// "leaf" (raw cells summed in the final tile).
+	Kind string
+	// Value is the contributed amount.
+	Value int64
+}
+
+// ExplainPrefix returns the prefix sum at p together with every nonzero
+// contribution collected on the way down; for debugging and education
+// (it allocates per level, unlike Prefix).
+func (c *DynamicCube) ExplainPrefix(p []int) (int64, []Contribution) {
+	sum, parts := c.t.ExplainPrefix(grid.Point(p))
+	out := make([]Contribution, len(parts))
+	for i, pt := range parts {
+		out[i] = Contribution{
+			Level:     pt.Level,
+			BoxAnchor: pt.BoxAnchor,
+			K:         pt.K,
+			Kind:      pt.Kind.String(),
+			Value:     pt.Value,
+		}
+	}
+	return sum, out
+}

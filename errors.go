@@ -1,0 +1,23 @@
+package ddc
+
+import (
+	"ddc/internal/core"
+	"ddc/internal/grid"
+)
+
+// Sentinel errors returned (wrapped, test with errors.Is) by cube
+// operations. They alias the internal sentinels so errors produced
+// anywhere in the implementation match the public names.
+var (
+	// ErrRange reports a coordinate outside the cube's domain.
+	ErrRange = grid.ErrRange
+	// ErrDims reports a point whose dimensionality does not match the
+	// cube's.
+	ErrDims = grid.ErrDims
+	// ErrEmptyRange reports a query box with lo > hi in some dimension.
+	ErrEmptyRange = grid.ErrEmptyRange
+	// ErrBadExtent reports invalid dimension sizes or options.
+	ErrBadExtent = grid.ErrBadExtent
+	// ErrTooLarge reports growth beyond the supported domain side.
+	ErrTooLarge = core.ErrTooLarge
+)

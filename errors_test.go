@@ -1,0 +1,37 @@
+package ddc
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPublicErrorMatching asserts that errors produced by every
+// implementation match the public sentinels with errors.Is — the
+// contract downstream callers program against.
+func TestPublicErrorMatching(t *testing.T) {
+	cubes := factories(t, []int{4, 4})
+	for name, c := range cubes {
+		if err := c.Add([]int{9, 9}, 1); !errors.Is(err, ErrRange) {
+			t.Errorf("%s: out-of-range Add error %v does not match ErrRange", name, err)
+		}
+		if err := c.Set([]int{1}, 1); !errors.Is(err, ErrDims) {
+			t.Errorf("%s: wrong-dims Set error %v does not match ErrDims", name, err)
+		}
+		if _, err := c.RangeSum([]int{2, 2}, []int{1, 1}); !errors.Is(err, ErrEmptyRange) {
+			t.Errorf("%s: inverted RangeSum error %v does not match ErrEmptyRange", name, err)
+		}
+	}
+	if _, err := NewDynamic([]int{0}); !errors.Is(err, ErrBadExtent) {
+		t.Errorf("zero-dim constructor error does not match ErrBadExtent")
+	}
+	if _, err := NewDynamicWithOptions([]int{4}, Options{Tile: 3}); !errors.Is(err, ErrBadExtent) {
+		t.Errorf("bad tile error does not match ErrBadExtent")
+	}
+	g, err := NewDynamicWithOptions([]int{4}, Options{AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.GrowToInclude([]int{1 << 45}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized growth error %v does not match ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,82 @@
+// Trading: Section 1's "Internet commerce" scenario — millions of trades
+// arrive continuously while analysts run range-sum queries over
+// (instrument, minute) concurrently. The prefix sum method pays the
+// cascading-update cost on every trade; the Dynamic Data Cube keeps both
+// sides polylogarithmic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ddc"
+	"ddc/internal/workload"
+)
+
+func run(name string, c ddc.Cube, ts workload.TradeStream) {
+	start := time.Now()
+	var updNs, qryNs time.Duration
+	updates, queries := 0, 0
+	for _, op := range ts.Ops {
+		if op >= 0 {
+			u := ts.Updates[op]
+			t0 := time.Now()
+			if err := c.Add(u.Point, u.Value); err != nil {
+				log.Fatal(err)
+			}
+			updNs += time.Since(t0)
+			updates++
+		} else {
+			q := ts.Queries[-op-1]
+			t0 := time.Now()
+			if _, err := c.RangeSum(q.Lo, q.Hi); err != nil {
+				log.Fatal(err)
+			}
+			qryNs += time.Since(t0)
+			queries++
+		}
+	}
+	ops := c.Ops()
+	fmt.Printf("%-22s total %8v | %7.0f ns/update (%6.0f cells) | %7.0f ns/query (%6.0f cells)\n",
+		name, time.Since(start).Round(time.Millisecond),
+		float64(updNs.Nanoseconds())/float64(updates),
+		float64(ops.UpdateCells)/float64(updates),
+		float64(qryNs.Nanoseconds())/float64(queries),
+		float64(ops.QueryCells+ops.NodeVisits)/float64(queries))
+}
+
+func main() {
+	// 512 instruments x 512 trading minutes; 20k operations, one
+	// analytic range query per 50 trades.
+	dims := []int{512, 512}
+	ts := workload.Trades(workload.NewRNG(42), dims, 20000, 50, 1000)
+	fmt.Printf("trade stream: %d updates, %d range queries over a %dx%d cube\n\n",
+		len(ts.Updates), len(ts.Queries), dims[0], dims[1])
+
+	ps, err := ddc.NewPrefixSum(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rps, err := ddc.NewRelativePrefixSum(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dyn, err := ddc.NewDynamic(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := ddc.NewFenwick(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run("prefix sum", ps, ts)
+	run("relative prefix sum", rps, ts)
+	run("dynamic data cube", dyn, ts)
+	run("fenwick", fw, ts)
+
+	fmt.Println("\nThe constant-time-query methods pay the cascading-update cost on every")
+	fmt.Println("trade; the DDC pays microseconds on both sides, so interactive \"what-if\"")
+	fmt.Println("analytics can run against live data (Section 1's enabling threshold).")
+}

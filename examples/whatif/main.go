@@ -1,0 +1,73 @@
+// What-if: Section 1's closing motivation — "business leaders might wish
+// to construct interactive what-if scenarios using their data cubes, in
+// much the same way that they construct what-if scenarios using
+// spreadsheets". Sublinear updates make hypotheses cheap to apply and
+// the inverse property makes them cheap to retract.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ddc"
+	"ddc/internal/workload"
+)
+
+func main() {
+	// Quarterly revenue cube: product line (0-49) x week (0-51).
+	dims := []int{50, 52}
+	c, err := ddc.NewDynamic(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := workload.NewRNG(5)
+	for _, u := range workload.Uniform(r, dims, 4000, 900) {
+		if err := c.Add(u.Point, u.Value); err != nil {
+			log.Fatal(err)
+		}
+	}
+	q4 := func() int64 {
+		v, err := c.RangeSum([]int{0, 39}, []int{49, 51})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+	baseline := q4()
+	fmt.Printf("baseline Q4 revenue:            %d\n\n", baseline)
+
+	// Scenario A: discontinue product lines 40-49 in Q4.
+	a := ddc.Begin(c)
+	for line := 40; line < 50; line++ {
+		for week := 39; week < 52; week++ {
+			if err := a.Set([]int{line, week}, 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("scenario A (cut lines 40-49):   %d  (%+d, %d hypothetical updates)\n",
+		q4(), q4()-baseline, a.Pending())
+	if err := a.Rollback(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after rollback:                 %d  (baseline restored: %v)\n\n",
+		q4(), q4() == baseline)
+
+	// Scenario B: a holiday promotion lifts weeks 47-51 by 20% on lines
+	// 0-9; the analyst likes it and commits.
+	b := ddc.Begin(c)
+	for line := 0; line < 10; line++ {
+		for week := 47; week < 52; week++ {
+			cur := c.Get([]int{line, week})
+			if err := b.Add([]int{line, week}, cur/5); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	lifted := q4()
+	fmt.Printf("scenario B (holiday promotion): %d  (%+d)\n", lifted, lifted-baseline)
+	if err := b.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed; Q4 now:              %d\n", q4())
+}

@@ -1,0 +1,3 @@
+module ddc
+
+go 1.23

@@ -1,0 +1,404 @@
+// Package bctree implements the Cumulative B Tree (B_c tree) of
+// Section 4.1 of the paper: a B-tree keyed by row-sum cell index whose
+// interior nodes carry subtree sums (STS).
+//
+// Leaves store the sums of *individual* rows; the cumulative row sum a
+// query needs is reconstructed on the way down by adding the subtree sums
+// of every sibling that precedes the descended child. Both PrefixSum and
+// Add are O(log k) for a box with k row-sum cells, which is what breaks
+// the cascading-update dependency chain of Figure 13.
+//
+// The tree is sparse: keys that were never inserted have value 0, so an
+// all-zero set of row sums costs no memory — the property Section 5 relies
+// on for clustered data — and new keys may be inserted at any time, which
+// supports dynamic growth of the cube.
+package bctree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultFanout is the fanout used by New. The paper's figures use 3 for
+// legibility; a larger fanout shortens the tree in practice.
+const DefaultFanout = 16
+
+// MinFanout is the smallest legal fanout for a B-tree.
+const MinFanout = 3
+
+// Tree is a cumulative B-tree mapping int keys to int64 values.
+// The zero value is not usable; call New or NewWithFanout.
+type Tree struct {
+	root   *node
+	fanout int
+	size   int // number of distinct keys stored
+
+	// NodeVisits counts nodes touched by queries and updates since the
+	// last ResetOps; the experiment harness reads it.
+	NodeVisits uint64
+}
+
+// node is a B+-tree node. Interior nodes route by the minimum key of each
+// child and carry one subtree sum per child; leaves hold key/value pairs.
+type node struct {
+	leaf     bool
+	keys     []int   // leaf: entry keys; interior: min key of each child
+	vals     []int64 // leaf only
+	children []*node // interior only
+	sums     []int64 // interior only: total value of each child subtree
+}
+
+// New returns an empty B_c tree with the default fanout.
+func New() *Tree { return NewWithFanout(DefaultFanout) }
+
+// NewWithFanout returns an empty B_c tree with the given fanout (maximum
+// children per interior node and entries per leaf). It panics if fanout
+// is below MinFanout; fanout is a construction-time constant, so a bad
+// value is a programming error.
+func NewWithFanout(fanout int) *Tree {
+	if fanout < MinFanout {
+		panic(fmt.Sprintf("bctree: fanout %d below minimum %d", fanout, MinFanout))
+	}
+	return &Tree{root: &node{leaf: true}, fanout: fanout}
+}
+
+// FromSlice bulk-builds a tree whose key i holds values[i], skipping
+// zeros (absent keys read as 0). Construction is O(k) plus node
+// allocation.
+func FromSlice(values []int64, fanout int) *Tree {
+	t := NewWithFanout(fanout)
+	// Pack non-zero entries into leaves left to right.
+	var leaves []*node
+	cur := &node{leaf: true}
+	for i, v := range values {
+		if v == 0 {
+			continue
+		}
+		if len(cur.keys) == fanout {
+			leaves = append(leaves, cur)
+			cur = &node{leaf: true}
+		}
+		cur.keys = append(cur.keys, i)
+		cur.vals = append(cur.vals, v)
+		t.size++
+	}
+	leaves = append(leaves, cur)
+	// Build interior levels bottom-up.
+	level := leaves
+	for len(level) > 1 {
+		var next []*node
+		for i := 0; i < len(level); {
+			end := i + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			// Never leave a lone trailing child: shrink this group by one
+			// so the final interior node has at least two children.
+			if end == len(level)-1 {
+				end--
+			}
+			in := &node{}
+			for _, c := range level[i:end] {
+				in.children = append(in.children, c)
+				in.keys = append(in.keys, c.minKey())
+				in.sums = append(in.sums, c.total())
+			}
+			next = append(next, in)
+			i = end
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+func (n *node) minKey() int {
+	if len(n.keys) == 0 {
+		return 0
+	}
+	return n.keys[0]
+}
+
+func (n *node) total() int64 {
+	var s int64
+	if n.leaf {
+		for _, v := range n.vals {
+			s += v
+		}
+		return s
+	}
+	for _, v := range n.sums {
+		s += v
+	}
+	return s
+}
+
+// Fanout returns the tree's fanout.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Len returns the number of distinct keys stored.
+func (t *Tree) Len() int { return t.size }
+
+// ResetOps zeroes the node-visit counter.
+func (t *Tree) ResetOps() { t.NodeVisits = 0 }
+
+// Total returns the sum of all stored values in O(f): the sum of the
+// root's subtree sums.
+func (t *Tree) Total() int64 { return t.root.total() }
+
+// Get returns the value stored at key (0 if absent) in O(log k).
+func (t *Tree) Get(key int) int64 {
+	n := t.root
+	for {
+		t.NodeVisits++
+		if n.leaf {
+			i := sort.SearchInts(n.keys, key)
+			if i < len(n.keys) && n.keys[i] == key {
+				return n.vals[i]
+			}
+			return 0
+		}
+		i := routeTo(n.keys, key)
+		if i < 0 {
+			return 0
+		}
+		n = n.children[i]
+	}
+}
+
+// routeTo returns the index of the last child whose minimum key is <= key,
+// or -1 if key precedes every child.
+func routeTo(keys []int, key int) int {
+	// First index with keys[i] > key, minus one.
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > key }) - 1
+}
+
+// PrefixSum returns the sum of all values with key <= key — the
+// cumulative row sum of Section 4.1 — in O(f log_f k). A negative key
+// yields 0.
+func (t *Tree) PrefixSum(key int) int64 {
+	var s int64
+	n := t.root
+	for {
+		t.NodeVisits++
+		if n.leaf {
+			for i, k := range n.keys {
+				if k > key {
+					break
+				}
+				s += n.vals[i]
+			}
+			return s
+		}
+		i := routeTo(n.keys, key)
+		if i < 0 {
+			return s
+		}
+		for j := 0; j < i; j++ {
+			s += n.sums[j] // the preceding STSs of the walk-through
+		}
+		n = n.children[i]
+	}
+}
+
+// Add adds delta to the value at key, inserting the key if absent, in
+// O(log k). One subtree sum per visited node changes, exactly as in the
+// paper's bottom-up update description.
+func (t *Tree) Add(key int, delta int64) {
+	if delta == 0 && t.Get(key) == 0 {
+		// Avoid materialising zero entries for no-op adds on absent keys.
+		return
+	}
+	split, inserted := t.add(t.root, key, delta)
+	if inserted {
+		t.size++
+	}
+	if split != nil {
+		// Root split: grow the tree by one level.
+		old := t.root
+		t.root = &node{
+			keys:     []int{old.minKey(), split.minKey()},
+			children: []*node{old, split},
+			sums:     []int64{old.total(), split.total()},
+		}
+	}
+}
+
+// Set stores value at key (inserting if absent).
+func (t *Tree) Set(key int, value int64) {
+	t.Add(key, value-t.Get(key))
+}
+
+// add descends to the leaf, applying delta, and returns a new right
+// sibling if n split, plus whether a new key was inserted.
+func (t *Tree) add(n *node, key int, delta int64) (*node, bool) {
+	t.NodeVisits++
+	if n.leaf {
+		i := sort.SearchInts(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] += delta
+			return nil, false
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = delta
+		if len(n.keys) > t.fanout {
+			return n.splitLeaf(), true
+		}
+		return nil, true
+	}
+	i := routeTo(n.keys, key)
+	if i < 0 {
+		// Key precedes every child: route to the first child and let its
+		// minimum key shrink.
+		i = 0
+		n.keys[0] = key
+	}
+	split, inserted := t.add(n.children[i], key, delta)
+	n.sums[i] += delta
+	if split != nil {
+		// Adopt the new right sibling of children[i].
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+2:], n.keys[i+1:])
+		n.keys[i+1] = split.minKey()
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = split
+		n.sums = append(n.sums, 0)
+		copy(n.sums[i+2:], n.sums[i+1:])
+		n.sums[i+1] = split.total()
+		n.sums[i] -= split.total()
+		if len(n.children) > t.fanout {
+			return n.splitInterior(), inserted
+		}
+	}
+	return nil, inserted
+}
+
+func (n *node) splitLeaf() *node {
+	mid := len(n.keys) / 2
+	right := &node{
+		leaf: true,
+		keys: append([]int(nil), n.keys[mid:]...),
+		vals: append([]int64(nil), n.vals[mid:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	return right
+}
+
+func (n *node) splitInterior() *node {
+	mid := len(n.children) / 2
+	right := &node{
+		keys:     append([]int(nil), n.keys[mid:]...),
+		children: append([]*node(nil), n.children[mid:]...),
+		sums:     append([]int64(nil), n.sums[mid:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid]
+	n.sums = n.sums[:mid]
+	return right
+}
+
+// ForEach calls fn for every stored key in ascending order.
+func (t *Tree) ForEach(fn func(key int, value int64)) {
+	t.root.forEach(fn)
+}
+
+func (n *node) forEach(fn func(int, int64)) {
+	if n.leaf {
+		for i, k := range n.keys {
+			fn(k, n.vals[i])
+		}
+		return
+	}
+	for _, c := range n.children {
+		c.forEach(fn)
+	}
+}
+
+// Height returns the number of levels (1 for a lone leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Nodes returns the total number of tree nodes, the structure's storage
+// footprint in nodes.
+func (t *Tree) Nodes() int { return t.root.countNodes() }
+
+// StorageCells returns the number of int64 values retained (leaf values
+// plus interior subtree sums) — the structure's storage cost in cells.
+func (t *Tree) StorageCells() int { return t.root.countValues() }
+
+func (n *node) countValues() int {
+	c := len(n.vals) + len(n.sums)
+	for _, ch := range n.children {
+		c += ch.countValues()
+	}
+	return c
+}
+
+func (n *node) countNodes() int {
+	c := 1
+	for _, ch := range n.children {
+		c += ch.countNodes()
+	}
+	return c
+}
+
+// CheckInvariants validates key ordering, routing keys, and every subtree
+// sum; tests call it after mutation sequences.
+func (t *Tree) CheckInvariants() error {
+	_, _, err := t.root.check(t.fanout, true)
+	return err
+}
+
+func (n *node) check(fanout int, isRoot bool) (minKey int, total int64, err error) {
+	if n.leaf {
+		if len(n.keys) != len(n.vals) {
+			return 0, 0, fmt.Errorf("leaf keys/vals length mismatch: %d vs %d", len(n.keys), len(n.vals))
+		}
+		if len(n.keys) > fanout {
+			return 0, 0, fmt.Errorf("leaf overfull: %d > %d", len(n.keys), fanout)
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				return 0, 0, fmt.Errorf("leaf keys not strictly increasing at %d", i)
+			}
+		}
+		return n.minKey(), n.total(), nil
+	}
+	if len(n.children) != len(n.keys) || len(n.children) != len(n.sums) {
+		return 0, 0, fmt.Errorf("interior arity mismatch: %d children, %d keys, %d sums",
+			len(n.children), len(n.keys), len(n.sums))
+	}
+	if len(n.children) > fanout {
+		return 0, 0, fmt.Errorf("interior overfull: %d > %d", len(n.children), fanout)
+	}
+	if len(n.children) < 2 && !isRoot {
+		return 0, 0, fmt.Errorf("non-root interior with %d children", len(n.children))
+	}
+	for i, c := range n.children {
+		mk, tot, err := c.check(fanout, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(c.keys) > 0 && mk != n.keys[i] {
+			return 0, 0, fmt.Errorf("routing key %d != child min key %d", n.keys[i], mk)
+		}
+		if tot != n.sums[i] {
+			return 0, 0, fmt.Errorf("subtree sum %d != stored STS %d", tot, n.sums[i])
+		}
+		if i > 0 && n.keys[i-1] >= n.keys[i] {
+			return 0, 0, fmt.Errorf("routing keys not increasing at %d", i)
+		}
+	}
+	return n.minKey(), n.total(), nil
+}

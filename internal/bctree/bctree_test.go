@@ -1,0 +1,282 @@
+package bctree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperFigure14 replays the worked example of Section 4.1: a fanout-3
+// B_c tree over the six row sums 14, 9, 10, 12, 8, 13 (keys 1..6, as in
+// the figure). The paper computes the cumulative row sum of cell 5 as
+// 33 + 12 + 8 = 53, then updates cell 3 from 10 to 15 and observes the
+// root STS change from 33 to 38.
+func TestPaperFigure14(t *testing.T) {
+	tr := NewWithFanout(3)
+	rows := map[int]int64{1: 14, 2: 9, 3: 10, 4: 12, 5: 8, 6: 13}
+	for k, v := range rows {
+		tr.Set(k, v)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.PrefixSum(5); got != 53 {
+		t.Fatalf("row sum of cell 5 = %d, want 53 (= 33 + 12 + 8)", got)
+	}
+	if got := tr.PrefixSum(3); got != 33 {
+		t.Fatalf("row sum of cell 3 = %d, want 33", got)
+	}
+	// Update: cell 3 changes from 10 to 15 (difference +5).
+	tr.Set(3, 15)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.PrefixSum(3); got != 38 {
+		t.Fatalf("row sum of cell 3 after update = %d, want 38", got)
+	}
+	if got := tr.PrefixSum(5); got != 58 {
+		t.Fatalf("row sum of cell 5 after update = %d, want 58", got)
+	}
+	if got := tr.Get(3); got != 15 {
+		t.Fatalf("Get(3) = %d, want 15", got)
+	}
+	if got := tr.Total(); got != 71 {
+		t.Fatalf("Total = %d, want 71", got)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.PrefixSum(10) != 0 || tr.Get(5) != 0 || tr.Total() != 0 {
+		t.Fatal("empty tree should read as all zeros")
+	}
+	if tr.Len() != 0 || tr.Height() != 1 || tr.Nodes() != 1 {
+		t.Fatalf("empty tree shape: len=%d height=%d nodes=%d", tr.Len(), tr.Height(), tr.Nodes())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeKeyPrefix(t *testing.T) {
+	tr := New()
+	tr.Set(0, 5)
+	if got := tr.PrefixSum(-1); got != 0 {
+		t.Fatalf("PrefixSum(-1) = %d, want 0", got)
+	}
+}
+
+func TestFanoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for fanout 2")
+		}
+	}()
+	NewWithFanout(2)
+}
+
+func TestSequentialInsertSplits(t *testing.T) {
+	tr := NewWithFanout(3)
+	const n = 200
+	for i := 0; i < n; i++ {
+		tr.Set(i, int64(i+1))
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 4 {
+		t.Fatalf("fanout-3 tree of %d keys has height %d; splits not happening", n, tr.Height())
+	}
+	for i := 0; i < n; i++ {
+		want := int64(i+1) * int64(i+2) / 2
+		if got := tr.PrefixSum(i); got != want {
+			t.Fatalf("PrefixSum(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestReverseAndShuffledInsert(t *testing.T) {
+	orders := map[string]func(i int) int{
+		"reverse":  func(i int) int { return 99 - i },
+		"shuffled": func(i int) int { return (i * 37) % 100 },
+	}
+	for name, order := range orders {
+		t.Run(name, func(t *testing.T) {
+			tr := NewWithFanout(4)
+			for i := 0; i < 100; i++ {
+				k := order(i)
+				tr.Set(k, int64(k)*2)
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("after insert %d: %v", k, err)
+				}
+			}
+			for k := 0; k < 100; k++ {
+				if got := tr.Get(k); got != int64(k)*2 {
+					t.Fatalf("Get(%d) = %d, want %d", k, got, int64(k)*2)
+				}
+				if got, want := tr.PrefixSum(k), int64(k)*int64(k+1); got != want {
+					t.Fatalf("PrefixSum(%d) = %d, want %d", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSparseKeys(t *testing.T) {
+	tr := New()
+	tr.Set(1000000, 7)
+	tr.Set(-50, 3)
+	tr.Set(0, 1)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.PrefixSum(-51); got != 0 {
+		t.Fatalf("PrefixSum(-51) = %d", got)
+	}
+	if got := tr.PrefixSum(-50); got != 3 {
+		t.Fatalf("PrefixSum(-50) = %d", got)
+	}
+	if got := tr.PrefixSum(999999); got != 4 {
+		t.Fatalf("PrefixSum(999999) = %d", got)
+	}
+	if got := tr.PrefixSum(1000000); got != 11 {
+		t.Fatalf("PrefixSum(1000000) = %d", got)
+	}
+	if got := tr.Get(500); got != 0 {
+		t.Fatalf("absent Get = %d", got)
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	vals := []int64{5, 0, 3, 0, 0, 7, 2, 0, 1}
+	tr := FromSlice(vals, 3)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 (zeros skipped)", tr.Len())
+	}
+	var want int64
+	for i, v := range vals {
+		want += v
+		if got := tr.PrefixSum(i); got != want {
+			t.Fatalf("PrefixSum(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFromSliceLarge(t *testing.T) {
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(i%7) - 3
+	}
+	tr := FromSlice(vals, DefaultFanout)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i, v := range vals {
+		want += v
+		if got := tr.PrefixSum(i); got != want {
+			t.Fatalf("PrefixSum(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	tr := New()
+	tr.Add(4, 10)
+	tr.Add(4, -3)
+	if got := tr.Get(4); got != 7 {
+		t.Fatalf("Get(4) = %d, want 7", got)
+	}
+	tr.Add(9, 0) // no-op on absent key must not materialise an entry
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after no-op add, want 1", tr.Len())
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	tr := NewWithFanout(3)
+	for _, k := range []int{9, 1, 5, 3, 7} {
+		tr.Set(k, int64(k))
+	}
+	var keys []int
+	tr.ForEach(func(k int, v int64) {
+		keys = append(keys, k)
+		if v != int64(k) {
+			t.Fatalf("value at %d = %d", k, v)
+		}
+	})
+	want := []int{1, 3, 5, 7, 9}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestLogarithmicNodeVisits(t *testing.T) {
+	tr := FromSlice(make64k(), 16)
+	tr.ResetOps()
+	tr.PrefixSum(40000)
+	// 65536 keys at fanout 16: height <= 5; a prefix query visits one
+	// node per level.
+	if tr.NodeVisits > 6 {
+		t.Fatalf("prefix query visited %d nodes, want <= 6", tr.NodeVisits)
+	}
+	tr.ResetOps()
+	tr.Add(40000, 5)
+	if tr.NodeVisits > 6 {
+		t.Fatalf("update visited %d nodes, want <= 6", tr.NodeVisits)
+	}
+}
+
+func make64k() []int64 {
+	v := make([]int64, 65536)
+	for i := range v {
+		v[i] = int64(i%13) + 1
+	}
+	return v
+}
+
+// TestQuickEquivalence compares the tree against a map-based reference
+// under random interleavings of Set/Add/PrefixSum.
+func TestQuickEquivalence(t *testing.T) {
+	f := func(ops [40]struct {
+		Key   uint8
+		V     int16
+		IsAdd bool
+	}) bool {
+		tr := NewWithFanout(3)
+		ref := map[int]int64{}
+		for _, op := range ops {
+			k := int(op.Key) % 32
+			if op.IsAdd {
+				tr.Add(k, int64(op.V))
+				ref[k] += int64(op.V)
+			} else {
+				tr.Set(k, int64(op.V))
+				ref[k] = int64(op.V)
+			}
+			if tr.CheckInvariants() != nil {
+				return false
+			}
+			var want int64
+			for rk, rv := range ref {
+				if rk <= k {
+					want += rv
+				}
+			}
+			if tr.PrefixSum(k) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

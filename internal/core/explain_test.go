@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+// TestExplainPaperWalk reproduces the Figure 11 decomposition on the
+// full Dynamic Data Cube: the same six components (51, 48, 24, 16, 7, 5)
+// the basic tree reports, now sourced from subtotals, B_c row sums and
+// the leaf.
+func TestExplainPaperWalk(t *testing.T) {
+	tr, err := FromArray(cube.PaperArray(), Config{Tile: 1, Fanout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, parts := tr.ExplainPrefix(grid.Point{5, 6})
+	if sum != 151 {
+		t.Fatalf("sum = %d, want 151", sum)
+	}
+	got := map[int64]int{}
+	for _, c := range parts {
+		got[c.Value]++
+	}
+	for _, want := range []int64{51, 48, 24, 16, 7, 5} {
+		if got[want] == 0 {
+			t.Fatalf("missing component %d in %v", want, parts)
+		}
+	}
+	// The sum of parts must equal the reported total.
+	var partSum int64
+	kinds := map[ContributionKind]bool{}
+	for _, c := range parts {
+		partSum += c.Value
+		kinds[c.Kind] = true
+	}
+	if partSum != sum {
+		t.Fatalf("parts sum to %d, total %d", partSum, sum)
+	}
+	if !kinds[KindSubtotal] || !kinds[KindRowSum] {
+		t.Fatalf("expected subtotal and row-sum contributions, got %v", parts)
+	}
+}
+
+func TestExplainConsistentWithPrefix(t *testing.T) {
+	a := randomArray(t, []int{16, 16}, 19)
+	tr, err := FromArray(a, Config{Tile: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Extent().ForEach(func(p grid.Point) {
+		sum, parts := tr.ExplainPrefix(p)
+		if want := tr.Prefix(p); sum != want {
+			t.Fatalf("Explain(%v) = %d, Prefix = %d", p, sum, want)
+		}
+		var ps int64
+		for _, c := range parts {
+			ps += c.Value
+			if c.Value == 0 {
+				t.Fatalf("zero contribution reported at %v", p)
+			}
+		}
+		if ps != sum {
+			t.Fatalf("parts at %v sum to %d, want %d", p, ps, sum)
+		}
+	})
+}
+
+func TestExplainDelegatedAndEdgeCases(t *testing.T) {
+	tr, err := NewWithConfig([]int{4, 4}, Config{Tile: 1, Fanout: 3, AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum, parts := tr.ExplainPrefix(grid.Point{3, 3}); sum != 0 || parts != nil {
+		t.Fatal("empty tree should explain to nothing")
+	}
+	_ = tr.Set(grid.Point{1, 1}, 5)
+	_ = tr.Set(grid.Point{-3, 9}, 2) // grows; leaves a delegating box
+	sum, parts := tr.ExplainPrefix(grid.Point{7, 9})
+	if sum != 7 {
+		t.Fatalf("grown explain sum = %d, want 7 (cells (1,1)=5 and (-3,9)=2)", sum)
+	}
+	var partSum int64
+	for _, c := range parts {
+		partSum += c.Value
+	}
+	if partSum != sum {
+		t.Fatalf("parts %v sum to %d", parts, partSum)
+	}
+	// A query that cuts partially through the delegating box over the
+	// old data (after dim 0, within dim 1) must take the delegated path.
+	sum, parts = tr.ExplainPrefix(grid.Point{7, 3})
+	if sum != 5 {
+		t.Fatalf("cutting explain sum = %d, want 5", sum)
+	}
+	sawDelegated := false
+	for _, c := range parts {
+		if c.Kind == KindDelegated {
+			sawDelegated = true
+		}
+	}
+	if !sawDelegated {
+		t.Fatalf("expected a delegated contribution, got %v", parts)
+	}
+	if sum, _ := tr.ExplainPrefix(grid.Point{-100, 0}); sum != 0 {
+		t.Fatalf("below-bounds explain = %d", sum)
+	}
+	if sum, _ := tr.ExplainPrefix(grid.Point{0}); sum != 0 {
+		t.Fatalf("wrong-dims explain = %d", sum)
+	}
+}
+
+func TestContributionKindString(t *testing.T) {
+	names := map[ContributionKind]string{
+		KindSubtotal:  "subtotal",
+		KindRowSum:    "row sum",
+		KindDelegated: "delegated",
+		KindLeaf:      "leaf",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("String(%d) = %q", int(k), k.String())
+		}
+	}
+	if ContributionKind(42).String() != "kind(42)" {
+		t.Fatal("unknown kind string")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"ddc/internal/bctree"
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+// makeGroups builds the d row-sum group stores for an overlay box of side
+// k, implementing the recursion of Section 4.2:
+//
+//   - d = 1: a box needs no row-sum values at all — a one-dimensional
+//     target cell is either before, inside (descend) or after (subtotal)
+//     the box, so the group list is empty.
+//   - d = 2: each group is one-dimensional and stored in a B_c tree
+//     (Section 4.1, the base case).
+//   - d > 2: each group is a (d-1)-dimensional Dynamic Data Cube.
+func (t *Tree) makeGroups(k int) []group {
+	switch {
+	case t.d == 1:
+		return nil
+	case t.d == 2:
+		return []group{
+			&bcGroup{tr: bctree.NewWithFanout(t.cfg.Fanout), ops: t.ops},
+			&bcGroup{tr: bctree.NewWithFanout(t.cfg.Fanout), ops: t.ops},
+		}
+	default:
+		gs := make([]group, t.d)
+		dims := make([]int, t.d-1)
+		for i := range dims {
+			dims[i] = k
+		}
+		for j := 0; j < t.d; j++ {
+			gs[j] = &ddcGroup{tr: newNested(dims, t.cfg, t.ops)}
+		}
+		return gs
+	}
+}
+
+// bcGroup stores a one-dimensional set of row sums in a B_c tree.
+type bcGroup struct {
+	tr  *bctree.Tree
+	ops *cube.OpCounter
+}
+
+func (g *bcGroup) prefix(l []int) int64 {
+	before := g.tr.NodeVisits
+	v := g.tr.PrefixSum(l[0])
+	g.ops.QueryCells += g.tr.NodeVisits - before
+	return v
+}
+
+func (g *bcGroup) add(l []int, delta int64) {
+	before := g.tr.NodeVisits
+	g.tr.Add(l[0], delta)
+	g.ops.UpdateCells += g.tr.NodeVisits - before
+}
+
+func (g *bcGroup) storageCells() int { return g.tr.StorageCells() }
+
+// ddcGroup stores a (d-1)-dimensional set of row sums in a nested
+// Dynamic Data Cube that shares the parent's operation counter.
+type ddcGroup struct {
+	tr *Tree
+}
+
+func (g *ddcGroup) prefix(l []int) int64 { return g.tr.Prefix(grid.Point(l)) }
+
+func (g *ddcGroup) add(l []int, delta int64) {
+	// Row-sum coordinates are generated internally and always in range.
+	if err := g.tr.Add(grid.Point(l), delta); err != nil {
+		panic(err)
+	}
+}
+
+func (g *ddcGroup) storageCells() int { return g.tr.StorageCells() }

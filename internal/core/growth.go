@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"ddc/internal/grid"
+)
+
+// Grow doubles the logical domain, expanding it toward negative
+// coordinates in every dimension i with before[i] true and toward
+// positive coordinates otherwise — Section 5's growth in any direction.
+//
+// Growth is O(1): the new root's overlay box over the old data is created
+// in delegating mode (its subtotal is the old total; its row-sum values
+// are answered by prefix queries on the old subtree until Materialize is
+// called). All other boxes of the new root are empty.
+func (t *Tree) Grow(before []bool) error {
+	if len(before) != t.d {
+		return fmt.Errorf("%w: before has %d dims, cube has %d", grid.ErrDims, len(before), t.d)
+	}
+	if t.n*2 > maxSide {
+		return fmt.Errorf("%w: side %d would exceed %d", ErrTooLarge, t.n*2, maxSide)
+	}
+	ci := 0
+	for i, bf := range before {
+		if bf {
+			// Old data occupies the high half of a "grow before" dim.
+			ci |= 1 << uint(i)
+			t.origin[i] -= t.n
+		}
+	}
+	if t.root != nil {
+		newRoot := &node{
+			boxes:    make([]*box, 1<<uint(t.d)),
+			children: make([]*node, 1<<uint(t.d)),
+		}
+		newRoot.boxes[ci] = &box{sub: t.Total(), delegate: true}
+		newRoot.children[ci] = t.root
+		t.root = newRoot
+	}
+	t.n *= 2
+	t.grown = true
+	return nil
+}
+
+// GrowToInclude grows the cube (doubling as needed, in whichever
+// directions p lies) until the logical point p is inside the bounds.
+func (t *Tree) GrowToInclude(p grid.Point) error {
+	if len(p) != t.d {
+		return fmt.Errorf("%w: point has %d dims, cube has %d", grid.ErrDims, len(p), t.d)
+	}
+	for {
+		lo, hi := t.Bounds()
+		fits := true
+		before := make([]bool, t.d)
+		for i, v := range p {
+			if v < lo[i] {
+				fits = false
+				before[i] = true
+			} else if v >= hi[i] {
+				fits = false
+			}
+		}
+		if fits {
+			return nil
+		}
+		if err := t.Grow(before); err != nil {
+			return err
+		}
+	}
+}
+
+// Materialize rebuilds the row-sum groups of every delegating box (left
+// behind by Grow) from its child subtree, restoring full O(log^d n)
+// query cost for ranges that cut through grown regions. Cost is
+// proportional to the number of nonzero cells below delegating boxes.
+func (t *Tree) Materialize() {
+	t.materializeRec(t.root, make(grid.Point, t.d), t.n)
+}
+
+func (t *Tree) materializeRec(nd *node, anchor grid.Point, ext int) {
+	if nd == nil || ext == t.cfg.Tile {
+		return
+	}
+	k := ext / 2
+	for ci, b := range nd.boxes {
+		boxAnchor := anchor.Clone()
+		for i := 0; i < t.d; i++ {
+			if ci&(1<<uint(i)) != 0 {
+				boxAnchor[i] += k
+			}
+		}
+		if b != nil && b.delegate {
+			b.groups = t.makeGroups(k)
+			b.delegate = false
+			o := make(grid.Point, t.d)
+			t.forEachNonZeroRec(nd.children[ci], boxAnchor, k, func(p grid.Point, v int64) {
+				for i := 0; i < t.d; i++ {
+					o[i] = p[i] - boxAnchor[i]
+				}
+				for j := range b.groups {
+					b.groups[j].add(dropDim(o, j), v)
+				}
+			})
+		}
+		t.materializeRec(nd.children[ci], boxAnchor, k)
+	}
+}
+
+// HasDelegates reports whether any box is still in delegating mode;
+// tests and the experiment harness use it.
+func (t *Tree) HasDelegates() bool {
+	return hasDelegatesRec(t.root)
+}
+
+func hasDelegatesRec(nd *node) bool {
+	if nd == nil {
+		return false
+	}
+	for _, b := range nd.boxes {
+		if b != nil && b.delegate {
+			return true
+		}
+	}
+	for _, c := range nd.children {
+		if hasDelegatesRec(c) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"ddc/internal/grid"
+)
+
+// CheckInvariants walks the whole structure and cross-validates every
+// derived value against the raw leaf data:
+//
+//   - each overlay box's subtotal equals the sum of the raw cells it
+//     covers;
+//   - each non-delegating box's row-sum groups answer, for every local
+//     coordinate, exactly the cumulative row sums Section 3.1 defines;
+//   - padding outside the declared bounds holds no data.
+//
+// It is O(cells * groups) and intended for tests, not production paths.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	_, err := t.checkNode(t.root, make(grid.Point, t.d), t.n)
+	return err
+}
+
+// checkNode validates the subtree and returns the raw sum of its region.
+func (t *Tree) checkNode(nd *node, anchor grid.Point, ext int) (int64, error) {
+	if nd == nil {
+		return 0, nil
+	}
+	if ext == t.cfg.Tile {
+		var s int64
+		for _, v := range nd.leaf {
+			s += v
+		}
+		return s, nil
+	}
+	k := ext / 2
+	var total int64
+	for ci := 0; ci < 1<<uint(t.d); ci++ {
+		boxAnchor := anchor.Clone()
+		for i := 0; i < t.d; i++ {
+			if ci&(1<<uint(i)) != 0 {
+				boxAnchor[i] += k
+			}
+		}
+		var child *node
+		if nd.children != nil {
+			child = nd.children[ci]
+		}
+		childSum, err := t.checkNode(child, boxAnchor, k)
+		if err != nil {
+			return 0, err
+		}
+		total += childSum
+		var b *box
+		if nd.boxes != nil {
+			b = nd.boxes[ci]
+		}
+		if b == nil {
+			if childSum != 0 {
+				return 0, fmt.Errorf("box at %v (k=%d) missing but child holds %d", boxAnchor, k, childSum)
+			}
+			continue
+		}
+		if b.sub != childSum {
+			return 0, fmt.Errorf("box at %v (k=%d): subtotal %d != raw sum %d", boxAnchor, k, b.sub, childSum)
+		}
+		if b.delegate {
+			continue // groups are answered through the child; nothing stored
+		}
+		if err := t.checkGroups(nd, ci, b, boxAnchor, k); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// checkGroups verifies every face value the box can be asked for.
+func (t *Tree) checkGroups(nd *node, ci int, b *box, boxAnchor grid.Point, k int) error {
+	if t.d == 1 {
+		if len(b.groups) != 0 {
+			return fmt.Errorf("1-d box at %v has %d groups", boxAnchor, len(b.groups))
+		}
+		return nil
+	}
+	if len(b.groups) != t.d {
+		return fmt.Errorf("box at %v has %d groups, want %d", boxAnchor, len(b.groups), t.d)
+	}
+	// Collect the raw cells below the child once.
+	raw := map[string]int64{}
+	t.forEachNonZeroRec(nd.children[ci], boxAnchor, k, func(p grid.Point, v int64) {
+		raw[p.String()] = v
+	})
+	// For each dimension j and each local face coordinate, compare the
+	// group's prefix answer to a direct sum over raw cells.
+	for j := 0; j < t.d; j++ {
+		l := make([]int, t.d-1)
+		for {
+			want := t.rawFaceValue(raw, boxAnchor, k, j, l)
+			got := b.groups[j].prefix(l)
+			if got != want {
+				return fmt.Errorf("box at %v k=%d: group %d prefix(%v) = %d, want %d",
+					boxAnchor, k, j, l, got, want)
+			}
+			// Advance the mixed-radix counter over [0,k)^{d-1}.
+			i := len(l) - 1
+			for ; i >= 0; i-- {
+				l[i]++
+				if l[i] < k {
+					break
+				}
+				l[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// rawFaceValue computes SUM(A[boxAnchor] : A[boxAnchor+m]) with
+// m_j = k-1 and the other components given by l, directly from the raw
+// cell map.
+func (t *Tree) rawFaceValue(raw map[string]int64, boxAnchor grid.Point, k, j int, l []int) int64 {
+	hi := make(grid.Point, t.d)
+	li := 0
+	for i := 0; i < t.d; i++ {
+		if i == j {
+			hi[i] = boxAnchor[i] + k - 1
+		} else {
+			hi[i] = boxAnchor[i] + l[li]
+			li++
+		}
+	}
+	var s int64
+	var sum func(dim int, p grid.Point)
+	p := boxAnchor.Clone()
+	sum = func(dim int, p grid.Point) {
+		if dim == t.d {
+			if v, ok := raw[p.String()]; ok {
+				s += v
+			}
+			return
+		}
+		for x := boxAnchor[dim]; x <= hi[dim]; x++ {
+			p[dim] = x
+			sum(dim+1, p)
+		}
+	}
+	sum(0, p)
+	return s
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ddc/internal/grid"
+	"ddc/internal/workload"
+)
+
+func TestInvariantsEmptyAndBasic(t *testing.T) {
+	tr, err := NewWithConfig([]int{8, 8}, Config{Tile: 1, Fanout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("empty tree: %v", err)
+	}
+	if err := tr.Set(grid.Point{3, 5}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("after one set: %v", err)
+	}
+}
+
+func TestInvariantsAfterRandomOps(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		n := []int{64, 16, 8}[d-1]
+		tr, err := NewWithConfig(dimsOf(d, n), Config{Tile: 2, Fanout: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := workload.NewRNG(uint64(d))
+		for i := 0; i < 80; i++ {
+			p := make(grid.Point, d)
+			for j := range p {
+				p[j] = r.Intn(n)
+			}
+			if i%2 == 0 {
+				if err := tr.Add(p, r.Int63n(40)-20); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := tr.Set(p, r.Int63n(40)-20); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestInvariantsAfterGrowthAndMaterialize(t *testing.T) {
+	tr, err := NewWithConfig([]int{8, 8}, Config{Tile: 1, Fanout: 3, AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workload.NewRNG(4)
+	for _, u := range workload.Expanding(r, 2, 60, 0.7, 20) {
+		if err := tr.Add(u.Point, u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delegating boxes must pass (their groups are skipped but subtotals
+	// checked).
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("grown: %v", err)
+	}
+	tr.Materialize()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("materialized: %v", err)
+	}
+	// More updates after materialisation must keep everything in sync.
+	for _, u := range workload.Expanding(r, 2, 30, 0.3, 20) {
+		if err := tr.Add(u.Point, u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("post-materialize updates: %v", err)
+	}
+}
+
+func TestInvariantsBulkBuild(t *testing.T) {
+	a := randomArray(t, []int{8, 8, 4}, 77)
+	tr, err := BuildFromArray(a, Config{Tile: 2, Fanout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsDetectCorruption(t *testing.T) {
+	tr, err := NewWithConfig([]int{8, 8}, Config{Tile: 1, Fanout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Set(grid.Point{2, 2}, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a root box subtotal directly.
+	for _, b := range tr.root.boxes {
+		if b != nil {
+			b.sub += 3
+			break
+		}
+	}
+	err = tr.CheckInvariants()
+	if err == nil {
+		t.Fatal("corruption not detected")
+	}
+	if !strings.Contains(err.Error(), "subtotal") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func dimsOf(d, n int) []int {
+	out := make([]int, d)
+	for i := range out {
+		out[i] = n
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"ddc/internal/grid"
+)
+
+// Prefix returns the sum of all cells dominated by the logical point p
+// in O(log^d n) (Theorem 2). Coordinates beyond the current bounds are
+// clamped; a coordinate below the lower bound makes the region empty and
+// the result 0.
+func (t *Tree) Prefix(p grid.Point) int64 {
+	if len(p) != t.d || t.root == nil {
+		return 0
+	}
+	q := t.qbuf
+	for i, v := range p {
+		v -= t.origin[i]
+		if v < 0 {
+			return 0
+		}
+		if v >= t.n {
+			v = t.n - 1
+		}
+		q[i] = v
+	}
+	return t.prefixRec(t.root, t.zero, t.n, q, 0)
+}
+
+// prefixRec returns SUM over the region [anchor : min(q, anchor+ext-1)]
+// of the subtree rooted at nd. The caller guarantees q_i >= anchor_i for
+// every dimension (internal coordinates). anchor and q are read-only;
+// per-level buffers come from the depth-indexed scratch, so exactly one
+// invocation per depth may be live — which holds because the recursion
+// descends one child (or one delegating box) at a time.
+func (t *Tree) prefixRec(nd *node, anchor grid.Point, ext int, q grid.Point, depth int) int64 {
+	if nd == nil {
+		return 0
+	}
+	t.ops.NodeVisits++
+	if ext == t.cfg.Tile {
+		return t.leafPrefix(nd, anchor, q, depth)
+	}
+	if nd.boxes == nil {
+		return 0
+	}
+	fr := t.scr.frame(depth, t.d)
+	boxAnchor, l := fr.boxAnchor, fr.l
+	k := ext / 2
+	var sum int64
+	for ci := 0; ci < 1<<uint(t.d); ci++ {
+		before := false
+		afterAll := true
+		faceDim := -1
+		for i := 0; i < t.d; i++ {
+			boxAnchor[i] = anchor[i]
+			if ci&(1<<uint(i)) != 0 {
+				boxAnchor[i] += k
+			}
+			rel := q[i] - boxAnchor[i]
+			switch {
+			case rel < 0:
+				before = true
+			case rel >= k:
+				l[i] = k - 1
+				faceDim = i
+			default:
+				l[i] = rel
+				afterAll = false
+			}
+			if before {
+				break
+			}
+		}
+		if before {
+			continue // box precedes the target region: contributes 0
+		}
+		b := nd.boxes[ci]
+		switch {
+		case afterAll:
+			// Target region includes the whole box: the subtotal cell.
+			if b != nil {
+				sum += b.sub
+				t.ops.QueryCells++
+			}
+		case faceDim >= 0:
+			// Partial intersection: one row sum value (Section 3.1).
+			if b == nil {
+				break
+			}
+			if b.delegate {
+				// Growth left this box without materialised groups:
+				// answer through the child subtree (Section 5).
+				qq := fr.qq
+				for i := 0; i < t.d; i++ {
+					qq[i] = boxAnchor[i] + l[i]
+				}
+				sum += t.prefixRec(nd.children[ci], boxAnchor, k, qq, depth+1)
+				break
+			}
+			sum += b.groups[faceDim].prefix(dropDimInto(fr.drop, l, faceDim))
+		default:
+			// The box covers the target cell: descend (Theorem 1 —
+			// exactly one child per level).
+			sum += t.prefixRec(nd.children[ci], boxAnchor, k, q, depth+1)
+		}
+	}
+	return sum
+}
+
+// leafPrefix sums the raw cells of a leaf tile inside the target region.
+func (t *Tree) leafPrefix(nd *node, anchor, q grid.Point, depth int) int64 {
+	if nd.leaf == nil {
+		return 0
+	}
+	fr := t.scr.frame(depth, t.d)
+	tile := t.cfg.Tile
+	hi := fr.hi
+	for i := 0; i < t.d; i++ {
+		hi[i] = q[i] - anchor[i]
+		if hi[i] >= tile {
+			hi[i] = tile - 1
+		}
+	}
+	var sum int64
+	idx := fr.idx
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		off := 0
+		for i := 0; i < t.d; i++ {
+			off = off*tile + idx[i]
+		}
+		sum += nd.leaf[off]
+		t.ops.QueryCells++
+		i := t.d - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] <= hi[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return sum
+		}
+	}
+}
+
+// dropDim returns l with dimension j removed — the (d-1)-dimensional
+// index into a row-sum group (allocating variant; hot paths use
+// dropDimInto).
+func dropDim(l grid.Point, j int) []int {
+	return dropDimInto(make([]int, 0, len(l)-1), l, j)
+}
+
+// RangeSum returns the sum over the inclusive logical box [lo, hi] via
+// the corner reduction of Figure 4 (at most 2^d prefix queries).
+func (t *Tree) RangeSum(lo, hi grid.Point) (int64, error) {
+	if err := t.checkRange(lo, hi); err != nil {
+		return 0, err
+	}
+	return grid.RangeSum(t, lo, hi), nil
+}
+
+// checkRange validates an inclusive logical query box.
+func (t *Tree) checkRange(lo, hi grid.Point) error {
+	if err := t.checkPoint(lo); err != nil {
+		return err
+	}
+	if err := t.checkPoint(hi); err != nil {
+		return err
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return grid.ErrEmptyRange
+		}
+	}
+	return nil
+}
+
+// Get returns the raw value of cell p (0 outside the current bounds) by
+// descending to its leaf tile in O(log n).
+func (t *Tree) Get(p grid.Point) int64 {
+	if len(p) != t.d || t.root == nil {
+		return 0
+	}
+	q := make(grid.Point, t.d)
+	for i, v := range p {
+		v -= t.origin[i]
+		if v < 0 || v >= t.n {
+			return 0
+		}
+		q[i] = v
+	}
+	nd := t.root
+	anchor := make(grid.Point, t.d)
+	ext := t.n
+	for ext > t.cfg.Tile {
+		if nd == nil || nd.children == nil {
+			return 0
+		}
+		k := ext / 2
+		ci := 0
+		for i := 0; i < t.d; i++ {
+			if q[i]-anchor[i] >= k {
+				ci |= 1 << uint(i)
+				anchor[i] += k
+			}
+		}
+		nd = nd.children[ci]
+		ext = k
+	}
+	if nd == nil || nd.leaf == nil {
+		return 0
+	}
+	off := 0
+	for i := 0; i < t.d; i++ {
+		off = off*t.cfg.Tile + (q[i] - anchor[i])
+	}
+	return nd.leaf[off]
+}

@@ -1,0 +1,53 @@
+package core
+
+import "ddc/internal/grid"
+
+// scratch provides per-depth reusable buffers for the query and update
+// hot paths, eliminating the per-level allocations that otherwise
+// dominate their cost. Buffers are indexed by recursion depth, so the
+// single-descending-path recursions (prefixRec, addRec) never alias a
+// level's buffers with its parent's. Trees are not safe for concurrent
+// use (documented on the public API), so a single scratch per tree is
+// sound; nested group trees have their own.
+type scratch struct {
+	frames []scratchFrame
+}
+
+type scratchFrame struct {
+	boxAnchor grid.Point
+	l         grid.Point
+	qq        grid.Point
+	o         grid.Point
+	drop      []int
+	idx       []int
+	hi        []int
+}
+
+// frame returns the buffers for one recursion depth, growing the stack
+// as needed.
+func (s *scratch) frame(depth, d int) *scratchFrame {
+	for len(s.frames) <= depth {
+		s.frames = append(s.frames, scratchFrame{
+			boxAnchor: make(grid.Point, d),
+			l:         make(grid.Point, d),
+			qq:        make(grid.Point, d),
+			o:         make(grid.Point, d),
+			drop:      make([]int, d-1+1), // d-1, +1 so d=1 stays non-nil
+			idx:       make([]int, d),
+			hi:        make([]int, d),
+		})
+	}
+	return &s.frames[depth]
+}
+
+// dropDimInto writes l without dimension j into dst[:d-1] and returns
+// the slice — the allocation-free variant of dropDim.
+func dropDimInto(dst []int, l grid.Point, j int) []int {
+	out := dst[:0]
+	for i, v := range l {
+		if i != j {
+			out = append(out, v)
+		}
+	}
+	return out
+}

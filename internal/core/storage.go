@@ -1,0 +1,248 @@
+package core
+
+import (
+	"ddc/internal/grid"
+)
+
+// StorageCells returns the number of int64 values the structure retains
+// (subtotals, row-sum group storage, and leaf tiles). Because everything
+// is allocated lazily, this is proportional to the data for sparse and
+// clustered cubes — the property Section 5 argues for.
+func (t *Tree) StorageCells() int {
+	return storageRec(t.root)
+}
+
+func storageRec(nd *node) int {
+	if nd == nil {
+		return 0
+	}
+	c := len(nd.leaf)
+	for _, b := range nd.boxes {
+		if b == nil {
+			continue
+		}
+		c++ // the subtotal cell
+		for _, g := range b.groups {
+			c += g.storageCells()
+		}
+	}
+	for _, ch := range nd.children {
+		c += storageRec(ch)
+	}
+	return c
+}
+
+// ForEachNonZero calls fn for every cell with a nonzero value, passing
+// logical coordinates. The point passed to fn is reused between calls.
+func (t *Tree) ForEachNonZero(fn func(p grid.Point, v int64)) {
+	logical := make(grid.Point, t.d)
+	t.forEachNonZeroRec(t.root, make(grid.Point, t.d), t.n, func(q grid.Point, v int64) {
+		for i := 0; i < t.d; i++ {
+			logical[i] = q[i] + t.origin[i]
+		}
+		fn(logical, v)
+	})
+}
+
+// forEachNonZeroRec walks leaf tiles below nd, reporting internal
+// coordinates.
+func (t *Tree) forEachNonZeroRec(nd *node, anchor grid.Point, ext int, fn func(p grid.Point, v int64)) {
+	if nd == nil {
+		return
+	}
+	if ext == t.cfg.Tile {
+		if nd.leaf == nil {
+			return
+		}
+		p := make(grid.Point, t.d)
+		idx := make([]int, t.d)
+		for off := 0; ; {
+			if v := nd.leaf[off]; v != 0 {
+				for i := 0; i < t.d; i++ {
+					p[i] = anchor[i] + idx[i]
+				}
+				fn(p, v)
+			}
+			i := t.d - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < t.cfg.Tile {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				return
+			}
+			off = 0
+			for j := 0; j < t.d; j++ {
+				off = off*t.cfg.Tile + idx[j]
+			}
+		}
+	}
+	k := ext / 2
+	for ci, ch := range nd.children {
+		if ch == nil {
+			continue
+		}
+		childAnchor := anchor.Clone()
+		for i := 0; i < t.d; i++ {
+			if ci&(1<<uint(i)) != 0 {
+				childAnchor[i] += k
+			}
+		}
+		t.forEachNonZeroRec(ch, childAnchor, k, fn)
+	}
+}
+
+// NonZeroCells returns the number of nonzero cells.
+func (t *Tree) NonZeroCells() int {
+	n := 0
+	t.ForEachNonZero(func(grid.Point, int64) { n++ })
+	return n
+}
+
+// Stats summarises the allocated structure, for observability.
+type Stats struct {
+	Height       int // tree levels from root to leaf tiles
+	Nodes        int // allocated primary-tree nodes
+	LeafTiles    int // allocated leaf tiles
+	Boxes        int // allocated overlay boxes
+	Delegates    int // boxes still in delegating (grown) mode
+	StorageCells int // total int64 values retained, incl. group stores
+}
+
+// TreeStats walks the structure and returns its Stats.
+func (t *Tree) TreeStats() Stats {
+	s := Stats{StorageCells: t.StorageCells()}
+	for n := t.n; n > t.cfg.Tile; n /= 2 {
+		s.Height++
+	}
+	s.Height++ // the leaf-tile level
+	statsRec(t.root, &s)
+	return s
+}
+
+func statsRec(nd *node, s *Stats) {
+	if nd == nil {
+		return
+	}
+	s.Nodes++
+	if nd.leaf != nil {
+		s.LeafTiles++
+	}
+	for _, b := range nd.boxes {
+		if b == nil {
+			continue
+		}
+		s.Boxes++
+		if b.delegate {
+			s.Delegates++
+		}
+	}
+	for _, ch := range nd.children {
+		statsRec(ch, s)
+	}
+}
+
+// Compact rebuilds the tree from its nonzero cells, releasing storage
+// retained for cells that have returned to zero (leaf tiles, B_c
+// entries, group nodes). Long-running cubes with churn (values set and
+// later zeroed) call this at quiet moments; bounds and configuration
+// are preserved and every query answers identically afterwards.
+func (t *Tree) Compact() {
+	old := t.root
+	oldN := t.n
+	t.root = nil
+	// Re-add every nonzero cell into a fresh tree with the same bounds.
+	q := make(grid.Point, t.d)
+	t.forEachNonZeroRec(old, make(grid.Point, t.d), oldN, func(p grid.Point, v int64) {
+		copy(q, p)
+		if t.root == nil {
+			t.root = &node{}
+		}
+		t.addRec(t.root, t.zero, t.n, q, v, 0)
+	})
+}
+
+// ForEachNonZeroInRange calls fn for every nonzero cell inside the
+// inclusive logical box [lo, hi]. Subtrees disjoint from the box are
+// pruned, so the cost is proportional to the allocated tree inside the
+// box, not the whole cube. The point passed to fn is reused.
+func (t *Tree) ForEachNonZeroInRange(lo, hi grid.Point, fn func(p grid.Point, v int64)) error {
+	if err := t.checkRange(lo, hi); err != nil {
+		return err
+	}
+	ilo := t.internalize(lo)
+	ihi := t.internalize(hi)
+	logical := make(grid.Point, t.d)
+	t.forEachInRangeRec(t.root, make(grid.Point, t.d), t.n, ilo, ihi, func(q grid.Point, v int64) {
+		for i := 0; i < t.d; i++ {
+			logical[i] = q[i] + t.origin[i]
+		}
+		fn(logical, v)
+	})
+	return nil
+}
+
+func (t *Tree) forEachInRangeRec(nd *node, anchor grid.Point, ext int, lo, hi grid.Point, fn func(p grid.Point, v int64)) {
+	if nd == nil {
+		return
+	}
+	// Prune regions disjoint from the box.
+	for i := 0; i < t.d; i++ {
+		if anchor[i] > hi[i] || anchor[i]+ext-1 < lo[i] {
+			return
+		}
+	}
+	if ext == t.cfg.Tile {
+		if nd.leaf == nil {
+			return
+		}
+		p := make(grid.Point, t.d)
+		idx := make([]int, t.d)
+		for off := 0; ; {
+			if v := nd.leaf[off]; v != 0 {
+				in := true
+				for i := 0; i < t.d; i++ {
+					p[i] = anchor[i] + idx[i]
+					if p[i] < lo[i] || p[i] > hi[i] {
+						in = false
+						break
+					}
+				}
+				if in {
+					fn(p, v)
+				}
+			}
+			i := t.d - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < t.cfg.Tile {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				return
+			}
+			off = 0
+			for j := 0; j < t.d; j++ {
+				off = off*t.cfg.Tile + idx[j]
+			}
+		}
+	}
+	k := ext / 2
+	for ci, ch := range nd.children {
+		if ch == nil {
+			continue
+		}
+		childAnchor := anchor.Clone()
+		for i := 0; i < t.d; i++ {
+			if ci&(1<<uint(i)) != 0 {
+				childAnchor[i] += k
+			}
+		}
+		t.forEachInRangeRec(ch, childAnchor, k, lo, hi, fn)
+	}
+}

@@ -1,0 +1,272 @@
+// Package core implements the Dynamic Data Cube of Section 4 of the
+// paper: a 2^d-ary overlay tree in which each overlay box's d groups of
+// row-sum values are stored recursively — in a (d-1)-dimensional Dynamic
+// Data Cube for d > 2 and in a B_c tree (internal/bctree) for the
+// two-dimensional base case — giving O(log^d n) cost for both prefix
+// queries and point updates (Theorems 1 and 2).
+//
+// Beyond the core structure the package implements the paper's
+// engineering extensions:
+//
+//   - Section 4.4's level elision: the recursion stops at dense leaf
+//     tiles of configurable power-of-two side, trading a bounded number
+//     of leaf adds per query for the storage of the densest tree levels.
+//   - Section 5's sparsity: children, boxes, group structures and B_c
+//     nodes are allocated lazily on first nonzero update, so clustered
+//     data costs memory proportional to the data, not the domain.
+//   - Section 5's dynamic growth: the cube grows in any direction (any
+//     corner) by adding root levels; logical coordinates may become
+//     negative. Growth is O(1) because the grown root's box over the old
+//     data starts in delegating mode (face values are answered by prefix
+//     queries on the old subtree) and can later be materialised.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ddc/internal/bctree"
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultTile   = 4
+	DefaultFanout = bctree.DefaultFanout
+)
+
+// maxSide caps the padded domain side so runaway growth is an error
+// rather than an overflow.
+const maxSide = 1 << 40
+
+// ErrTooLarge is returned when growth would exceed the supported domain.
+var ErrTooLarge = errors.New("core: domain too large")
+
+// Config tunes a Dynamic Data Cube. The zero value selects the defaults.
+type Config struct {
+	// Tile is the leaf tile side (power of two). Tile = 1 is the paper's
+	// full tree; larger tiles elide the h = log2(Tile) densest levels
+	// (Section 4.4).
+	Tile int
+	// Fanout is the B_c tree fanout used by two-dimensional groups.
+	Fanout int
+	// AutoGrow makes Add/Set on out-of-bounds coordinates grow the cube
+	// to include them (Section 5) instead of returning an error.
+	AutoGrow bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Tile == 0 {
+		c.Tile = DefaultTile
+	}
+	if c.Fanout == 0 {
+		c.Fanout = DefaultFanout
+	}
+	if c.Tile < 1 || c.Tile&(c.Tile-1) != 0 {
+		return c, fmt.Errorf("%w: tile %d must be a power of two", grid.ErrBadExtent, c.Tile)
+	}
+	if c.Fanout < bctree.MinFanout {
+		return c, fmt.Errorf("%w: fanout %d below minimum %d", grid.ErrBadExtent, c.Fanout, bctree.MinFanout)
+	}
+	return c, nil
+}
+
+// Tree is a Dynamic Data Cube over a d-dimensional logical domain.
+//
+// Logical coordinates start at the origin chosen at construction (0 in
+// every dimension) but may extend below it after growth in a "before"
+// direction; all methods accept logical coordinates.
+type Tree struct {
+	d      int
+	cfg    Config
+	dims   []int      // declared dimension sizes (bounds in fixed mode)
+	origin grid.Point // logical coordinate of internal cell (0,...,0)
+	n      int        // padded side (power of two), common to all dims
+	grown  bool       // true once Grow has been called
+	root   *node
+
+	// ops accumulates operation counts; nested group trees share it.
+	ops *cube.OpCounter
+
+	// Hot-path scratch (trees are not safe for concurrent use, so one
+	// set per tree is sound; nested group trees carry their own).
+	scr  scratch
+	zero grid.Point // all-zero root anchor, never written
+	qbuf grid.Point // clamped query point buffer (Prefix)
+	pbuf grid.Point // internalized update point buffer (Add/Set)
+}
+
+// node is one tree node; a nil node (or child) is an all-zero region.
+type node struct {
+	boxes    []*box  // 2^d overlay boxes, lazily allocated
+	children []*node // 2^d children, lazily allocated
+	leaf     []int64 // leaf tile payload (tile^d raw values), leaves only
+}
+
+// box holds one overlay box's values: the subtotal scalar and the d
+// row-sum groups. A delegating box (Section 5 growth) has groups == nil
+// and answers face values through its child subtree.
+type box struct {
+	sub      int64
+	groups   []group
+	delegate bool
+}
+
+// group stores one (d-1)-dimensional set of row sums G_j and answers its
+// prefix sums — the recursive storage of Section 4.2.
+type group interface {
+	prefix(l []int) int64
+	add(l []int, delta int64)
+	storageCells() int
+}
+
+// New returns an empty Dynamic Data Cube with a fixed logical domain
+// [0, dims[i]) per dimension and the default configuration.
+func New(dims []int) (*Tree, error) { return NewWithConfig(dims, Config{}) }
+
+// NewWithConfig returns an empty Dynamic Data Cube with the given
+// configuration.
+func NewWithConfig(dims []int, cfg Config) (*Tree, error) {
+	if _, err := grid.NewExtent(dims); err != nil {
+		return nil, err
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Tile
+	for _, sz := range dims {
+		if p := grid.NextPow2(sz); p > n {
+			n = p
+		}
+	}
+	ops := &cube.OpCounter{}
+	return &Tree{
+		d:      len(dims),
+		cfg:    cfg,
+		dims:   append([]int(nil), dims...),
+		origin: make(grid.Point, len(dims)),
+		n:      n,
+		ops:    ops,
+		zero:   make(grid.Point, len(dims)),
+		qbuf:   make(grid.Point, len(dims)),
+		pbuf:   make(grid.Point, len(dims)),
+	}, nil
+}
+
+// newNested returns a tree used as a (d-1)-dimensional group store,
+// sharing the parent's operation counter.
+func newNested(dims []int, cfg Config, ops *cube.OpCounter) *Tree {
+	t, err := NewWithConfig(dims, cfg)
+	if err != nil {
+		panic(err) // dims are internally generated powers of two
+	}
+	t.ops = ops
+	return t
+}
+
+// FromArray builds a cube holding the contents of a by replaying its
+// nonzero cells.
+func FromArray(a *cube.Array, cfg Config) (*Tree, error) {
+	t, err := NewWithConfig(a.Dims(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	var addErr error
+	a.ForEachNonZero(func(p grid.Point, v int64) {
+		if addErr == nil {
+			addErr = t.Add(p, v)
+		}
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	return t, nil
+}
+
+// D returns the dimensionality.
+func (t *Tree) D() int { return t.d }
+
+// Dims returns a copy of the declared dimension sizes.
+func (t *Tree) Dims() []int { return append([]int(nil), t.dims...) }
+
+// Bounds returns the current logical domain as an inclusive low corner
+// and exclusive high corner. Before any growth this is [0, dims[i]);
+// after growth it is the full grown region.
+func (t *Tree) Bounds() (lo, hi grid.Point) {
+	lo = t.origin.Clone()
+	hi = make(grid.Point, t.d)
+	for i := 0; i < t.d; i++ {
+		if t.grown {
+			hi[i] = t.origin[i] + t.n
+		} else {
+			hi[i] = t.dims[i]
+		}
+	}
+	return lo, hi
+}
+
+// PaddedSide returns the internal power-of-two domain side.
+func (t *Tree) PaddedSide() int { return t.n }
+
+// Origin returns the logical coordinate of the internal low corner;
+// negative after growth in a "before" direction.
+func (t *Tree) Origin() grid.Point { return t.origin.Clone() }
+
+// Grown reports whether the cube has grown beyond its declared domain.
+func (t *Tree) Grown() bool { return t.grown }
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Ops returns the accumulated operation counts (shared with all nested
+// group structures).
+func (t *Tree) Ops() cube.OpCounter { return *t.ops }
+
+// ResetOps zeroes the operation counters.
+func (t *Tree) ResetOps() { t.ops.Reset() }
+
+// checkPoint validates p against the current logical bounds.
+func (t *Tree) checkPoint(p grid.Point) error {
+	if len(p) != t.d {
+		return fmt.Errorf("%w: point has %d dims, cube has %d", grid.ErrDims, len(p), t.d)
+	}
+	lo, hi := t.Bounds()
+	for i, v := range p {
+		if v < lo[i] || v >= hi[i] {
+			return fmt.Errorf("%w: coordinate %d = %d not in [%d, %d)", grid.ErrRange, i, v, lo[i], hi[i])
+		}
+	}
+	return nil
+}
+
+// internalize converts logical coordinates to internal ones.
+func (t *Tree) internalize(p grid.Point) grid.Point {
+	q := make(grid.Point, t.d)
+	for i := range q {
+		q[i] = p[i] - t.origin[i]
+	}
+	return q
+}
+
+// Total returns the sum of every cell in O(2^d).
+func (t *Tree) Total() int64 {
+	if t.root == nil {
+		return 0
+	}
+	if t.root.leaf != nil {
+		var s int64
+		for _, v := range t.root.leaf {
+			s += v
+		}
+		return s
+	}
+	var s int64
+	for _, b := range t.root.boxes {
+		if b != nil {
+			s += b.sub
+		}
+	}
+	return s
+}

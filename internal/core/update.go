@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+
+	"ddc/internal/grid"
+)
+
+// Add adds delta to cell p in O(log^d n) (Theorem 2). In AutoGrow mode an
+// out-of-bounds p first grows the cube to include it (Section 5).
+func (t *Tree) Add(p grid.Point, delta int64) error {
+	if err := t.checkPoint(p); err != nil {
+		if t.cfg.AutoGrow && errors.Is(err, grid.ErrRange) {
+			if gerr := t.GrowToInclude(p); gerr != nil {
+				return gerr
+			}
+		} else {
+			return err
+		}
+	}
+	if delta == 0 {
+		return nil
+	}
+	if t.root == nil {
+		t.root = &node{}
+	}
+	q := t.pbuf
+	for i := range q {
+		q[i] = p[i] - t.origin[i]
+	}
+	t.addRec(t.root, t.zero, t.n, q, delta, 0)
+	return nil
+}
+
+// Set changes the value of cell p to value.
+func (t *Tree) Set(p grid.Point, value int64) error {
+	if err := t.checkPoint(p); err != nil {
+		if t.cfg.AutoGrow && errors.Is(err, grid.ErrRange) {
+			if gerr := t.GrowToInclude(p); gerr != nil {
+				return gerr
+			}
+		} else {
+			return err
+		}
+	}
+	return t.Add(p, value-t.Get(p))
+}
+
+// addRec descends the covering child of every level (Figure 12), adding
+// the difference to the covering box's subtotal and performing one point
+// update in each of its d row-sum groups — O(d log^{d-1} k) per level.
+// anchor and q are read-only; see prefixRec for the scratch discipline.
+func (t *Tree) addRec(nd *node, anchor grid.Point, ext int, q grid.Point, delta int64, depth int) {
+	t.ops.NodeVisits++
+	if ext == t.cfg.Tile {
+		if nd.leaf == nil {
+			sz := 1
+			for i := 0; i < t.d; i++ {
+				sz *= t.cfg.Tile
+			}
+			nd.leaf = make([]int64, sz)
+		}
+		off := 0
+		for i := 0; i < t.d; i++ {
+			off = off*t.cfg.Tile + (q[i] - anchor[i])
+		}
+		nd.leaf[off] += delta
+		t.ops.UpdateCells++
+		return
+	}
+	if nd.boxes == nil {
+		nd.boxes = make([]*box, 1<<uint(t.d))
+		nd.children = make([]*node, 1<<uint(t.d))
+	}
+	fr := t.scr.frame(depth, t.d)
+	k := ext / 2
+	ci := 0
+	childAnchor := fr.boxAnchor
+	for i := 0; i < t.d; i++ {
+		childAnchor[i] = anchor[i]
+		if q[i]-anchor[i] >= k {
+			ci |= 1 << uint(i)
+			childAnchor[i] += k
+		}
+	}
+	b := nd.boxes[ci]
+	if b == nil {
+		b = &box{groups: t.makeGroups(k)}
+		nd.boxes[ci] = b
+	}
+	b.sub += delta
+	t.ops.UpdateCells++
+	if !b.delegate {
+		o := fr.o
+		for i := 0; i < t.d; i++ {
+			o[i] = q[i] - childAnchor[i]
+		}
+		for j := range b.groups {
+			// The updated cell changes row o_{-j} of group j by delta.
+			b.groups[j].add(dropDimInto(fr.drop, o, j), delta)
+		}
+	}
+	child := nd.children[ci]
+	if child == nil {
+		child = &node{}
+		nd.children[ci] = child
+	}
+	t.addRec(child, childAnchor, k, q, delta, depth+1)
+}

@@ -1,0 +1,171 @@
+// Package costmodel reproduces the analytic cost functions behind
+// Table 1 and Figure 1 of the paper, and the storage ratios of Table 2.
+//
+// The paper's evaluation compares update cost *formulas* (operation
+// counts, not measurements): for a cube with d dimensions of size n,
+//
+//	full data cube size  = n^d
+//	prefix sum update    = n^d        [HAMS97]
+//	relative PS update   = n^{d/2}    [GAES99]
+//	dynamic data cube    = (log2 n)^d (Theorem 2)
+//
+// Values are computed with arbitrary precision (math/big) so that even
+// the 1E+78 column of Table 1 is exact, and projected onto the paper's
+// hypothetical 500 MIPS processor for the wall-time claims ("more than 6
+// months" for PS at n=10^2, "231 days" for RPS at n=10^4, "under 2
+// seconds" for the DDC at n=10^4).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Method identifies one of the compared range-sum methods.
+type Method int
+
+// The methods compared by Table 1, in the paper's column order.
+const (
+	FullCube Method = iota // the naive array (size column / naive query cost)
+	PrefixSum
+	RelativePrefixSum
+	DynamicDataCube
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case FullCube:
+		return "Full Data Cube"
+	case PrefixSum:
+		return "Prefix Sum"
+	case RelativePrefixSum:
+		return "Relative PS"
+	case DynamicDataCube:
+		return "Dynamic Data Cube"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// MIPS is the paper's hypothetical processor speed: 500 million
+// instructions per second.
+const MIPS = 500e6
+
+// UpdateCost returns the worst-case update cost formula of the method for
+// dimension size n and dimensionality d, as an arbitrary-precision float
+// (costs are formulas like n^{d/2} and (log2 n)^d, which are not
+// integers in general).
+func UpdateCost(m Method, n float64, d int) *big.Float {
+	switch m {
+	case FullCube, PrefixSum:
+		return powFloat(n, float64(d))
+	case RelativePrefixSum:
+		return powFloat(n, float64(d)/2)
+	case DynamicDataCube:
+		return powFloat(math.Log2(n), float64(d))
+	default:
+		panic(fmt.Sprintf("costmodel: unknown method %d", int(m)))
+	}
+}
+
+// powFloat computes base^exp exactly enough for Table 1: it works in
+// log10 space with float64 and converts back through big.Float, which is
+// exact to far more digits than the table's power-of-10 rounding needs.
+func powFloat(base, exp float64) *big.Float {
+	if base <= 0 {
+		return big.NewFloat(0)
+	}
+	l10 := exp * math.Log10(base)
+	ip, fp := math.Floor(l10), l10-math.Floor(l10)
+	mant := big.NewFloat(math.Pow(10, fp))
+	scale := new(big.Float).SetInt(pow10(int(ip)))
+	return new(big.Float).Mul(mant, scale)
+}
+
+func pow10(e int) *big.Int {
+	return new(big.Int).Exp(big.NewInt(10), big.NewInt(int64(e)), nil)
+}
+
+// Log10 returns log10 of the cost, the quantity Figure 1 plots.
+func Log10(m Method, n float64, d int) float64 {
+	switch m {
+	case FullCube, PrefixSum:
+		return float64(d) * math.Log10(n)
+	case RelativePrefixSum:
+		return float64(d) / 2 * math.Log10(n)
+	case DynamicDataCube:
+		return float64(d) * math.Log10(math.Log2(n))
+	default:
+		panic(fmt.Sprintf("costmodel: unknown method %d", int(m)))
+	}
+}
+
+// PowerOf10 renders the cost rounded to the nearest power of ten, the
+// way Table 1 reports it (e.g. "1E+78").
+func PowerOf10(m Method, n float64, d int) string {
+	return fmt.Sprintf("1E%+03d", int(math.Round(Log10(m, n, d))))
+}
+
+// Seconds returns the projected wall time of one update on the paper's
+// 500 MIPS processor, "excluding I/O and other costs and ignoring
+// constants in the formulas".
+func Seconds(m Method, n float64, d int) float64 {
+	return math.Pow(10, Log10(m, n, d)) / MIPS
+}
+
+// HumanDuration renders seconds the way the paper talks about them
+// ("231 days", "more than 6 months", "under 2 seconds").
+func HumanDuration(sec float64) string {
+	switch {
+	case math.IsInf(sec, 1) || sec > 365.25*24*3600*1e6:
+		return fmt.Sprintf("%.1e years", sec/(365.25*24*3600))
+	case sec >= 2*365.25*24*3600:
+		return fmt.Sprintf("%.0f years", sec/(365.25*24*3600))
+	case sec >= 2*24*3600:
+		return fmt.Sprintf("%.0f days", sec/(24*3600))
+	case sec >= 2*3600:
+		return fmt.Sprintf("%.1f hours", sec/3600)
+	case sec >= 120:
+		return fmt.Sprintf("%.1f minutes", sec/60)
+	case sec >= 1:
+		return fmt.Sprintf("%.2f seconds", sec)
+	default:
+		return fmt.Sprintf("%.2g seconds", sec)
+	}
+}
+
+// OverlayStorageCells returns the number of values an overlay box of side
+// k stores in d dimensions: k^d - (k-1)^d (Section 3.1).
+func OverlayStorageCells(k, d int) *big.Int {
+	kd := new(big.Int).Exp(big.NewInt(int64(k)), big.NewInt(int64(d)), nil)
+	k1d := new(big.Int).Exp(big.NewInt(int64(k-1)), big.NewInt(int64(d)), nil)
+	return kd.Sub(kd, k1d)
+}
+
+// CoveredRegionCells returns the number of array cells the box covers:
+// k^d.
+func CoveredRegionCells(k, d int) *big.Int {
+	return new(big.Int).Exp(big.NewInt(int64(k)), big.NewInt(int64(d)), nil)
+}
+
+// OverlayStoragePercent returns the Table 2 ratio: overlay box storage as
+// a percentage of the covered region.
+func OverlayStoragePercent(k, d int) float64 {
+	ob := new(big.Float).SetInt(OverlayStorageCells(k, d))
+	cov := new(big.Float).SetInt(CoveredRegionCells(k, d))
+	ratio, _ := new(big.Float).Quo(ob, cov).Float64()
+	return 100 * ratio
+}
+
+// BasicUpdateCost returns the Basic Dynamic Data Cube's update cost
+// formula from Section 3.2: d * (n^{d-1} - 1) / (2^{d-1} - 1), which is
+// O(n^{d-1}). For d = 1 the structure needs no row sums and the cost is
+// the tree height, log2 n.
+func BasicUpdateCost(n float64, d int) float64 {
+	if d == 1 {
+		return math.Log2(n)
+	}
+	return float64(d) * (math.Pow(n, float64(d-1)) - 1) / (math.Pow(2, float64(d-1)) - 1)
+}

@@ -1,0 +1,185 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTable1Row verifies the d=8 update-cost columns of Table 1 at the
+// sizes the paper tabulates, rounded to powers of ten as in the paper.
+func TestTable1Row(t *testing.T) {
+	cases := []struct {
+		n       float64
+		ps, rps string
+	}{
+		{1e2, "1E+16", "1E+08"},
+		{1e3, "1E+24", "1E+12"},
+		{1e4, "1E+32", "1E+16"},
+		{1e5, "1E+40", "1E+20"},
+		{1e9, "1E+72", "1E+36"},
+	}
+	for _, c := range cases {
+		if got := PowerOf10(PrefixSum, c.n, 8); got != c.ps {
+			t.Errorf("PS n=%g: %s, want %s", c.n, got, c.ps)
+		}
+		if got := PowerOf10(RelativePrefixSum, c.n, 8); got != c.rps {
+			t.Errorf("RPS n=%g: %s, want %s", c.n, got, c.rps)
+		}
+		if PowerOf10(FullCube, c.n, 8) != c.ps {
+			t.Errorf("FullCube size must equal PS update cost at n=%g", c.n)
+		}
+	}
+	// The table's headline extreme: n = 10^9, d = 8 is rounded to 1E+72
+	// (the chart axis runs to 1E+78 for the largest sizes plotted).
+	if got := PowerOf10(PrefixSum, 1e9, 8); got != "1E+72" {
+		t.Errorf("extreme cell = %s", got)
+	}
+}
+
+// TestPaperWallTimeClaims checks the three wall-time claims of Section 1
+// against the 500 MIPS projection.
+func TestPaperWallTimeClaims(t *testing.T) {
+	// "the prefix sum method may require more than 6 months of
+	// processing to update a single cell" at n=10^2, d=8.
+	psSec := Seconds(PrefixSum, 1e2, 8)
+	if months := psSec / (30 * 24 * 3600); months < 6 || months > 12 {
+		t.Errorf("PS at n=1e2: %.1f months, paper says more than 6 months", months)
+	}
+	// "When n=10^4, the relative prefix sum method requires 231 days".
+	rpsDays := Seconds(RelativePrefixSum, 1e4, 8) / (24 * 3600)
+	if math.Abs(rpsDays-231) > 1 {
+		t.Errorf("RPS at n=1e4: %.1f days, paper says 231 days", rpsDays)
+	}
+	// "whereas the Dynamic Data Cube requires under 2 seconds".
+	if ddcSec := Seconds(DynamicDataCube, 1e4, 8); ddcSec >= 2 || ddcSec < 0.5 {
+		t.Errorf("DDC at n=1e4: %.2f s, paper says under 2 seconds", ddcSec)
+	}
+	// The DDC updates the n=10^2 cell "in under seconds" — far below 1.
+	if ddcSec := Seconds(DynamicDataCube, 1e2, 8); ddcSec >= 1 {
+		t.Errorf("DDC at n=1e2: %.4f s, should be well under a second", ddcSec)
+	}
+}
+
+func TestUpdateCostMonotonicity(t *testing.T) {
+	// At every size, DDC <= RPS <= PS for n >= 2 (d >= 2), the ordering
+	// Figure 1 displays.
+	for _, n := range []float64{16, 1e2, 1e4, 1e6, 1e9} {
+		for _, d := range []int{2, 4, 8} {
+			ddc := Log10(DynamicDataCube, n, d)
+			rps := Log10(RelativePrefixSum, n, d)
+			ps := Log10(PrefixSum, n, d)
+			if !(ddc <= rps+1e-9 && rps <= ps+1e-9) {
+				t.Errorf("ordering violated at n=%g d=%d: ddc=%.2f rps=%.2f ps=%.2f", n, d, ddc, rps, ps)
+			}
+		}
+	}
+}
+
+func TestUpdateCostBigValues(t *testing.T) {
+	// n=1e9, d=8 for PS is exactly 10^72 — check the big.Float pathway
+	// agrees with the log10 pathway at a magnitude float64 cannot hold.
+	v := UpdateCost(PrefixSum, 1e9, 8)
+	want := powFloat(10, 72)
+	lo := powFloat(10, 71.999)
+	hi := powFloat(10, 72.001)
+	if v.Cmp(lo) < 0 || v.Cmp(hi) > 0 {
+		t.Errorf("UpdateCost(PS, 1e9, 8) = %v, want ~%v", v, want)
+	}
+	// RPS at the same point: 10^36.
+	if got := UpdateCost(RelativePrefixSum, 1e9, 8); got.Cmp(powFloat(10, 35.9)) < 0 || got.Cmp(powFloat(10, 36.1)) > 0 {
+		t.Errorf("UpdateCost(RPS, 1e9, 8) = %v", got)
+	}
+	// DDC at n=1e9, d=8: (log2 1e9)^8 = (29.9)^8 ~ 6.3e11.
+	got, _ := UpdateCost(DynamicDataCube, 1e9, 8).Float64()
+	if got < 1e11 || got > 1e12 {
+		t.Errorf("UpdateCost(DDC, 1e9, 8) = %g", got)
+	}
+	if v := UpdateCost(DynamicDataCube, 0, 8); v.Sign() != 0 {
+		t.Errorf("non-positive n should cost 0, got %v", v)
+	}
+}
+
+func TestHumanDuration(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{0.5, "0.5 seconds"},
+		{1.95, "1.95 seconds"},
+		{300, "5.0 minutes"},
+		{3 * 3600, "3.0 hours"},
+		{231 * 24 * 3600, "231 days"},
+		{10 * 365.25 * 24 * 3600, "10 years"},
+	}
+	for _, c := range cases {
+		if got := HumanDuration(c.sec); got != c.want {
+			t.Errorf("HumanDuration(%g) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+	if got := HumanDuration(1e20); !strings.Contains(got, "years") {
+		t.Errorf("huge duration = %q", got)
+	}
+}
+
+// TestTable2 checks the overlay-box storage ratios of Table 2: the
+// storage fraction k^d - (k-1)^d over k^d falls sharply as k grows.
+func TestTable2(t *testing.T) {
+	cases := []struct {
+		k       int
+		cells   int64
+		percent float64
+	}{
+		{2, 3, 75},
+		{4, 7, 43.75},
+		{8, 15, 23.4375},
+		{16, 31, 12.109375},
+		{32, 63, 6.152},
+	}
+	for _, c := range cases {
+		if got := OverlayStorageCells(c.k, 2).Int64(); got != c.cells {
+			t.Errorf("OverlayStorageCells(%d, 2) = %d, want %d", c.k, got, c.cells)
+		}
+		if got := OverlayStoragePercent(c.k, 2); math.Abs(got-c.percent) > 0.01 {
+			t.Errorf("OverlayStoragePercent(%d, 2) = %.3f, want %.3f", c.k, got, c.percent)
+		}
+	}
+	if got := CoveredRegionCells(4, 3).Int64(); got != 64 {
+		t.Errorf("CoveredRegionCells(4,3) = %d", got)
+	}
+	// Higher dimensionality stores a larger fraction at equal k.
+	if OverlayStoragePercent(8, 3) <= OverlayStoragePercent(8, 2) {
+		t.Error("storage fraction should grow with d")
+	}
+}
+
+func TestBasicUpdateCost(t *testing.T) {
+	// Section 3.2: d * (n^{d-1} - 1) / (2^{d-1} - 1). For d=2 this is
+	// 2(n-1), linear in n.
+	if got := BasicUpdateCost(64, 2); math.Abs(got-126) > 1e-9 {
+		t.Errorf("BasicUpdateCost(64, 2) = %g, want 126", got)
+	}
+	if got := BasicUpdateCost(16, 3); math.Abs(got-3*255.0/3.0) > 1e-9 {
+		t.Errorf("BasicUpdateCost(16, 3) = %g", got)
+	}
+	if got := BasicUpdateCost(1024, 1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("BasicUpdateCost(1024, 1) = %g, want 10", got)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{
+		FullCube:          "Full Data Cube",
+		PrefixSum:         "Prefix Sum",
+		RelativePrefixSum: "Relative PS",
+		DynamicDataCube:   "Dynamic Data Cube",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("String(%d) = %q", int(m), m.String())
+		}
+	}
+	if s := Method(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown method string = %q", s)
+	}
+}

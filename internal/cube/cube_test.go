@@ -1,0 +1,231 @@
+package cube
+
+import (
+	"errors"
+	"testing"
+
+	"ddc/internal/grid"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]int{4, 0}); err == nil {
+		t.Fatal("expected error for zero dimension")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("expected error for no dimensions")
+	}
+	a, err := New([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 0 {
+		t.Fatal("fresh array not zeroed")
+	}
+}
+
+func TestFromValuesLengthMismatch(t *testing.T) {
+	if _, err := FromValues([]int{2, 2}, []int64{1, 2, 3}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestSetGetAdd(t *testing.T) {
+	a := MustNew(4, 4)
+	p := grid.Point{2, 3}
+	if err := a.Set(p, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Get(p); got != 7 {
+		t.Fatalf("Get = %d, want 7", got)
+	}
+	if err := a.Add(p, -2); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Get(p); got != 5 {
+		t.Fatalf("Get after Add = %d, want 5", got)
+	}
+	if got := a.Get(grid.Point{9, 9}); got != 0 {
+		t.Fatalf("out-of-range Get = %d, want 0", got)
+	}
+	if err := a.Set(grid.Point{4, 0}, 1); !errors.Is(err, grid.ErrRange) {
+		t.Fatalf("out-of-range Set error = %v", err)
+	}
+	if err := a.Add(grid.Point{0}, 1); !errors.Is(err, grid.ErrDims) {
+		t.Fatalf("wrong-dims Add error = %v", err)
+	}
+}
+
+func TestRangeSumAndPrefix(t *testing.T) {
+	a := MustNew(3, 3)
+	// Fill with value = 10*i + j for easy hand checks.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if err := a.Set(grid.Point{i, j}, int64(10*i+j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := a.RangeSum(grid.Point{1, 1}, grid.Point{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(11 + 12 + 21 + 22); got != want {
+		t.Fatalf("RangeSum = %d, want %d", got, want)
+	}
+	if got := a.Prefix(grid.Point{1, 1}); got != 0+1+10+11 {
+		t.Fatalf("Prefix(1,1) = %d", got)
+	}
+	// Prefix clamps beyond the domain and zeroes negative regions.
+	if got := a.Prefix(grid.Point{9, 9}); got != a.Total() {
+		t.Fatalf("clamped Prefix = %d, want total %d", got, a.Total())
+	}
+	if got := a.Prefix(grid.Point{-1, 2}); got != 0 {
+		t.Fatalf("negative Prefix = %d, want 0", got)
+	}
+	if got := a.Prefix(grid.Point{1}); got != 0 {
+		t.Fatalf("wrong-dims Prefix = %d, want 0", got)
+	}
+}
+
+func TestRangeSumValidation(t *testing.T) {
+	a := MustNew(3, 3)
+	if _, err := a.RangeSum(grid.Point{2, 0}, grid.Point{1, 2}); !errors.Is(err, grid.ErrEmptyRange) {
+		t.Fatalf("inverted range error = %v", err)
+	}
+	if _, err := a.RangeSum(grid.Point{0, 0}, grid.Point{3, 0}); !errors.Is(err, grid.ErrRange) {
+		t.Fatalf("out-of-range error = %v", err)
+	}
+}
+
+func TestRangeSumViaCorners(t *testing.T) {
+	// The naive array must agree with the inclusion/exclusion reduction
+	// over its own Prefix — Figure 4 on the ground-truth structure.
+	a := MustNew(4, 3)
+	v := int64(1)
+	a.Extent().ForEach(func(p grid.Point) {
+		_ = a.Set(p, v)
+		v += 3
+	})
+	a.Extent().ForEach(func(lo grid.Point) {
+		loC := lo.Clone()
+		a.Extent().ForEach(func(hi grid.Point) {
+			if !loC.DominatedBy(hi) {
+				return
+			}
+			direct, err := a.RangeSum(loC, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaCorners := grid.RangeSum(a, loC, hi); viaCorners != direct {
+				t.Fatalf("corner reduction %d != direct %d for [%v,%v]", viaCorners, direct, loC, hi)
+			}
+		})
+	})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustNew(2, 2)
+	_ = a.Set(grid.Point{0, 0}, 5)
+	b := a.Clone()
+	_ = b.Set(grid.Point{0, 0}, 9)
+	if a.Get(grid.Point{0, 0}) != 5 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	a := MustNew(4, 4)
+	_ = a.Set(grid.Point{0, 0}, 1)
+	_, _ = a.RangeSum(grid.Point{0, 0}, grid.Point{3, 3})
+	ops := a.Ops()
+	if ops.UpdateCells != 1 {
+		t.Fatalf("UpdateCells = %d, want 1", ops.UpdateCells)
+	}
+	if ops.QueryCells != 16 {
+		t.Fatalf("QueryCells = %d, want 16", ops.QueryCells)
+	}
+	a.ResetOps()
+	if a.Ops() != (OpCounter{}) {
+		t.Fatal("ResetOps did not zero counters")
+	}
+}
+
+func TestForEachNonZero(t *testing.T) {
+	a := MustNew(3, 3)
+	_ = a.Set(grid.Point{0, 1}, 4)
+	_ = a.Set(grid.Point{2, 2}, -1)
+	var n int
+	var sum int64
+	a.ForEachNonZero(func(p grid.Point, v int64) {
+		n++
+		sum += v
+	})
+	if n != 2 || sum != 3 {
+		t.Fatalf("ForEachNonZero visited %d cells summing %d", n, sum)
+	}
+}
+
+// TestPaperFixture asserts every quantity the paper quotes about its 8x8
+// running example (see fixture.go for the full provenance list).
+func TestPaperFixture(t *testing.T) {
+	a := PaperArray()
+	sum := func(l0, l1, h0, h1 int) int64 {
+		s, err := a.RangeSum(grid.Point{l0, l1}, grid.Point{h0, h1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	checks := []struct {
+		name           string
+		l0, l1, h0, h1 int
+		want           int64
+	}{
+		{"box Q subtotal (Fig 8, 11)", 0, 0, 3, 3, 51},
+		{"overlay row sum [0,3] (Fig 8)", 0, 0, 0, 3, 11},
+		{"overlay row sum [1,3] (Fig 8)", 0, 0, 1, 3, 29},
+		{"box R contribution (Fig 11)", 0, 4, 3, 6, 48},
+		{"box S contribution (Fig 11)", 4, 0, 5, 3, 24},
+		{"box U subtotal (Fig 11)", 4, 4, 5, 5, 16},
+		{"leaf L (Fig 11)", 4, 6, 4, 6, 7},
+		{"leaf N = target * (Fig 11)", 5, 6, 5, 6, 5},
+		{"full query (Fig 11a)", 0, 0, 5, 6, 151},
+		{"box V row sum (Fig 12)", 4, 6, 5, 6, 12},
+		{"box V subtotal (Fig 12)", 4, 6, 5, 7, 15},
+		{"box T row sum 31 (Fig 12)", 4, 4, 5, 7, 31},
+		{"box T row sum 47 (Fig 12)", 4, 4, 6, 7, 47},
+		{"box T row sum 54 (Fig 12)", 4, 4, 7, 6, 54},
+		{"box T subtotal 61 (Fig 12)", 4, 4, 7, 7, 61},
+	}
+	for _, c := range checks {
+		if got := sum(c.l0, c.l1, c.h0, c.h1); got != c.want {
+			t.Errorf("%s: SUM(A[%d,%d]:A[%d,%d]) = %d, want %d",
+				c.name, c.l0, c.l1, c.h0, c.h1, got, c.want)
+		}
+	}
+	// The query components add to 151, exactly as Figure 11a shows.
+	if 51+48+24+16+7+5 != 151 {
+		t.Fatal("figure 11a arithmetic")
+	}
+	// The update walk-through: * changes 5 -> 6, difference +1 ripples.
+	if err := a.Set(grid.Point{5, 6}, 6); err != nil {
+		t.Fatal(err)
+	}
+	post := []struct {
+		name           string
+		l0, l1, h0, h1 int
+		want           int64
+	}{
+		{"box V row sum after update", 4, 6, 5, 6, 13},
+		{"box V subtotal after update", 4, 6, 5, 7, 16},
+		{"box T row sum 31+1", 4, 4, 5, 7, 32},
+		{"box T row sum 47+1", 4, 4, 6, 7, 48},
+		{"box T row sum 54+1", 4, 4, 7, 6, 55},
+		{"box T subtotal 61+1", 4, 4, 7, 7, 62},
+	}
+	for _, c := range post {
+		if got := sum(c.l0, c.l1, c.h0, c.h1); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package cube
+
+// This file reconstructs the paper's 8x8 running-example array A
+// (Figure 2). The figure's cell values did not survive the OCR of the
+// source text, but the paper quotes many derived quantities; the array
+// below is constructed to satisfy every one of them, so all of the
+// paper's worked examples (Figures 8, 11, 11a, 12 and the B_c update
+// walk-through) hold verbatim against this fixture:
+//
+//   - SUM(A[0,0]:A[3,3]) = 51           (box Q subtotal, Figures 8 and 11)
+//   - SUM(A[0,0]:A[0,3]) = 11           (overlay row sum cell [0,3])
+//   - SUM(A[0,0]:A[1,3]) = 29           (overlay row sum cell [1,3])
+//   - SUM(A[0,4]:A[3,6]) = 48           (box R's contribution, Figure 11)
+//   - SUM(A[4,0]:A[5,3]) = 24           (box S's contribution)
+//   - SUM(A[4,4]:A[5,5]) = 16           (box U subtotal)
+//   - A[4,6] = 7, A[5,6] = 5            (leaf contributions L and N; N is
+//                                        the target cell *, later updated
+//                                        from 5 to 6 in Figure 12's walk)
+//   - SUM(A[0,0]:A[5,6]) = 151          (the full query of Figure 11a)
+//   - SUM(A[4,6]:A[5,6]) = 12           (box V row sum updated to 13)
+//   - SUM(A[4,6]:A[5,7]) = 15           (box V subtotal updated to 16)
+//   - SUM(A[4,4]:A[5,7]) = 31           (box T row sum)
+//   - SUM(A[4,4]:A[6,7]) = 47           (box T row sum)
+//   - SUM(A[4,4]:A[7,6]) = 54           (box T row sum)
+//   - SUM(A[4,4]:A[7,7]) = 61           (box T subtotal)
+//
+// The query walk of Figure 11 decomposes the prefix sum at the target
+// cell as 51 + 48 + 24 + 16 + 7 + 5 = 151.
+
+// PaperValues holds the reconstructed Figure 2 array in row-major order
+// (first index is the paper's vertical coordinate i).
+var PaperValues = []int64{
+	3, 2, 4, 2 /**/, 4, 5, 3, 1,
+	5, 4, 6, 3 /**/, 6, 2, 4, 2,
+	2, 3, 1, 4 /**/, 3, 5, 4, 3,
+	4, 3, 2, 3 /**/, 2, 6, 4, 2,
+
+	3, 4, 2, 5 /**/, 6, 3, 7, 1,
+	2, 3, 4, 1 /**/, 4, 3, 5, 2,
+	1, 2, 3, 4 /**/, 3, 5, 7, 1,
+	2, 1, 2, 1 /**/, 4, 2, 5, 3,
+}
+
+// PaperArray returns a fresh copy of the reconstructed Figure 2 array.
+func PaperArray() *Array {
+	a, err := FromValues([]int{8, 8}, PaperValues)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// PaperTarget is the target cell * of Figures 11 and 12 in this
+// reconstruction: the prefix sum at PaperTarget is 151 and the update
+// walk-through changes its value from 5 to 6.
+var PaperTarget = []int{5, 6}

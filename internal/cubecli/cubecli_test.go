@@ -1,0 +1,274 @@
+package cubecli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"ddc"
+)
+
+func TestParsePoint(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"1,2,3", []int{1, 2, 3}, true},
+		{"7", []int{7}, true},
+		{" 4 , -5 ", []int{4, -5}, true},
+		{"a,b", nil, false},
+		{"", nil, false},
+		{"1,", nil, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePoint(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParsePoint(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParsePoint(%q) = %v", c.in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParsePoint(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	lo, hi, err := ParseRange("1,2:3,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo[0] != 1 || lo[1] != 2 || hi[0] != 3 || hi[1] != 4 {
+		t.Fatalf("ParseRange = %v, %v", lo, hi)
+	}
+	for _, bad := range []string{"1,2", "1:2,3", "x:y", "1,2:3,4:5,6"} {
+		if _, _, err := ParseRange(bad); err == nil && bad != "1,2:3,4:5,6" {
+			t.Errorf("ParseRange(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	c, err := ddc.NewDynamic([]int{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader("1,2,100\n3,4,50\n1,2,25\n")
+	n, err := LoadCSV(in, c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d rows", n)
+	}
+	if got := c.Get([]int{1, 2}); got != 125 {
+		t.Fatalf("cell (1,2) = %d, want 125 (values accumulate)", got)
+	}
+	if c.Total() != 175 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}
+
+func TestLoadCSVHeaderAndErrors(t *testing.T) {
+	c, _ := ddc.NewDynamic([]int{10, 10})
+	n, err := LoadCSV(strings.NewReader("x,y,sales\n1,1,5\n"), c, true)
+	if err != nil || n != 1 {
+		t.Fatalf("header skip: n=%d err=%v", n, err)
+	}
+	cases := map[string]string{
+		"bad coord":    "a,1,5\n",
+		"bad value":    "1,1,x\n",
+		"wrong fields": "1,2\n",
+		"out of range": "99,99,5\n",
+	}
+	for name, data := range cases {
+		c2, _ := ddc.NewDynamic([]int{10, 10})
+		if _, err := LoadCSV(strings.NewReader(data), c2, false); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Out-of-range rows succeed with autogrow.
+	g, _ := ddc.NewDynamicWithOptions([]int{10, 10}, ddc.Options{AutoGrow: true})
+	if _, err := LoadCSV(strings.NewReader("99,-5,5\n"), g, false); err != nil {
+		t.Fatalf("autogrow load: %v", err)
+	}
+	if g.Get([]int{99, -5}) != 5 {
+		t.Fatal("autogrow cell missing")
+	}
+}
+
+// TestEndToEnd drives the full command surface through temp files.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "sales.csv")
+	cubePath := filepath.Join(dir, "sales.cube")
+	csvData := "age,day,amount\n37,220,120\n37,221,80\n45,341,250\n29,225,60\n"
+	if err := os.WriteFile(csvPath, []byte(csvData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(want int, args ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		code := Run(args, &out, &errb)
+		if code != want {
+			t.Fatalf("Run(%v) = %d (stderr: %s)", args, code, errb.String())
+		}
+		return out.String()
+	}
+
+	out := run(0, "build", "-dims", "100,366", "-csv", csvPath, "-o", cubePath, "-header")
+	if !strings.Contains(out, "loaded 4 rows") {
+		t.Fatalf("build output: %s", out)
+	}
+
+	out = run(0, "query", "-cube", cubePath, "-range", "27,220:45,251")
+	if strings.TrimSpace(out) != "260" {
+		t.Fatalf("query output %q, want 260", out)
+	}
+
+	out = run(0, "get", "-cube", cubePath, "-point", "45,341")
+	if strings.TrimSpace(out) != "250" {
+		t.Fatalf("get output %q", out)
+	}
+
+	run(0, "add", "-cube", cubePath, "-point", "45,341", "-delta", "-50")
+	out = run(0, "get", "-cube", cubePath, "-point", "45,341")
+	if strings.TrimSpace(out) != "200" {
+		t.Fatalf("get after add output %q", out)
+	}
+
+	out = run(0, "stats", "-cube", cubePath)
+	for _, want := range []string{"dims:", "[100 366]", "nonzero:", "4 cells"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildCompactFormat(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "d.csv")
+	v1 := filepath.Join(dir, "v1.cube")
+	v2 := filepath.Join(dir, "v2.cube")
+	if err := os.WriteFile(csvPath, []byte("1,2,100\n3,4,50\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := Run([]string{"build", "-dims", "10,10", "-csv", csvPath, "-o", v1}, &out, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	if code := Run([]string{"build", "-dims", "10,10", "-csv", csvPath, "-o", v2, "-compact"}, &out, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	// Both load and agree.
+	out.Reset()
+	if code := Run([]string{"query", "-cube", v2, "-range", "0,0:9,9"}, &out, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "150" {
+		t.Fatalf("compact query = %q", out.String())
+	}
+	s1, _ := os.Stat(v1)
+	s2, _ := os.Stat(v2)
+	if s2.Size() >= s1.Size() {
+		t.Fatalf("compact (%d) not smaller than v1 (%d)", s2.Size(), s1.Size())
+	}
+}
+
+// TestExportRoundTrip builds a cube from CSV, exports it, rebuilds from
+// the export, and checks the two cubes agree.
+func TestExportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "in.csv")
+	cube1 := filepath.Join(dir, "a.cube")
+	exported := filepath.Join(dir, "out.csv")
+	cube2 := filepath.Join(dir, "b.cube")
+	if err := os.WriteFile(csvPath, []byte("1,2,100\n3,4,50\n7,0,-9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func(args ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if code := Run(args, &out, &errb); code != 0 {
+			t.Fatalf("Run(%v) = %d (stderr: %s)", args, code, errb.String())
+		}
+		return out.String()
+	}
+	run("build", "-dims", "10,10", "-csv", csvPath, "-o", cube1)
+	run("export", "-cube", cube1, "-o", exported)
+	data, err := os.ReadFile(exported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells are emitted in the cube's deterministic Z-order, so compare
+	// as a sorted set.
+	got := strings.Split(strings.TrimSpace(string(data)), "\n")
+	sort.Strings(got)
+	want := []string{"1,2,100", "3,4,50", "7,0,-9"}
+	if len(got) != len(want) {
+		t.Fatalf("export = %q", data)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("export rows = %v, want %v", got, want)
+		}
+	}
+	run("build", "-dims", "10,10", "-csv", exported, "-o", cube2)
+	if got := strings.TrimSpace(run("query", "-cube", cube2, "-range", "0,0:9,9")); got != "141" {
+		t.Fatalf("rebuilt total = %s", got)
+	}
+	// Range-restricted export.
+	out := run("export", "-cube", cube1, "-range", "0,0:5,5")
+	if strings.Contains(out, "7,0") || !strings.Contains(out, "1,2,100") {
+		t.Fatalf("range export = %q", out)
+	}
+	// Export to stdout by default.
+	out = run("export", "-cube", cube1)
+	if !strings.Contains(out, "3,4,50") {
+		t.Fatalf("stdout export = %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: code %d", code)
+	}
+	if code := Run([]string{"bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bogus cmd: code %d", code)
+	}
+	if code := Run([]string{"help"}, &out, &errb); code != 0 {
+		t.Fatalf("help: code %d", code)
+	}
+	if code := Run([]string{"build"}, &out, &errb); code != 1 {
+		t.Fatalf("build without flags: code %d", code)
+	}
+	if code := Run([]string{"query", "-cube", "/nonexistent", "-range", "0:1"}, &out, &errb); code != 1 {
+		t.Fatalf("query missing cube: code %d", code)
+	}
+	if code := Run([]string{"get", "-cube", "/nonexistent", "-point", "0"}, &out, &errb); code != 1 {
+		t.Fatalf("get missing cube: code %d", code)
+	}
+	if code := Run([]string{"add", "-cube", "/nonexistent", "-point", "0"}, &out, &errb); code != 1 {
+		t.Fatalf("add missing cube: code %d", code)
+	}
+	if code := Run([]string{"stats", "-cube", "/nonexistent"}, &out, &errb); code != 1 {
+		t.Fatalf("stats missing cube: code %d", code)
+	}
+	if code := Run([]string{"build", "-dims", "bad", "-csv", "x", "-o", "y"}, &out, &errb); code != 1 {
+		t.Fatalf("bad dims: code %d", code)
+	}
+}

@@ -1,0 +1,332 @@
+// Package cubeserver exposes a Dynamic Data Cube over HTTP/JSON — the
+// "dynamic updates with interactive analytics" service Section 1 argues
+// the data cube should become. The handler logic lives here so it is
+// fully testable with net/http/httptest; cmd/ddcserver wires it to a
+// listener.
+//
+// API (all JSON unless noted):
+//
+//	POST /v1/add      {"point":[45,341],"delta":250}
+//	POST /v1/set      {"point":[45,341],"value":250}
+//	GET  /v1/get?point=45,341
+//	GET  /v1/sum?range=27,220:45,251
+//	GET  /v1/stats
+//	GET  /v1/snapshot               (binary snapshot stream)
+package cubeserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"ddc"
+	"ddc/internal/cubecli"
+)
+
+// Server serves one cube. All operations are serialized by an internal
+// mutex (the cube's query counters mutate even on reads).
+type Server struct {
+	mu  sync.Mutex
+	c   *ddc.DynamicCube
+	wal *ddc.WAL // optional; when set, mutations go through it
+	mux *http.ServeMux
+}
+
+// New returns a server over the cube. If wal is non-nil, every mutation
+// is appended (and flushed) to it before the response is sent, making
+// updates durable.
+func New(c *ddc.DynamicCube, wal *ddc.WAL) *Server {
+	s := &Server{c: c, wal: wal, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/add", s.handleAdd)
+	s.mux.HandleFunc("/v1/set", s.handleSet)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/get", s.handleGet)
+	s.mux.HandleFunc("/v1/sum", s.handleSum)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/scan", s.handleScan)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+type mutation struct {
+	Point []int  `json:"point"`
+	Delta *int64 `json:"delta,omitempty"`
+	Value *int64 `json:"value,omitempty"`
+}
+
+func (s *Server) decodeMutation(w http.ResponseWriter, r *http.Request) (*mutation, bool) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return nil, false
+	}
+	var m mutation
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return nil, false
+	}
+	if len(m.Point) == 0 {
+		writeErr(w, http.StatusBadRequest, "point required")
+		return nil, false
+	}
+	return &m, true
+}
+
+// mutate applies one logged (if a WAL is attached) mutation.
+func (s *Server) mutate(fn func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := fn(); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		return s.wal.Flush()
+	}
+	return nil
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.decodeMutation(w, r)
+	if !ok {
+		return
+	}
+	if m.Delta == nil {
+		writeErr(w, http.StatusBadRequest, "delta required")
+		return
+	}
+	err := s.mutate(func() error {
+		if s.wal != nil {
+			return s.wal.Add(m.Point, *m.Delta)
+		}
+		return s.c.Add(m.Point, *m.Delta)
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	v := s.c.Get(m.Point)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int64{"value": v})
+}
+
+func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.decodeMutation(w, r)
+	if !ok {
+		return
+	}
+	if m.Value == nil {
+		writeErr(w, http.StatusBadRequest, "value required")
+		return
+	}
+	err := s.mutate(func() error {
+		if s.wal != nil {
+			return s.wal.Set(m.Point, *m.Value)
+		}
+		return s.c.Set(m.Point, *m.Value)
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"value": *m.Value})
+}
+
+// batchOp is one operation in a /v1/batch request.
+type batchOp struct {
+	Op    string `json:"op"` // "add" or "set"
+	Point []int  `json:"point"`
+	Value int64  `json:"value"`
+}
+
+// handleBatch applies many mutations under one lock (and one WAL flush),
+// the bulk-ingest path for streams like the paper's trade feed. The
+// batch is applied in order; on the first failing operation the response
+// reports how many were applied (earlier operations are not rolled
+// back — the cube is an aggregate index, not a transactional store).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Ops []batchOp `json:"ops"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, "ops required")
+		return
+	}
+	applied := 0
+	err := s.mutate(func() error {
+		for _, op := range req.Ops {
+			var err error
+			switch op.Op {
+			case "add":
+				if s.wal != nil {
+					err = s.wal.Add(op.Point, op.Value)
+				} else {
+					err = s.c.Add(op.Point, op.Value)
+				}
+			case "set":
+				if s.wal != nil {
+					err = s.wal.Set(op.Point, op.Value)
+				} else {
+					err = s.c.Set(op.Point, op.Value)
+				}
+			default:
+				err = fmt.Errorf("unknown op %q", op.Op)
+			}
+			if err != nil {
+				return fmt.Errorf("op %d: %v", applied, err)
+			}
+			applied++
+		}
+		return nil
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]interface{}{
+			"error":   err.Error(),
+			"applied": applied,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"applied": applied})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	p, err := cubecli.ParsePoint(r.URL.Query().Get("point"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "point: %v", err)
+		return
+	}
+	s.mu.Lock()
+	v := s.c.Get(p)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int64{"value": v})
+}
+
+func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
+	lo, hi, err := cubecli.ParseRange(r.URL.Query().Get("range"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "range: %v", err)
+		return
+	}
+	s.mu.Lock()
+	sum, err := s.c.RangeSum(lo, hi)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"sum": sum})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	lo, hi := s.c.Bounds()
+	stats := map[string]interface{}{
+		"dims":    s.c.Dims(),
+		"lo":      lo,
+		"hi":      hi,
+		"total":   s.c.Total(),
+		"nonzero": s.c.NonZeroCells(),
+		"storage": s.c.StorageCells(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleExplain returns the prefix sum at a point together with the
+// per-box contributions of the descent (the decomposition of the
+// paper's Figure 11) — a debugging window into the index.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	p, err := cubecli.ParsePoint(r.URL.Query().Get("point"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "point: %v", err)
+		return
+	}
+	s.mu.Lock()
+	sum, parts := s.c.ExplainPrefix(p)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"prefix":        sum,
+		"contributions": parts,
+	})
+}
+
+// scanLimit caps /v1/scan responses.
+const scanLimit = 10000
+
+type scanCell struct {
+	Point []int `json:"point"`
+	Value int64 `json:"value"`
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	lo, hi, err := cubecli.ParseRange(r.URL.Query().Get("range"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "range: %v", err)
+		return
+	}
+	limit := scanLimit
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		if _, err := fmt.Sscanf(ls, "%d", &limit); err != nil || limit < 1 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", ls)
+			return
+		}
+		if limit > scanLimit {
+			limit = scanLimit
+		}
+	}
+	s.mu.Lock()
+	cells := make([]scanCell, 0, 64)
+	truncated := false
+	err = s.c.ForEachNonZeroInRange(lo, hi, func(p []int, v int64) {
+		if len(cells) >= limit {
+			truncated = true
+			return
+		}
+		cells = append(cells, scanCell{Point: append([]int(nil), p...), Value: v})
+	})
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"cells":     cells,
+		"truncated": truncated,
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.c.Save(w); err != nil {
+		// Headers are already out; nothing more we can do than log-style
+		// truncation, which LoadDynamic will reject.
+		return
+	}
+}

@@ -1,0 +1,318 @@
+package cubeserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ddc"
+)
+
+func newTestServer(t *testing.T, wal *ddc.WAL, cube *ddc.DynamicCube) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(cube, wal))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func mustCube(t *testing.T, dims []int, opt ddc.Options) *ddc.DynamicCube {
+	t.Helper()
+	c, err := ddc.NewDynamicWithOptions(dims, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func post(t *testing.T, url string, body string) (*http.Response, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestAddGetSum(t *testing.T) {
+	srv := newTestServer(t, nil, mustCube(t, []int{100, 366}, ddc.Options{}))
+
+	resp, out := post(t, srv.URL+"/v1/add", `{"point":[45,341],"delta":250}`)
+	if resp.StatusCode != 200 || out["value"].(float64) != 250 {
+		t.Fatalf("add: %d %v", resp.StatusCode, out)
+	}
+	_, _ = post(t, srv.URL+"/v1/add", `{"point":[37,220],"delta":120}`)
+
+	_, out = get(t, srv.URL+"/v1/get?point=45,341")
+	if out["value"].(float64) != 250 {
+		t.Fatalf("get: %v", out)
+	}
+
+	_, out = get(t, srv.URL+"/v1/sum?range=27,220:45,251")
+	if out["sum"].(float64) != 120 {
+		t.Fatalf("sum: %v", out)
+	}
+	_, out = get(t, srv.URL+"/v1/sum?range=0,0:99,365")
+	if out["sum"].(float64) != 370 {
+		t.Fatalf("full sum: %v", out)
+	}
+}
+
+func TestSetAndStats(t *testing.T) {
+	srv := newTestServer(t, nil, mustCube(t, []int{8, 8}, ddc.Options{}))
+	resp, _ := post(t, srv.URL+"/v1/set", `{"point":[1,2],"value":9}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("set status %d", resp.StatusCode)
+	}
+	_, out := get(t, srv.URL+"/v1/stats")
+	if out["total"].(float64) != 9 || out["nonzero"].(float64) != 1 {
+		t.Fatalf("stats: %v", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	srv := newTestServer(t, nil, mustCube(t, []int{8, 8}, ddc.Options{}))
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+	}{
+		{"add GET", "GET", "/v1/add", "", http.StatusMethodNotAllowed},
+		{"add no point", "POST", "/v1/add", `{"delta":1}`, http.StatusBadRequest},
+		{"add no delta", "POST", "/v1/add", `{"point":[1,1]}`, http.StatusBadRequest},
+		{"add bad json", "POST", "/v1/add", `{`, http.StatusBadRequest},
+		{"add out of range", "POST", "/v1/add", `{"point":[99,99],"delta":1}`, http.StatusBadRequest},
+		{"set no value", "POST", "/v1/set", `{"point":[1,1]}`, http.StatusBadRequest},
+		{"get bad point", "GET", "/v1/get?point=x", "", http.StatusBadRequest},
+		{"sum bad range", "GET", "/v1/sum?range=1,2", "", http.StatusBadRequest},
+		{"sum inverted", "GET", "/v1/sum?range=5,5:1,1", "", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var resp *http.Response
+			var err error
+			if c.method == "GET" {
+				resp, err = http.Get(srv.URL + c.path)
+			} else {
+				resp, err = http.Post(srv.URL+c.path, "application/json", strings.NewReader(c.body))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != c.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, c.status)
+			}
+		})
+	}
+}
+
+func TestAutoGrowThroughServer(t *testing.T) {
+	srv := newTestServer(t, nil, mustCube(t, []int{8, 8}, ddc.Options{AutoGrow: true}))
+	resp, _ := post(t, srv.URL+"/v1/add", `{"point":[-20,300],"delta":7}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("grow add status %d", resp.StatusCode)
+	}
+	_, out := get(t, srv.URL+"/v1/sum?range=-20,300:-20,300")
+	if out["sum"].(float64) != 7 {
+		t.Fatalf("sum after grow: %v", out)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	cube := mustCube(t, []int{8, 8}, ddc.Options{})
+	srv := newTestServer(t, nil, cube)
+	_, _ = post(t, srv.URL+"/v1/add", `{"point":[3,3],"delta":11}`)
+	resp, err := http.Get(srv.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ddc.LoadDynamic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Total() != 11 {
+		t.Fatalf("restored total = %d", restored.Total())
+	}
+}
+
+func TestWALDurability(t *testing.T) {
+	cube := mustCube(t, []int{8, 8}, ddc.Options{})
+	var log bytes.Buffer
+	wal, err := ddc.NewWAL(cube, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, wal, cube)
+	_, _ = post(t, srv.URL+"/v1/add", `{"point":[1,1],"delta":5}`)
+	_, _ = post(t, srv.URL+"/v1/set", `{"point":[2,2],"value":3}`)
+	// "Crash": replay the log into a fresh cube.
+	fresh := mustCube(t, []int{8, 8}, ddc.Options{})
+	applied, err := ddc.ReplayWAL(bytes.NewReader(log.Bytes()), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 {
+		t.Fatalf("applied = %d", applied)
+	}
+	if fresh.Total() != 8 {
+		t.Fatalf("recovered total = %d", fresh.Total())
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := newTestServer(t, nil, mustCube(t, []int{16, 16}, ddc.Options{}))
+	_, _ = post(t, srv.URL+"/v1/add", `{"point":[2,2],"delta":5}`)
+	_, _ = post(t, srv.URL+"/v1/add", `{"point":[9,9],"delta":3}`)
+	_, out := get(t, srv.URL+"/v1/explain?point=10,10")
+	if out["prefix"].(float64) != 8 {
+		t.Fatalf("explain prefix = %v", out)
+	}
+	parts := out["contributions"].([]interface{})
+	if len(parts) == 0 {
+		t.Fatal("no contributions")
+	}
+	var total float64
+	for _, p := range parts {
+		total += p.(map[string]interface{})["Value"].(float64)
+	}
+	if total != 8 {
+		t.Fatalf("contributions sum to %v", total)
+	}
+	resp, err := http.Get(srv.URL + "/v1/explain?point=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad point status %d", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t, nil, mustCube(t, []int{16, 16}, ddc.Options{}))
+	resp, out := post(t, srv.URL+"/v1/batch",
+		`{"ops":[{"op":"add","point":[1,1],"value":5},{"op":"add","point":[2,2],"value":3},{"op":"set","point":[1,1],"value":10}]}`)
+	if resp.StatusCode != 200 || out["applied"].(float64) != 3 {
+		t.Fatalf("batch: %d %v", resp.StatusCode, out)
+	}
+	_, out = get(t, srv.URL+"/v1/get?point=1,1")
+	if out["value"].(float64) != 10 {
+		t.Fatalf("after batch: %v", out)
+	}
+	_, out = get(t, srv.URL+"/v1/sum?range=0,0:15,15")
+	if out["sum"].(float64) != 13 {
+		t.Fatalf("batch sum: %v", out)
+	}
+	// Partial failure reports how many applied.
+	resp, out = post(t, srv.URL+"/v1/batch",
+		`{"ops":[{"op":"add","point":[3,3],"value":1},{"op":"bogus","point":[4,4],"value":1}]}`)
+	if resp.StatusCode != 400 || out["applied"].(float64) != 1 {
+		t.Fatalf("partial batch: %d %v", resp.StatusCode, out)
+	}
+	// Empty batch rejected.
+	resp, _ = post(t, srv.URL+"/v1/batch", `{"ops":[]}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("empty batch status %d", resp.StatusCode)
+	}
+}
+
+func TestScanEndpoint(t *testing.T) {
+	srv := newTestServer(t, nil, mustCube(t, []int{16, 16}, ddc.Options{}))
+	_, _ = post(t, srv.URL+"/v1/add", `{"point":[2,2],"delta":5}`)
+	_, _ = post(t, srv.URL+"/v1/add", `{"point":[10,10],"delta":7}`)
+	_, out := get(t, srv.URL+"/v1/scan?range=0,0:5,5")
+	cells := out["cells"].([]interface{})
+	if len(cells) != 1 {
+		t.Fatalf("scan found %d cells: %v", len(cells), out)
+	}
+	cell := cells[0].(map[string]interface{})
+	if cell["value"].(float64) != 5 {
+		t.Fatalf("scan cell = %v", cell)
+	}
+	if out["truncated"].(bool) {
+		t.Fatal("unexpected truncation")
+	}
+	// limit=1 over the full domain truncates.
+	_, out = get(t, srv.URL+"/v1/scan?range=0,0:15,15&limit=1")
+	if !out["truncated"].(bool) {
+		t.Fatal("expected truncation at limit=1")
+	}
+	// Bad inputs.
+	resp, err := http.Get(srv.URL + "/v1/scan?range=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad range status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/scan?range=0,0:5,5&limit=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit status %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := newTestServer(t, nil, mustCube(t, []int{32, 32}, ddc.Options{}))
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				resp, err := http.Post(srv.URL+"/v1/add", "application/json",
+					strings.NewReader(`{"point":[1,2],"delta":1}`))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				resp, err = http.Get(srv.URL + "/v1/sum?range=0,0:31,31")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	_, out := get(t, srv.URL+"/v1/get?point=1,2")
+	if out["value"].(float64) != 180 {
+		t.Fatalf("final value = %v, want 180", out["value"])
+	}
+}

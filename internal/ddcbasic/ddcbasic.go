@@ -1,0 +1,648 @@
+// Package ddcbasic implements the Basic Dynamic Data Cube of Section 3 of
+// the paper: a 2^d-ary tree that recursively partitions the cube into
+// overlay boxes whose row-sum values are stored *directly* in dense
+// arrays of cumulative face values.
+//
+// Queries descend exactly one child per level and take one value from
+// each of at most 2^d - 1 sibling boxes, so they are O(log n). Updates,
+// however, must rewrite every cumulative face value dominated by the
+// updated cell in the covering box of every level — the dependency chain
+// of Figure 13 — which is O(n^{d-1}) in the worst case (Section 3.2).
+// The full Dynamic Data Cube of internal/core removes that cost by
+// storing each face group in its own recursive structure.
+//
+// The tree pads every dimension to a common power of two; padding cells
+// are provably zero and never allocated (children and faces materialise
+// lazily on first nonzero update), so sparse regions are free.
+package ddcbasic
+
+import (
+	"fmt"
+
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+// Tree is a Basic Dynamic Data Cube.
+type Tree struct {
+	ext  *grid.Extent // user-visible domain
+	d    int
+	n    int // padded side (power of two), common to all dimensions
+	tile int // leaf tile side (1 = the paper's full tree, Section 4.4 otherwise)
+	root *node
+	ops  cube.OpCounter
+}
+
+// node is one tree node covering a region of side `ext` (passed down the
+// recursion, not stored). It holds 2^d overlay boxes and 2^d children.
+// A nil child or box denotes an all-zero region.
+type node struct {
+	boxes    []*box
+	children []*node
+	leaf     *leaf
+}
+
+// box holds the overlay values for one child region of side k.
+//
+// faces[j] is the dense cumulative face for dimension j: entry l (a
+// (d-1)-dimensional index over the dimensions other than j, each in
+// [0,k)) stores SUM(A[anchor] : A[anchor+m]) with m_j = k-1 and m_i = l_i
+// — the paper's row sum values. sub is the subtotal cell S.
+type box struct {
+	sub   int64
+	faces [][]int64
+}
+
+// leaf is the leaf payload: a dense tile of raw A values.
+type leaf struct {
+	vals []int64
+}
+
+// New returns an empty Basic DDC over the given dimension sizes with the
+// paper's full tree (tile side 1).
+func New(dims []int) (*Tree, error) { return NewWithTile(dims, 1) }
+
+// NewWithTile returns an empty Basic DDC whose recursion stops at leaf
+// tiles of the given side (a power of two); this is the level-elision
+// optimization of Section 4.4.
+func NewWithTile(dims []int, tile int) (*Tree, error) {
+	ext, err := grid.NewExtent(dims)
+	if err != nil {
+		return nil, err
+	}
+	if tile < 1 || tile&(tile-1) != 0 {
+		return nil, grid.ErrBadExtent
+	}
+	n := tile
+	for _, sz := range dims {
+		if p := grid.NextPow2(sz); p > n {
+			n = p
+		}
+	}
+	return &Tree{ext: ext, d: ext.D(), n: n, tile: tile}, nil
+}
+
+// FromArray builds a Basic DDC holding the contents of a by replaying its
+// nonzero cells.
+func FromArray(a *cube.Array, tile int) *Tree {
+	t, err := NewWithTile(a.Dims(), tile)
+	if err != nil {
+		panic(err)
+	}
+	a.ForEachNonZero(func(p grid.Point, v int64) {
+		if err := t.Add(p, v); err != nil {
+			panic(err)
+		}
+	})
+	return t
+}
+
+// Dims returns a copy of the user-visible dimension sizes.
+func (t *Tree) Dims() []int { return t.ext.Dims() }
+
+// PaddedSide returns the internal power-of-two domain side.
+func (t *Tree) PaddedSide() int { return t.n }
+
+// Ops returns the accumulated operation counts.
+func (t *Tree) Ops() cube.OpCounter { return t.ops }
+
+// ResetOps zeroes the operation counters.
+func (t *Tree) ResetOps() { t.ops.Reset() }
+
+// addRec is the core mutation path: it descends the covering child of
+// every level exactly as Figure 12, updating the covering box's subtotal
+// and every dominated cumulative face cell with the difference, and
+// finally the raw cell in the leaf tile.
+func (t *Tree) addRec(nd *node, anchor grid.Point, ext int, p grid.Point, delta int64) {
+	t.ops.NodeVisits++
+	if ext == t.tile {
+		lf := nd.leafPayload(t)
+		off := 0
+		for i := 0; i < t.d; i++ {
+			off = off*t.tile + (p[i] - anchor[i])
+		}
+		lf.vals[off] += delta
+		t.ops.UpdateCells++
+		return
+	}
+	k := ext / 2
+	ci := 0
+	o := make(grid.Point, t.d)
+	childAnchor := make(grid.Point, t.d)
+	for i := 0; i < t.d; i++ {
+		childAnchor[i] = anchor[i]
+		if p[i]-anchor[i] >= k {
+			ci |= 1 << uint(i)
+			childAnchor[i] += k
+		}
+		o[i] = p[i] - childAnchor[i]
+	}
+	b := nd.boxPayload(t, ci, k)
+	b.sub += delta
+	t.ops.UpdateCells++
+	// Every cumulative face cell whose region contains the updated cell
+	// changes: for face j those are the entries with l_i >= o_i for all
+	// i != j (the dimension-j coordinate of the region is always k-1).
+	for j := 0; j < t.d; j++ {
+		face := b.faces[j]
+		t.forEachFaceAtLeast(j, k, o, func(off int) {
+			face[off] += delta
+			t.ops.UpdateCells++
+		})
+	}
+	child := nd.children[ci]
+	if child == nil {
+		child = &node{}
+		nd.children[ci] = child
+	}
+	t.addRec(child, childAnchor, k, p, delta)
+}
+
+// nodePayloads --------------------------------------------------------
+
+// leafPayload returns the node's leaf tile, allocating it on first use.
+func (nd *node) leafPayload(t *Tree) *leaf {
+	if nd.leaf == nil {
+		sz := 1
+		for i := 0; i < t.d; i++ {
+			sz *= t.tile
+		}
+		nd.leaf = &leaf{vals: make([]int64, sz)}
+	}
+	return nd.leaf
+}
+
+// boxPayload returns box ci of the node, allocating its faces on first
+// use.
+func (nd *node) boxPayload(t *Tree, ci, k int) *box {
+	if nd.boxes == nil {
+		nd.boxes = make([]*box, 1<<uint(t.d))
+		nd.children = make([]*node, 1<<uint(t.d))
+	}
+	b := nd.boxes[ci]
+	if b == nil {
+		faceSize := 1
+		for i := 1; i < t.d; i++ {
+			faceSize *= k
+		}
+		b = &box{faces: make([][]int64, t.d)}
+		for j := 0; j < t.d; j++ {
+			b.faces[j] = make([]int64, faceSize)
+		}
+		nd.boxes[ci] = b
+	}
+	return b
+}
+
+// forEachFaceAtLeast visits the face-j offsets of every entry l with
+// l_i >= o_i for all i != j.
+func (t *Tree) forEachFaceAtLeast(j, k int, o grid.Point, fn func(off int)) {
+	// Mixed-radix iteration over dims != j, each from o_i to k-1.
+	idx := make([]int, 0, t.d-1)
+	lo := make([]int, 0, t.d-1)
+	for i := 0; i < t.d; i++ {
+		if i == j {
+			continue
+		}
+		idx = append(idx, o[i])
+		lo = append(lo, o[i])
+	}
+	for {
+		off := 0
+		for _, v := range idx {
+			off = off*k + v
+		}
+		fn(off)
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < k {
+				break
+			}
+			idx[i] = lo[i]
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// faceOffset returns the face-j offset of entry l (dims != j, base k).
+func (t *Tree) faceOffset(j, k int, l grid.Point) int {
+	off := 0
+	for i := 0; i < t.d; i++ {
+		if i == j {
+			continue
+		}
+		off = off*k + l[i]
+	}
+	return off
+}
+
+// Add adds delta to cell p in O(n^{d-1}) worst case.
+func (t *Tree) Add(p grid.Point, delta int64) error {
+	if err := t.ext.Check(p); err != nil {
+		return err
+	}
+	if delta == 0 {
+		return nil
+	}
+	if t.root == nil {
+		t.root = &node{}
+	}
+	t.addRec(t.root, make(grid.Point, t.d), t.n, p, delta)
+	return nil
+}
+
+// Set changes the value of cell p to value.
+func (t *Tree) Set(p grid.Point, value int64) error {
+	if err := t.ext.Check(p); err != nil {
+		return err
+	}
+	return t.Add(p, value-t.Get(p))
+}
+
+// Get returns the raw value of cell p (0 outside the domain) by
+// descending to its leaf tile in O(log n).
+func (t *Tree) Get(p grid.Point) int64 {
+	if !t.ext.Contains(p) || t.root == nil {
+		return 0
+	}
+	nd := t.root
+	anchor := make(grid.Point, t.d)
+	ext := t.n
+	for ext > t.tile {
+		if nd == nil {
+			return 0
+		}
+		k := ext / 2
+		ci := 0
+		for i := 0; i < t.d; i++ {
+			if p[i]-anchor[i] >= k {
+				ci |= 1 << uint(i)
+				anchor[i] += k
+			}
+		}
+		if nd.children == nil {
+			return 0
+		}
+		nd = nd.children[ci]
+		ext = k
+	}
+	if nd == nil || nd.leaf == nil {
+		return 0
+	}
+	off := 0
+	for i := 0; i < t.d; i++ {
+		off = off*t.tile + (p[i] - anchor[i])
+	}
+	return nd.leaf.vals[off]
+}
+
+// Prefix returns SUM(A[0,...,0] : A[p]) in O(log n). Coordinates beyond
+// the domain are clamped; negative coordinates yield 0.
+func (t *Tree) Prefix(p grid.Point) int64 {
+	sum, _ := t.prefixTrace(p, nil)
+	return sum
+}
+
+// PrefixTrace returns the prefix sum together with the individual
+// contributions collected on the way down — the decomposition the paper
+// walks through in Figure 11 (51 + 48 + 24 + 16 + 7 + 5 = 151).
+func (t *Tree) PrefixTrace(p grid.Point) (int64, []int64) {
+	return t.prefixTrace(p, make([]int64, 0, 8))
+}
+
+func (t *Tree) prefixTrace(p grid.Point, parts []int64) (int64, []int64) {
+	if len(p) != t.d || t.root == nil {
+		return 0, parts
+	}
+	q := make(grid.Point, t.d)
+	for i, v := range p {
+		if v < 0 {
+			return 0, parts
+		}
+		if v >= t.n {
+			v = t.n - 1
+		}
+		q[i] = v
+	}
+	var sum int64
+	nd := t.root
+	anchor := make(grid.Point, t.d)
+	ext := t.n
+	l := make(grid.Point, t.d)
+	boxAnchor := make(grid.Point, t.d)
+	for ext > t.tile {
+		if nd == nil || nd.boxes == nil {
+			return sum, parts
+		}
+		t.ops.NodeVisits++
+		k := ext / 2
+		coverIdx := -1
+		for ci := 0; ci < 1<<uint(t.d); ci++ {
+			before := false
+			afterAll := true
+			faceDim := -1
+			for i := 0; i < t.d; i++ {
+				boxAnchor[i] = anchor[i]
+				if ci&(1<<uint(i)) != 0 {
+					boxAnchor[i] += k
+				}
+				rel := q[i] - boxAnchor[i]
+				switch {
+				case rel < 0:
+					before = true
+				case rel >= k:
+					l[i] = k - 1
+					faceDim = i
+				default:
+					l[i] = rel
+					afterAll = false
+				}
+			}
+			if before {
+				continue // the box does not intersect the target region
+			}
+			switch {
+			case afterAll:
+				// The target region includes the whole box: subtotal.
+				b := nd.boxes[ci]
+				if b != nil {
+					sum += b.sub
+					if parts != nil {
+						parts = append(parts, b.sub)
+					}
+					t.ops.QueryCells++
+				}
+			case faceDim >= 0:
+				// Partial intersection: one row sum value.
+				b := nd.boxes[ci]
+				if b != nil {
+					v := b.faces[faceDim][t.faceOffset(faceDim, k, l)]
+					sum += v
+					if parts != nil {
+						parts = append(parts, v)
+					}
+					t.ops.QueryCells++
+				}
+			default:
+				coverIdx = ci // the box covering the target cell: descend
+			}
+		}
+		if coverIdx < 0 {
+			return sum, parts
+		}
+		for i := 0; i < t.d; i++ {
+			if coverIdx&(1<<uint(i)) != 0 {
+				anchor[i] += k
+			}
+		}
+		if nd.children == nil {
+			return sum, parts
+		}
+		nd = nd.children[coverIdx]
+		ext = k
+	}
+	// Leaf tile: sum the covered prefix of raw cells directly
+	// (Section 4.4's extra 2^{(h+1)d} adds in the worst case).
+	if nd == nil || nd.leaf == nil {
+		return sum, parts
+	}
+	t.ops.NodeVisits++
+	var tileSum int64
+	idx := make([]int, t.d)
+	for {
+		off := 0
+		inside := true
+		for i := 0; i < t.d; i++ {
+			off = off*t.tile + idx[i]
+			if anchor[i]+idx[i] > q[i] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			tileSum += nd.leaf.vals[off]
+			t.ops.QueryCells++
+		}
+		i := t.d - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < t.tile {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	sum += tileSum
+	if parts != nil && tileSum != 0 {
+		parts = append(parts, tileSum)
+	}
+	return sum, parts
+}
+
+// RangeSum returns SUM(A[lo] : A[hi]) via the corner reduction.
+func (t *Tree) RangeSum(lo, hi grid.Point) (int64, error) {
+	if err := t.ext.CheckRange(lo, hi); err != nil {
+		return 0, err
+	}
+	return grid.RangeSum(t, lo, hi), nil
+}
+
+// Total returns the sum of every cell in O(2^d): the root boxes'
+// subtotals (or the root tile when the whole domain fits in one tile).
+func (t *Tree) Total() int64 {
+	if t.root == nil {
+		return 0
+	}
+	if t.root.leaf != nil {
+		var s int64
+		for _, v := range t.root.leaf.vals {
+			s += v
+		}
+		return s
+	}
+	var s int64
+	for _, b := range t.root.boxes {
+		if b != nil {
+			s += b.sub
+		}
+	}
+	return s
+}
+
+// StorageCells returns the number of allocated int64 cells (faces,
+// subtotals and leaf tiles) — the measured storage Section 4.4 reasons
+// about.
+func (t *Tree) StorageCells() int {
+	return countCells(t.root)
+}
+
+// CheckInvariants cross-validates every subtotal and cumulative face
+// value against the raw leaf tiles; for tests.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	_, err := t.checkNode(t.root, make(grid.Point, t.d), t.n)
+	return err
+}
+
+func (t *Tree) checkNode(nd *node, anchor grid.Point, ext int) (int64, error) {
+	if nd == nil {
+		return 0, nil
+	}
+	if ext == t.tile {
+		var s int64
+		if nd.leaf != nil {
+			for _, v := range nd.leaf.vals {
+				s += v
+			}
+		}
+		return s, nil
+	}
+	k := ext / 2
+	var total int64
+	for ci := 0; ci < 1<<uint(t.d); ci++ {
+		boxAnchor := anchor.Clone()
+		for i := 0; i < t.d; i++ {
+			if ci&(1<<uint(i)) != 0 {
+				boxAnchor[i] += k
+			}
+		}
+		var child *node
+		if nd.children != nil {
+			child = nd.children[ci]
+		}
+		childSum, err := t.checkNode(child, boxAnchor, k)
+		if err != nil {
+			return 0, err
+		}
+		total += childSum
+		var b *box
+		if nd.boxes != nil {
+			b = nd.boxes[ci]
+		}
+		if b == nil {
+			if childSum != 0 {
+				return 0, fmt.Errorf("ddcbasic: box at %v missing but child holds %d", boxAnchor, childSum)
+			}
+			continue
+		}
+		if b.sub != childSum {
+			return 0, fmt.Errorf("ddcbasic: box at %v: subtotal %d != raw %d", boxAnchor, b.sub, childSum)
+		}
+		// Every cumulative face value equals the direct region sum.
+		for j := 0; j < t.d; j++ {
+			var err error
+			t.forEachFaceAtLeast(j, k, make(grid.Point, t.d), func(off int) {
+				if err != nil {
+					return
+				}
+				l := t.faceCoord(j, k, off)
+				want, werr := t.rawRegionSum(child, boxAnchor, k, j, l)
+				if werr != nil {
+					err = werr
+					return
+				}
+				if got := b.faces[j][off]; got != want {
+					err = fmt.Errorf("ddcbasic: box %v face %d offset %d = %d, want %d",
+						boxAnchor, j, off, got, want)
+				}
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// faceCoord inverts faceOffset: the local coordinates (with dim j set to
+// k-1) of a face-j array offset.
+func (t *Tree) faceCoord(j, k, off int) grid.Point {
+	l := make(grid.Point, t.d)
+	for i := t.d - 1; i >= 0; i-- {
+		if i == j {
+			l[i] = k - 1
+			continue
+		}
+		l[i] = off % k
+		off /= k
+	}
+	return l
+}
+
+// rawRegionSum computes SUM(anchor : anchor+m) with m_j = k-1, m_i = l_i
+// directly from the child subtree's raw cells.
+func (t *Tree) rawRegionSum(child *node, boxAnchor grid.Point, k, j int, l grid.Point) (int64, error) {
+	var s int64
+	hi := boxAnchor.Clone()
+	for i := 0; i < t.d; i++ {
+		if i == j {
+			hi[i] += k - 1
+		} else {
+			hi[i] += l[i]
+		}
+	}
+	var err error
+	grid.ForEachInBox(boxAnchor, hi, func(p grid.Point) {
+		s += t.rawCell(child, boxAnchor, k, p)
+	})
+	return s, err
+}
+
+// rawCell reads one raw cell below a subtree rooted at anchor/ext.
+func (t *Tree) rawCell(nd *node, anchor grid.Point, ext int, p grid.Point) int64 {
+	a := anchor.Clone()
+	for ext > t.tile {
+		if nd == nil || nd.children == nil {
+			return 0
+		}
+		k := ext / 2
+		ci := 0
+		for i := 0; i < t.d; i++ {
+			if p[i]-a[i] >= k {
+				ci |= 1 << uint(i)
+				a[i] += k
+			}
+		}
+		nd = nd.children[ci]
+		ext = k
+	}
+	if nd == nil || nd.leaf == nil {
+		return 0
+	}
+	off := 0
+	for i := 0; i < t.d; i++ {
+		off = off*t.tile + (p[i] - a[i])
+	}
+	return nd.leaf.vals[off]
+}
+
+func countCells(nd *node) int {
+	if nd == nil {
+		return 0
+	}
+	c := 0
+	if nd.leaf != nil {
+		c += len(nd.leaf.vals)
+	}
+	for _, b := range nd.boxes {
+		if b == nil {
+			continue
+		}
+		c++ // subtotal
+		for _, f := range b.faces {
+			c += len(f)
+		}
+	}
+	for _, ch := range nd.children {
+		c += countCells(ch)
+	}
+	return c
+}

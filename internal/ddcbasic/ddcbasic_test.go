@@ -1,0 +1,360 @@
+package ddcbasic
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+func randomArray(t *testing.T, dims []int, seed int64) *cube.Array {
+	t.Helper()
+	a, err := cube.New(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seed
+	a.Extent().ForEach(func(p grid.Point) {
+		s = s*6364136223846793005 + 1442695040888963407
+		if err := a.Set(p, s%30-5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return a
+}
+
+func TestPrefixMatchesNaive(t *testing.T) {
+	for _, dims := range [][]int{{8}, {13}, {8, 8}, {5, 9}, {4, 4, 4}, {3, 5, 2}, {2, 2, 2, 2}} {
+		for _, tile := range []int{1, 2, 4} {
+			a := randomArray(t, dims, 7)
+			tr := FromArray(a, tile)
+			a.Extent().ForEach(func(p grid.Point) {
+				if got, want := tr.Prefix(p), a.Prefix(p); got != want {
+					t.Fatalf("dims %v tile %d: Prefix(%v) = %d, want %d", dims, tile, p, got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestRangeSumMatchesNaive(t *testing.T) {
+	a := randomArray(t, []int{6, 7}, 13)
+	tr := FromArray(a, 1)
+	a.Extent().ForEach(func(lo grid.Point) {
+		loC := lo.Clone()
+		a.Extent().ForEach(func(hi grid.Point) {
+			if !loC.DominatedBy(hi) {
+				return
+			}
+			want, _ := a.RangeSum(loC, hi)
+			got, err := tr.RangeSum(loC, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("RangeSum(%v,%v) = %d, want %d", loC, hi, got, want)
+			}
+		})
+	})
+}
+
+func TestSetGetTotal(t *testing.T) {
+	tr, err := New([]int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Set(grid.Point{3, 5}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Set(grid.Point{3, 5}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Get(grid.Point{3, 5}); got != 4 {
+		t.Fatalf("Get = %d, want 4", got)
+	}
+	if got := tr.Total(); got != 4 {
+		t.Fatalf("Total = %d, want 4", got)
+	}
+	if got := tr.Get(grid.Point{9, 9}); got != 0 {
+		t.Fatalf("out-of-range Get = %d", got)
+	}
+	if got := tr.Get(grid.Point{0, 0}); got != 0 {
+		t.Fatalf("untouched Get = %d", got)
+	}
+}
+
+func TestSingleTileDomain(t *testing.T) {
+	// Whole domain fits in one tile: the tree degenerates to a dense
+	// tile, and everything must still work.
+	tr, err := NewWithTile([]int{3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cube.MustNew(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			v := int64(i*3 + j + 1)
+			if err := tr.Set(grid.Point{i, j}, v); err != nil {
+				t.Fatal(err)
+			}
+			_ = a.Set(grid.Point{i, j}, v)
+		}
+	}
+	if tr.Total() != a.Total() {
+		t.Fatalf("Total = %d, want %d", tr.Total(), a.Total())
+	}
+	a.Extent().ForEach(func(p grid.Point) {
+		if got, want := tr.Prefix(p), a.Prefix(p); got != want {
+			t.Fatalf("Prefix(%v) = %d, want %d", p, got, want)
+		}
+	})
+}
+
+// TestPaperFigure11 replays the paper's worked query on the reconstructed
+// Figure 2 array: the prefix sum at the target cell decomposes into the
+// six contributions 51 + 48 + 24 + 16 + 7 + 5 = 151 (Figure 11a).
+func TestPaperFigure11(t *testing.T) {
+	tr := FromArray(cube.PaperArray(), 1)
+	sum, parts := tr.PrefixTrace(grid.Point{5, 6})
+	if sum != 151 {
+		t.Fatalf("prefix at target = %d, want 151", sum)
+	}
+	want := map[int64]int{51: 1, 48: 1, 24: 1, 16: 1, 7: 1, 5: 1}
+	got := map[int64]int{}
+	for _, v := range parts {
+		if v != 0 {
+			got[v]++
+		}
+	}
+	for v, n := range want {
+		if got[v] != n {
+			t.Fatalf("contributions = %v, want components %v", parts, []int64{51, 48, 24, 16, 7, 5})
+		}
+	}
+}
+
+// TestPaperFigure12 replays the worked update: the target cell changes
+// from 5 to 6 and the difference +1 ripples through exactly the box
+// values the paper lists.
+func TestPaperFigure12(t *testing.T) {
+	a := cube.PaperArray()
+	tr := FromArray(a, 1)
+	if err := tr.Set(grid.Point{5, 6}, 6); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Set(grid.Point{5, 6}, 6)
+	// Every prefix sum must still agree after the ripple.
+	a.Extent().ForEach(func(p grid.Point) {
+		if got, want := tr.Prefix(p), a.Prefix(p); got != want {
+			t.Fatalf("after update, Prefix(%v) = %d, want %d", p, got, want)
+		}
+	})
+	// The query of Figure 11 now returns 152.
+	if got := tr.Prefix(grid.Point{5, 6}); got != 152 {
+		t.Fatalf("prefix after update = %d, want 152", got)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := New([]int{0}); err == nil {
+		t.Fatal("expected error for zero dimension")
+	}
+	if _, err := NewWithTile([]int{4}, 3); !errors.Is(err, grid.ErrBadExtent) {
+		t.Fatal("expected error for non-power-of-two tile")
+	}
+	if _, err := NewWithTile([]int{4}, 0); err == nil {
+		t.Fatal("expected error for zero tile")
+	}
+	tr, _ := New([]int{4, 4})
+	if err := tr.Add(grid.Point{4, 0}, 1); !errors.Is(err, grid.ErrRange) {
+		t.Fatalf("Add error = %v", err)
+	}
+	if err := tr.Set(grid.Point{0}, 1); !errors.Is(err, grid.ErrDims) {
+		t.Fatalf("Set error = %v", err)
+	}
+	if got := tr.Prefix(grid.Point{-1, 0}); got != 0 {
+		t.Fatalf("negative Prefix = %d", got)
+	}
+	if got := tr.Prefix(grid.Point{0}); got != 0 {
+		t.Fatalf("wrong-dims Prefix = %d", got)
+	}
+}
+
+func TestPaddingIsFree(t *testing.T) {
+	// A 5x5 domain pads to 8x8; prefix queries beyond the domain clamp
+	// into the zero padding and must equal the grand total.
+	a := randomArray(t, []int{5, 5}, 21)
+	tr := FromArray(a, 1)
+	if got := tr.Prefix(grid.Point{7, 7}); got != a.Total() {
+		t.Fatalf("padded Prefix = %d, want %d", got, a.Total())
+	}
+	if got := tr.Prefix(grid.Point{100, 100}); got != a.Total() {
+		t.Fatalf("clamped Prefix = %d, want %d", got, a.Total())
+	}
+}
+
+func TestSparseStorage(t *testing.T) {
+	// One nonzero cell in a big domain must allocate only one root-to-
+	// leaf path, not the domain.
+	tr, err := New([]int{1024, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(grid.Point{1000, 3}, 9); err != nil {
+		t.Fatal(err)
+	}
+	cells := tr.StorageCells()
+	// One box per level with faces of size k each (2 faces of k cells,
+	// d=2): sum over k = 512..1 of (2k+1), plus the leaf. Far below the
+	// 2^20-cell domain.
+	if cells >= 1<<20/16 {
+		t.Fatalf("sparse storage = %d cells; not sparse", cells)
+	}
+	if got := tr.Prefix(grid.Point{1023, 1023}); got != 9 {
+		t.Fatalf("total = %d, want 9", got)
+	}
+}
+
+func TestUpdateCostGrowsLinearlyIn2D(t *testing.T) {
+	// Section 3.2: the basic tree's update cost is O(n^{d-1}) = O(n) in
+	// two dimensions. Verify the measured cell-touch count roughly
+	// doubles as n doubles (worst-case update at the origin).
+	costs := map[int]uint64{}
+	for _, n := range []int{64, 128, 256} {
+		tr, err := New([]int{n, n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = tr.Add(grid.Point{0, 0}, 1) // allocate the path
+		tr.ResetOps()
+		_ = tr.Add(grid.Point{0, 0}, 1)
+		costs[n] = tr.Ops().UpdateCells
+	}
+	r1 := float64(costs[128]) / float64(costs[64])
+	r2 := float64(costs[256]) / float64(costs[128])
+	if r1 < 1.7 || r1 > 2.3 || r2 < 1.7 || r2 > 2.3 {
+		t.Fatalf("update cost ratios %.2f, %.2f not ~2 (costs %v)", r1, r2, costs)
+	}
+}
+
+// TestUpdateCostMatchesSection32Formula checks the measured worst-case
+// update cost against the paper's closed form
+// d (n^{d-1} - 1) / (2^{d-1} - 1), within implementation constants
+// (our boxes store d full faces rather than the deduplicated
+// k^d - (k-1)^d cells, plus one subtotal and leaf write per level).
+func TestUpdateCostMatchesSection32Formula(t *testing.T) {
+	for _, c := range []struct{ d, n int }{{2, 64}, {2, 256}, {3, 16}, {3, 32}} {
+		dims := make([]int, c.d)
+		for i := range dims {
+			dims[i] = c.n
+		}
+		tr, err := NewWithTile(dims, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		origin := make(grid.Point, c.d)
+		if err := tr.Add(origin, 1); err != nil { // allocate the path
+			t.Fatal(err)
+		}
+		tr.ResetOps()
+		if err := tr.Add(origin, 1); err != nil {
+			t.Fatal(err)
+		}
+		measured := float64(tr.Ops().UpdateCells)
+		formula := float64(c.d) * (math.Pow(float64(c.n), float64(c.d-1)) - 1) /
+			(math.Pow(2, float64(c.d-1)) - 1)
+		if ratio := measured / formula; ratio < 0.8 || ratio > 2.5 {
+			t.Fatalf("d=%d n=%d: measured %v vs formula %v (ratio %.2f)",
+				c.d, c.n, measured, formula, ratio)
+		}
+	}
+}
+
+func TestQueryCostIsLogarithmic(t *testing.T) {
+	tr, _ := New([]int{256, 256})
+	a := randomArray(t, []int{256, 256}, 3)
+	a.ForEachNonZero(func(p grid.Point, v int64) { _ = tr.Add(p, v) })
+	tr.ResetOps()
+	tr.Prefix(grid.Point{200, 131})
+	ops := tr.Ops()
+	// 8 levels, at most 3 box values per level for d=2, plus node visits.
+	if ops.QueryCells > 3*8 {
+		t.Fatalf("query touched %d cells, want <= 24", ops.QueryCells)
+	}
+	if ops.NodeVisits > 9 {
+		t.Fatalf("query visited %d nodes, want <= 9", ops.NodeVisits)
+	}
+}
+
+func TestInvariants(t *testing.T) {
+	// Empty, single-set, random and post-update trees all validate.
+	tr, _ := New([]int{8, 8})
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("empty: %v", err)
+	}
+	_ = tr.Set(grid.Point{3, 5}, 7)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("one set: %v", err)
+	}
+	a := randomArray(t, []int{8, 8}, 41)
+	tr2 := FromArray(a, 1)
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatalf("random: %v", err)
+	}
+	_ = tr2.Set(grid.Point{0, 0}, -9)
+	_ = tr2.Add(grid.Point{7, 7}, 3)
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatalf("after updates: %v", err)
+	}
+	// 3-d with tiles.
+	a3 := randomArray(t, []int{4, 4, 4}, 43)
+	tr3 := FromArray(a3, 2)
+	if err := tr3.CheckInvariants(); err != nil {
+		t.Fatalf("3-d: %v", err)
+	}
+}
+
+func TestInvariantsDetectCorruption(t *testing.T) {
+	tr, _ := New([]int{8, 8})
+	_ = tr.Set(grid.Point{2, 2}, 5)
+	for _, b := range tr.root.boxes {
+		if b != nil {
+			b.faces[0][0] += 7
+			break
+		}
+	}
+	if err := tr.CheckInvariants(); err == nil {
+		t.Fatal("face corruption not detected")
+	}
+}
+
+func TestQuickEquivalence(t *testing.T) {
+	dims := []int{6, 6}
+	f := func(ops [24]struct {
+		P0, P1 uint8
+		V      int16
+	}) bool {
+		a, _ := cube.New(dims)
+		tr, _ := NewWithTile(dims, 2)
+		for _, op := range ops {
+			p := grid.Point{int(op.P0) % 6, int(op.P1) % 6}
+			if err := a.Set(p, int64(op.V)); err != nil {
+				return false
+			}
+			if err := tr.Set(p, int64(op.V)); err != nil {
+				return false
+			}
+			q := grid.Point{int(op.P1) % 6, int(op.P0) % 6}
+			if tr.Prefix(q) != a.Prefix(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"ddc/internal/costmodel"
+)
+
+func init() {
+	register("table1", "Update cost functions by method, d=8 (Table 1)", Table1)
+	register("figure1", "Comparison of update functions, d=8, log-log (Figure 1)", Figure1)
+	register("table2", "Overlay box storage vs covered region (Table 2)", Table2)
+}
+
+// Table1 reproduces Table 1: worst-case update cost by method for d = 8
+// and n = 10^2 .. 10^9, rounded to the nearest power of ten, plus the
+// paper's 500 MIPS wall-time projections quoted in Section 1.
+func Table1(w io.Writer) error {
+	const d = 8
+	t := &Table{
+		Title: "Update cost functions by method, d=8 (values rounded to nearest power of 10)",
+		Headers: []string{"n", "Full Data Cube Size =n^d", "Prefix Sum =n^d",
+			"Relative PS =n^(d/2)", "Dynamic Data Cube =(log2 n)^d",
+			"PS wall time @500MIPS", "RPS wall time", "DDC wall time"},
+	}
+	for e := 2; e <= 9; e++ {
+		n := math.Pow(10, float64(e))
+		t.AddRow(
+			fmt.Sprintf("10^%d", e),
+			costmodel.PowerOf10(costmodel.FullCube, n, d),
+			costmodel.PowerOf10(costmodel.PrefixSum, n, d),
+			costmodel.PowerOf10(costmodel.RelativePrefixSum, n, d),
+			costmodel.PowerOf10(costmodel.DynamicDataCube, n, d),
+			costmodel.HumanDuration(costmodel.Seconds(costmodel.PrefixSum, n, d)),
+			costmodel.HumanDuration(costmodel.Seconds(costmodel.RelativePrefixSum, n, d)),
+			costmodel.HumanDuration(costmodel.Seconds(costmodel.DynamicDataCube, n, d)),
+		)
+	}
+	t.Notes = []string{
+		"paper, Section 1: PS at n=10^2 needs \"more than 6 months\"; RPS at n=10^4 needs \"231 days\"; DDC updates the same cell in \"under 2 seconds\"",
+	}
+	return t.Render(w)
+}
+
+// Figure1 reproduces Figure 1: the three update-cost curves on log-log
+// axes, rendered as a table of log10 values plus an ASCII chart.
+func Figure1(w io.Writer) error {
+	const d = 8
+	exps := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	t := &Table{
+		Title:   "Comparison of update functions, d=8 (log10 of operation count)",
+		Headers: []string{"n", "log10 PS", "log10 RPS", "log10 DDC"},
+	}
+	for _, e := range exps {
+		n := math.Pow(10, e)
+		t.AddRow(fmt.Sprintf("1E+%02.0f", e),
+			costmodel.Log10(costmodel.PrefixSum, n, d),
+			costmodel.Log10(costmodel.RelativePrefixSum, n, d),
+			costmodel.Log10(costmodel.DynamicDataCube, n, d))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	return asciiChart(w, exps, d)
+}
+
+// asciiChart draws the three curves the way Figure 1 does: y axis is
+// log10(operations) from 0 to 78, x axis is log10(n).
+func asciiChart(w io.Writer, exps []float64, d int) error {
+	const height = 27 // one row per 3 decades, 0..78
+	width := len(exps)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width*6))
+	}
+	plot := func(m costmodel.Method, ch byte) {
+		for xi, e := range exps {
+			y := costmodel.Log10(m, math.Pow(10, e), d)
+			row := height - 1 - int(y/3)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][xi*6+2] = ch
+		}
+	}
+	plot(costmodel.PrefixSum, 'P')
+	plot(costmodel.RelativePrefixSum, 'R')
+	plot(costmodel.DynamicDataCube, 'D')
+	var b strings.Builder
+	b.WriteString("  ops (log10)\n")
+	for i, row := range grid {
+		fmt.Fprintf(&b, "%5d |%s\n", (height-1-i)*3, string(row))
+	}
+	b.WriteString("      +" + strings.Repeat("-", width*6) + "\n       ")
+	for _, e := range exps {
+		fmt.Fprintf(&b, "1E%-4.0f", e)
+	}
+	b.WriteString(" n (log scale)\n  P = Prefix Sum, R = Relative Prefix Sum, D = Dynamic Data Cube\n\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Figure1CSV emits the Figure 1 series as CSV (n, PS, RPS, DDC in log10
+// operations), for plotting outside the terminal.
+func Figure1CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "n,log10_prefix_sum,log10_relative_ps,log10_dynamic_data_cube"); err != nil {
+		return err
+	}
+	const d = 8
+	for e := 1.0; e <= 9; e++ {
+		n := math.Pow(10, e)
+		if _, err := fmt.Fprintf(w, "%.0f,%.4f,%.4f,%.4f\n", n,
+			costmodel.Log10(costmodel.PrefixSum, n, d),
+			costmodel.Log10(costmodel.RelativePrefixSum, n, d),
+			costmodel.Log10(costmodel.DynamicDataCube, n, d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table2 reproduces Table 2: the storage an overlay box of side k needs
+// (k^d - (k-1)^d cells) as a percentage of the k^d cells it covers, for
+// d = 2 (the paper's illustration) and d = 3.
+func Table2(w io.Writer) error {
+	t := &Table{
+		Title:   "Required storage, overlay boxes versus array A",
+		Headers: []string{"k", "overlay box (d=2)", "region k^2", "O.B./A %", "overlay box (d=3)", "region k^3", "O.B./A %"},
+	}
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		t.AddRow(k,
+			costmodel.OverlayStorageCells(k, 2).String(),
+			costmodel.CoveredRegionCells(k, 2).String(),
+			fmt.Sprintf("%.2f%%", costmodel.OverlayStoragePercent(k, 2)),
+			costmodel.OverlayStorageCells(k, 3).String(),
+			costmodel.CoveredRegionCells(k, 3).String(),
+			fmt.Sprintf("%.2f%%", costmodel.OverlayStoragePercent(k, 3)),
+		)
+	}
+	t.Notes = []string{
+		"as k doubles, the overlay's share of the region it covers roughly halves — the basis for eliding the lowest tree levels (Section 4.4)",
+	}
+	return t.Render(w)
+}

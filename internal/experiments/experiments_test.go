@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete pins the experiment inventory to DESIGN.md's
+// per-experiment index.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "figure1", "table2",
+		"figure2", "figure3", "figure5", "figure9", "figure11", "figure14",
+		"thm1", "thm2", "crossover", "crossover3d", "rangecost", "ablation-fenwick",
+		"sec5sparse", "sec5growth",
+		"ablation-tile", "ablation-fanout", "ablation-bulk",
+	}
+	got := map[string]bool{}
+	for _, e := range All() {
+		got[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("registry has %d experiments, DESIGN.md indexes %d", len(got), len(want))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("table1"); !ok {
+		t.Fatal("table1 not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+// TestEveryExperimentRuns executes each experiment and checks it
+// produces non-trivial output without error.
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if buf.Len() < 50 {
+				t.Fatalf("suspiciously short output (%d bytes):\n%s", buf.Len(), buf.String())
+			}
+		})
+	}
+}
+
+func TestFigure1CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure1CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("CSV has %d lines, want header + 9", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "n,log10_prefix_sum") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[9], "1000000000,72.0000,36.0000,") {
+		t.Fatalf("last row = %q", lines[9])
+	}
+}
+
+// TestTable1GoldenCells asserts the rendered Table 1 contains the
+// paper's headline cells.
+func TestTable1GoldenCells(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"1E+16", // PS at n=10^2
+		"1E+32", // PS at n=10^4
+		"1E+72", // PS at n=10^9
+		"1E+36", // RPS at n=10^9
+		"231 days",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure11Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure11(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"151", "152"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 11 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure14Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure14(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"53", "38"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 14 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(buf.String(), "==== "+e.ID) {
+			t.Errorf("RunAll output missing section %q", e.ID)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Headers: []string{"a", "bb"},
+		Notes:   []string{"n1"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", 3.0)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T\n", "a", "bb", "2.5", "3", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "3.000") {
+		t.Error("floats should be trimmed")
+	}
+}
+
+func TestTableRenderWriteError(t *testing.T) {
+	tab := &Table{Headers: []string{"a"}}
+	tab.AddRow(1)
+	if err := tab.Render(failWriter{}); err == nil {
+		t.Fatal("expected write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

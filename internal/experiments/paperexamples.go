@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ddc/internal/bctree"
+	"ddc/internal/cube"
+	"ddc/internal/ddcbasic"
+	"ddc/internal/grid"
+	"ddc/internal/prefixsum"
+)
+
+func init() {
+	register("figure2", "The running-example array A (Figure 2, reconstructed)", Figure2)
+	register("figure3", "Array P of the prefix sum method (Figure 3)", Figure3)
+	register("figure5", "Cascading updates in array P (Figure 5)", Figure5)
+	register("figure9", "The basic tree over the 8x8 example (Figure 9)", Figure9)
+	register("figure11", "Worked query decomposition (Figures 10-11a)", Figure11)
+	register("figure14", "B_c tree worked example (Figure 14)", Figure14)
+}
+
+// renderGrid prints an 8x8 int64 grid with the 4x4 overlay partition of
+// Figure 6 marked.
+func renderGrid(w io.Writer, title string, vals []int64) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		line := "  "
+		for j := 0; j < 8; j++ {
+			if j == 4 {
+				line += "| "
+			}
+			line += fmt.Sprintf("%4d ", vals[i*8+j])
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		if i == 3 {
+			if _, err := fmt.Fprintln(w, "  "+dashes(52)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// Figure2 prints the reconstructed running-example array A together with
+// every quantity the paper quotes about it.
+func Figure2(w io.Writer) error {
+	a := cube.PaperArray()
+	if err := renderGrid(w, "Array A (reconstructed to satisfy every quoted value; see internal/cube/fixture.go):", a.Values()); err != nil {
+		return err
+	}
+	t := &Table{
+		Title:   "Quantities the paper quotes about this array",
+		Headers: []string{"quantity", "region", "value"},
+	}
+	quote := func(name string, lo, hi grid.Point) {
+		v, _ := a.RangeSum(lo, hi)
+		t.AddRow(name, fmt.Sprintf("A[%d,%d]:A[%d,%d]", lo[0], lo[1], hi[0], hi[1]), v)
+	}
+	quote("box Q subtotal", grid.Point{0, 0}, grid.Point{3, 3})
+	quote("overlay row sum [0,3]", grid.Point{0, 0}, grid.Point{0, 3})
+	quote("overlay row sum [1,3]", grid.Point{0, 0}, grid.Point{1, 3})
+	quote("full query of Figure 11a", grid.Point{0, 0}, grid.Point{5, 6})
+	return t.Render(w)
+}
+
+// Figure3 prints the cumulative array P the prefix sum method stores.
+func Figure3(w io.Writer) error {
+	ps := prefixsum.FromArray(cube.PaperArray())
+	return renderGrid(w, "Array P (P[i,j] = SUM(A[0,0]:A[i,j])):", ps.P())
+}
+
+// Figure5 demonstrates the cascading update: changing one cell of A
+// rewrites every dominated cell of P.
+func Figure5(w io.Writer) error {
+	ps := prefixsum.FromArray(cube.PaperArray())
+	t := &Table{
+		Title:   "Cells of P rewritten by a single update (8x8 array)",
+		Headers: []string{"updated cell", "P cells rewritten", "share of array"},
+	}
+	for _, p := range []grid.Point{{1, 1}, {4, 4}, {7, 7}, {0, 0}} {
+		n, err := ps.CascadeSize(p)
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("A[%d,%d]", p[0], p[1]), n, fmt.Sprintf("%.0f%%", 100*float64(n)/64))
+	}
+	t.Notes = []string{"updating A[0,0] rewrites the entire array — the O(n^d) worst case of Section 2"}
+	return t.Render(w)
+}
+
+// Figure9 renders the three levels of the basic tree over the example
+// array: the subtotal of each overlay box at each level.
+func Figure9(w io.Writer) error {
+	a := cube.PaperArray()
+	for _, lvl := range []struct {
+		name string
+		k    int
+	}{{"Level 2 (root node), k=n/2=4", 4}, {"Level 1, k=2", 2}, {"Level 0 (leaf level), k=1", 1}} {
+		nb := 8 / lvl.k
+		t := &Table{
+			Title:   lvl.name + " — overlay box subtotals",
+			Headers: make([]string, nb),
+		}
+		for j := range t.Headers {
+			t.Headers[j] = fmt.Sprintf("j=%d", j)
+		}
+		for i := 0; i < nb; i++ {
+			row := make([]interface{}, nb)
+			for j := 0; j < nb; j++ {
+				v, _ := a.RangeSum(
+					grid.Point{i * lvl.k, j * lvl.k},
+					grid.Point{i*lvl.k + lvl.k - 1, j*lvl.k + lvl.k - 1})
+				row[j] = v
+			}
+			t.AddRow(row...)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure11 walks the paper's query: the prefix sum at the target cell
+// decomposes into per-box contributions summing to 151.
+func Figure11(w io.Writer) error {
+	tr := ddcbasic.FromArray(cube.PaperArray(), 1)
+	target := grid.Point{cube.PaperTarget[0], cube.PaperTarget[1]}
+	sum, parts := tr.PrefixTrace(target)
+	if _, err := fmt.Fprintf(w, "Query: SUM(A[0,0] : A[%d,%d])\n", target[0], target[1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Contributions collected on the descent: %v\n", parts); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Total: %d (paper: 51 + 48 + 24 + 16 + 7 + 5 = 151)\n\n", sum); err != nil {
+		return err
+	}
+	// The Figure 12 update: the target cell changes 5 -> 6.
+	if err := tr.Set(target, 6); err != nil {
+		return err
+	}
+	sum2, _ := tr.PrefixTrace(target)
+	_, err := fmt.Fprintf(w, "After updating the target cell from 5 to 6 (Figure 12): same query = %d\n\n", sum2)
+	return err
+}
+
+// Figure14 replays the B_c tree walk-through of Section 4.1.
+func Figure14(w io.Writer) error {
+	tr := bctree.NewWithFanout(3)
+	rows := []int64{14, 9, 10, 12, 8, 13}
+	for i, v := range rows {
+		tr.Set(i+1, v)
+	}
+	if _, err := fmt.Fprintf(w, "B_c tree, fanout 3, row sums %v (keys 1..6)\n", rows); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Cumulative row sum of cell 5: %d (paper: 33 + 12 + 8 = 53)\n", tr.PrefixSum(5)); err != nil {
+		return err
+	}
+	tr.Set(3, 15)
+	if _, err := fmt.Fprintf(w, "After updating cell 3 from 10 to 15: row sum of cell 3 = %d (root STS 33 -> 38)\n", tr.PrefixSum(3)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "Tree height %d, %d nodes\n\n", tr.Height(), tr.Nodes())
+	return err
+}

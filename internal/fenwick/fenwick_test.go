@@ -1,0 +1,151 @@
+package fenwick
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+func randomArray(t *testing.T, dims []int, seed int64) *cube.Array {
+	t.Helper()
+	a, err := cube.New(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seed
+	a.Extent().ForEach(func(p grid.Point) {
+		s = s*6364136223846793005 + 1442695040888963407
+		if err := a.Set(p, s%40-10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return a
+}
+
+func TestPrefixMatchesNaive(t *testing.T) {
+	for _, dims := range [][]int{{13}, {8, 8}, {5, 7}, {3, 4, 5}, {2, 3, 2, 3}} {
+		a := randomArray(t, dims, 99)
+		f := FromArray(a)
+		a.Extent().ForEach(func(p grid.Point) {
+			if got, want := f.Prefix(p), a.Prefix(p); got != want {
+				t.Fatalf("dims %v: Prefix(%v) = %d, want %d", dims, p, got, want)
+			}
+		})
+	}
+}
+
+func TestRangeSumMatchesNaive(t *testing.T) {
+	a := randomArray(t, []int{6, 6}, 3)
+	f := FromArray(a)
+	a.Extent().ForEach(func(lo grid.Point) {
+		loC := lo.Clone()
+		a.Extent().ForEach(func(hi grid.Point) {
+			if !loC.DominatedBy(hi) {
+				return
+			}
+			want, _ := a.RangeSum(loC, hi)
+			got, err := f.RangeSum(loC, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("RangeSum(%v,%v) = %d, want %d", loC, hi, got, want)
+			}
+		})
+	})
+}
+
+func TestSetGet(t *testing.T) {
+	f, err := New([]int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set(grid.Point{2, 5}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set(grid.Point{2, 5}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Get(grid.Point{2, 5}); got != 4 {
+		t.Fatalf("Get = %d, want 4", got)
+	}
+	if got := f.Prefix(grid.Point{7, 7}); got != 4 {
+		t.Fatalf("total = %d, want 4", got)
+	}
+	if got := f.Get(grid.Point{9, 9}); got != 0 {
+		t.Fatalf("out-of-range Get = %d", got)
+	}
+}
+
+func TestUpdateCostIsLogarithmic(t *testing.T) {
+	f, _ := New([]int{1024})
+	f.ResetOps()
+	if err := f.Add(grid.Point{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Index 1 touches at most log2(1024)+1 = 11 Fenwick cells.
+	if ops := f.Ops().UpdateCells; ops > 11 {
+		t.Fatalf("1-d update touched %d cells, want <= 11", ops)
+	}
+	g, _ := New([]int{64, 64})
+	g.ResetOps()
+	if err := g.Add(grid.Point{0, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ops := g.Ops().UpdateCells; ops > 49 {
+		t.Fatalf("2-d update touched %d cells, want <= 49", ops)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := New([]int{0}); err == nil {
+		t.Fatal("expected error for zero dimension")
+	}
+	f, _ := New([]int{4, 4})
+	if err := f.Add(grid.Point{4, 0}, 1); !errors.Is(err, grid.ErrRange) {
+		t.Fatalf("Add error = %v", err)
+	}
+	if err := f.Set(grid.Point{0}, 1); !errors.Is(err, grid.ErrDims) {
+		t.Fatalf("Set error = %v", err)
+	}
+	if got := f.Prefix(grid.Point{-1, 0}); got != 0 {
+		t.Fatalf("negative Prefix = %d", got)
+	}
+	if got := f.Prefix(grid.Point{0, 0, 0}); got != 0 {
+		t.Fatalf("wrong-dims Prefix = %d", got)
+	}
+	if got := f.Prefix(grid.Point{100, 100}); got != 0 {
+		t.Fatalf("clamped empty Prefix = %d", got)
+	}
+}
+
+func TestRandomOpsQuick(t *testing.T) {
+	dims := []int{7, 5, 3}
+	f := func(ops [30]struct {
+		P0, P1, P2 uint8
+		V          int16
+	}) bool {
+		a, _ := cube.New(dims)
+		fw, _ := New(dims)
+		for _, op := range ops {
+			p := grid.Point{int(op.P0) % 7, int(op.P1) % 5, int(op.P2) % 3}
+			if err := a.Set(p, int64(op.V)); err != nil {
+				return false
+			}
+			if err := fw.Set(p, int64(op.V)); err != nil {
+				return false
+			}
+			q := grid.Point{int(op.P2) % 7, int(op.P0) % 5, int(op.P1) % 3}
+			if fw.Prefix(q) != a.Prefix(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

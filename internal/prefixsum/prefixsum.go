@@ -1,0 +1,178 @@
+// Package prefixsum implements the prefix sum method of Ho, Agrawal,
+// Megiddo and Srikant [HAMS97], the first baseline of Section 2 of the
+// paper. An auxiliary array P of the same size as A stores, in every
+// cell, the sum of all cells of A dominated by it:
+//
+//	P[x] = SUM(A[0,...,0] : A[x])
+//
+// Any range sum is then answered in O(1) by combining at most 2^d cells
+// of P (inclusion/exclusion, Figure 4), but a point update to A must
+// rewrite every cell of P that dominates the updated cell — O(n^d) in the
+// worst case (the cascading update of Figure 5; updating A[0,...,0]
+// rewrites the entire array).
+package prefixsum
+
+import (
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+// PS is the prefix sum structure. It keeps both the raw array A (so point
+// reads and value-style updates work) and the cumulative array P.
+type PS struct {
+	ext *grid.Extent
+	a   []int64 // raw cell values
+	p   []int64 // P[x] = SUM(A[0]:A[x])
+	ops cube.OpCounter
+}
+
+// New returns an empty prefix sum cube with the given dimension sizes.
+func New(dims []int) (*PS, error) {
+	ext, err := grid.NewExtent(dims)
+	if err != nil {
+		return nil, err
+	}
+	return &PS{
+		ext: ext,
+		a:   make([]int64, ext.Cells()),
+		p:   make([]int64, ext.Cells()),
+	}, nil
+}
+
+// FromArray precomputes P for an existing array in O(d * n^d) time using
+// the standard dimension-sweep (each sweep turns P into the running sum
+// along one dimension).
+func FromArray(a *cube.Array) *PS {
+	ps, err := New(a.Dims())
+	if err != nil {
+		panic(err) // a's dims are already validated
+	}
+	copy(ps.a, a.Values())
+	copy(ps.p, ps.a)
+	ps.sweep()
+	return ps
+}
+
+// sweep converts ps.p from raw values to prefix sums in place.
+func (ps *PS) sweep() {
+	dims := ps.ext.Dims()
+	d := len(dims)
+	// For each dimension, add the predecessor along that dimension.
+	for dim := 0; dim < d; dim++ {
+		stride := 1
+		for i := d - 1; i > dim; i-- {
+			stride *= dims[i]
+		}
+		block := stride * dims[dim]
+		for base := 0; base < len(ps.p); base += block {
+			for idx := 1; idx < dims[dim]; idx++ {
+				rowOff := base + idx*stride
+				prevOff := rowOff - stride
+				for j := 0; j < stride; j++ {
+					ps.p[rowOff+j] += ps.p[prevOff+j]
+				}
+			}
+		}
+	}
+}
+
+// Dims returns a copy of the dimension sizes.
+func (ps *PS) Dims() []int { return ps.ext.Dims() }
+
+// Ops returns the accumulated operation counts.
+func (ps *PS) Ops() cube.OpCounter { return ps.ops }
+
+// ResetOps zeroes the operation counters.
+func (ps *PS) ResetOps() { ps.ops.Reset() }
+
+// Get returns the raw value of cell p (0 outside the domain).
+func (ps *PS) Get(p grid.Point) int64 {
+	if !ps.ext.Contains(p) {
+		return 0
+	}
+	return ps.a[ps.ext.Offset(p)]
+}
+
+// Prefix returns SUM(A[0,...,0] : A[p]) in O(1). Coordinates beyond the
+// domain are clamped; any negative coordinate yields 0.
+func (ps *PS) Prefix(p grid.Point) int64 {
+	if len(p) != ps.ext.D() {
+		return 0
+	}
+	q := make(grid.Point, len(p))
+	for i, v := range p {
+		if v < 0 {
+			return 0
+		}
+		if v >= ps.ext.Dim(i) {
+			v = ps.ext.Dim(i) - 1
+		}
+		q[i] = v
+	}
+	ps.ops.QueryCells++
+	return ps.p[ps.ext.Offset(q)]
+}
+
+// RangeSum returns SUM(A[lo] : A[hi]) using at most 2^d cells of P.
+func (ps *PS) RangeSum(lo, hi grid.Point) (int64, error) {
+	if err := ps.ext.CheckRange(lo, hi); err != nil {
+		return 0, err
+	}
+	return grid.RangeSum(ps, lo, hi), nil
+}
+
+// Set changes the value of cell p to value, propagating the difference to
+// every cell of P that dominates p — the method's O(n^d) worst-case
+// cascading update. It returns the number of P cells rewritten, which the
+// experiment harness uses to reproduce Figure 5 and Table 1.
+func (ps *PS) Set(p grid.Point, value int64) (rewritten int, err error) {
+	if err := ps.ext.Check(p); err != nil {
+		return 0, err
+	}
+	delta := value - ps.a[ps.ext.Offset(p)]
+	return ps.addDelta(p, delta), nil
+}
+
+// Add adds delta to cell p; see Set for cost characteristics.
+func (ps *PS) Add(p grid.Point, delta int64) (rewritten int, err error) {
+	if err := ps.ext.Check(p); err != nil {
+		return 0, err
+	}
+	return ps.addDelta(p, delta), nil
+}
+
+func (ps *PS) addDelta(p grid.Point, delta int64) (rewritten int) {
+	ps.a[ps.ext.Offset(p)] += delta
+	if delta == 0 {
+		return 0
+	}
+	// Every cell q with q >= p componentwise includes A[p] in its prefix
+	// sum (the shaded region of Figure 5).
+	hi := make(grid.Point, ps.ext.D())
+	for i := range hi {
+		hi[i] = ps.ext.Dim(i) - 1
+	}
+	grid.ForEachInBox(p, hi, func(q grid.Point) {
+		ps.p[ps.ext.Offset(q)] += delta
+		rewritten++
+	})
+	ps.ops.UpdateCells += uint64(rewritten)
+	return rewritten
+}
+
+// CascadeSize returns the number of P cells an update at p would rewrite,
+// without performing the update: the size of the dominated region.
+func (ps *PS) CascadeSize(p grid.Point) (int, error) {
+	if err := ps.ext.Check(p); err != nil {
+		return 0, err
+	}
+	n := 1
+	for i, v := range p {
+		n *= ps.ext.Dim(i) - v
+	}
+	return n, nil
+}
+
+// P returns a copy of the cumulative array, row-major; used by the
+// experiment harness to render Figure 3.
+func (ps *PS) P() []int64 { return append([]int64(nil), ps.p...) }

@@ -1,0 +1,201 @@
+package prefixsum
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+func randomArray(t *testing.T, dims []int, seed int64) *cube.Array {
+	t.Helper()
+	a, err := cube.New(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seed
+	a.Extent().ForEach(func(p grid.Point) {
+		s = s*6364136223846793005 + 1442695040888963407
+		if err := a.Set(p, s%50-10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]int{0}); err == nil {
+		t.Fatal("expected error for zero dimension")
+	}
+}
+
+func TestFromArrayMatchesNaivePrefix(t *testing.T) {
+	for _, dims := range [][]int{{7}, {4, 5}, {3, 4, 2}, {2, 2, 2, 2}} {
+		a := randomArray(t, dims, 42)
+		ps := FromArray(a)
+		a.Extent().ForEach(func(p grid.Point) {
+			if got, want := ps.Prefix(p), a.Prefix(p); got != want {
+				t.Fatalf("dims %v: Prefix(%v) = %d, want %d", dims, p, got, want)
+			}
+		})
+	}
+}
+
+func TestRangeSumMatchesNaive(t *testing.T) {
+	a := randomArray(t, []int{5, 6}, 7)
+	ps := FromArray(a)
+	a.Extent().ForEach(func(lo grid.Point) {
+		loC := lo.Clone()
+		a.Extent().ForEach(func(hi grid.Point) {
+			if !loC.DominatedBy(hi) {
+				return
+			}
+			want, err := a.RangeSum(loC, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ps.RangeSum(loC, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("RangeSum(%v,%v) = %d, want %d", loC, hi, got, want)
+			}
+		})
+	})
+}
+
+func TestSetPropagates(t *testing.T) {
+	a := randomArray(t, []int{4, 4}, 3)
+	ps := FromArray(a)
+	n, err := ps.Set(grid.Point{1, 2}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells dominating (1,2): rows 1..3, cols 2..3 -> 3*2 = 6.
+	if n != 6 {
+		t.Fatalf("rewrote %d cells, want 6", n)
+	}
+	if err := a.Set(grid.Point{1, 2}, 99); err != nil {
+		t.Fatal(err)
+	}
+	a.Extent().ForEach(func(p grid.Point) {
+		if got, want := ps.Prefix(p), a.Prefix(p); got != want {
+			t.Fatalf("after Set, Prefix(%v) = %d, want %d", p, got, want)
+		}
+	})
+	if ps.Get(grid.Point{1, 2}) != 99 {
+		t.Fatal("Get does not reflect Set")
+	}
+}
+
+func TestWorstCaseCascade(t *testing.T) {
+	// Updating A[0,...,0] rewrites the entire array (Section 2).
+	ps, err := New([]int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ps.Add(grid.Point{0, 0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 64 {
+		t.Fatalf("worst-case cascade rewrote %d cells, want 64", n)
+	}
+	if sz, _ := ps.CascadeSize(grid.Point{0, 0, 0}); sz != 64 {
+		t.Fatalf("CascadeSize = %d, want 64", sz)
+	}
+	if sz, _ := ps.CascadeSize(grid.Point{3, 3, 3}); sz != 1 {
+		t.Fatalf("corner CascadeSize = %d, want 1", sz)
+	}
+}
+
+func TestZeroDeltaIsFree(t *testing.T) {
+	a := randomArray(t, []int{4, 4}, 5)
+	ps := FromArray(a)
+	v := ps.Get(grid.Point{0, 0})
+	n, err := ps.Set(grid.Point{0, 0}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("no-op Set rewrote %d cells", n)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	ps, _ := New([]int{4, 4})
+	if _, err := ps.Set(grid.Point{4, 0}, 1); !errors.Is(err, grid.ErrRange) {
+		t.Fatalf("Set out-of-range error = %v", err)
+	}
+	if _, err := ps.Add(grid.Point{0}, 1); !errors.Is(err, grid.ErrDims) {
+		t.Fatalf("Add wrong-dims error = %v", err)
+	}
+	if _, err := ps.RangeSum(grid.Point{2, 0}, grid.Point{1, 0}); !errors.Is(err, grid.ErrEmptyRange) {
+		t.Fatalf("RangeSum inverted error = %v", err)
+	}
+	if _, err := ps.CascadeSize(grid.Point{9, 9}); !errors.Is(err, grid.ErrRange) {
+		t.Fatalf("CascadeSize error = %v", err)
+	}
+}
+
+func TestPrefixClamping(t *testing.T) {
+	a := randomArray(t, []int{3, 3}, 11)
+	ps := FromArray(a)
+	if got := ps.Prefix(grid.Point{10, 10}); got != a.Total() {
+		t.Fatalf("clamped Prefix = %d, want %d", got, a.Total())
+	}
+	if got := ps.Prefix(grid.Point{-1, 0}); got != 0 {
+		t.Fatalf("negative Prefix = %d, want 0", got)
+	}
+	if got := ps.Prefix(grid.Point{1}); got != 0 {
+		t.Fatalf("wrong-dims Prefix = %d, want 0", got)
+	}
+}
+
+// TestPaperFigure3 checks the structure of array P on the reconstructed
+// Figure 2 array: P[i,j] must equal the naive prefix sum everywhere, and
+// the bottom-right cell is the grand total.
+func TestPaperFigure3(t *testing.T) {
+	a := cube.PaperArray()
+	ps := FromArray(a)
+	p := ps.P()
+	if p[63] != a.Total() {
+		t.Fatalf("P[7,7] = %d, want grand total %d", p[63], a.Total())
+	}
+	if got := ps.Prefix(grid.Point{5, 6}); got != 151 {
+		t.Fatalf("P at the paper's target cell = %d, want 151", got)
+	}
+}
+
+// TestRandomOpsQuick interleaves random updates and prefix queries,
+// checking PS against the naive array throughout.
+func TestRandomOpsQuick(t *testing.T) {
+	dims := []int{4, 4, 3}
+	f := func(ops [20]struct {
+		P0, P1, P2 uint8
+		V          int16
+	}) bool {
+		a, _ := cube.New(dims)
+		ps, _ := New(dims)
+		for _, op := range ops {
+			p := grid.Point{int(op.P0) % 4, int(op.P1) % 4, int(op.P2) % 3}
+			if err := a.Set(p, int64(op.V)); err != nil {
+				return false
+			}
+			if _, err := ps.Set(p, int64(op.V)); err != nil {
+				return false
+			}
+			q := grid.Point{int(op.P1) % 4, int(op.P2) % 4, int(op.P0) % 3}
+			if ps.Prefix(q) != a.Prefix(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

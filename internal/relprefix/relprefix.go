@@ -1,0 +1,307 @@
+// Package relprefix implements the relative prefix sum method [GAES99],
+// the second baseline of Section 2 of the paper: O(1) range queries with
+// O(n^{d/2}) point updates.
+//
+// The array is partitioned into blocks of side b ~ sqrt(n) per dimension.
+// For every subset S of the dimension set D we precompute a table T_S
+// whose entries are sums over regions that are "complete blocks before
+// the current block" in the dimensions outside S and "partial, within the
+// current block up to the coordinate" in the dimensions inside S:
+//
+//	T_S[...] = SUM over { y : y_i <  anchor_i        for i not in S,
+//	                          anchor_i <= y_i <= x_i for i in S }
+//
+// The S = D table is the paper's in-block relative prefix array RP; the
+// S = ∅ table is the block-granularity anchor array; |S| = 1 tables are
+// the border strips of the overlay boxes in the 2-d presentation of
+// [GAES99]. A prefix sum combines exactly one entry from each of the 2^d
+// tables (the regions partition the prefix box), so queries are O(1) for
+// fixed d. An update dirties Π_{i∉S}(n_i/b_i) · Π_{i∈S} b_i entries in
+// each table, which is O(n^{d/2}) at b = sqrt(n) — reproducing both
+// published bounds.
+package relprefix
+
+import (
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+// RPS is the relative prefix sum structure.
+type RPS struct {
+	ext    *grid.Extent
+	a      []int64 // raw values, for Get and Set deltas
+	b      []int   // block side per dimension
+	nb     []int   // number of blocks per dimension
+	tables []*table
+	ops    cube.OpCounter
+}
+
+// table is the precomputed region-sum table for one subset S.
+type table struct {
+	mask int // bit i set means dimension i is in S ("partial" dimension)
+	ext  *grid.Extent
+	v    []int64
+}
+
+// New returns an empty relative prefix sum cube. Block sides default to
+// ceil(sqrt(n_i)) per dimension, the update-optimal choice.
+func New(dims []int) (*RPS, error) {
+	return NewWithBlock(dims, nil)
+}
+
+// NewWithBlock returns an empty cube with explicit per-dimension block
+// sides (nil means the sqrt default). Exposed so experiments can sweep
+// the block-side parameter.
+func NewWithBlock(dims []int, block []int) (*RPS, error) {
+	ext, err := grid.NewExtent(dims)
+	if err != nil {
+		return nil, err
+	}
+	d := ext.D()
+	r := &RPS{
+		ext: ext,
+		a:   make([]int64, ext.Cells()),
+		b:   make([]int, d),
+		nb:  make([]int, d),
+	}
+	for i := 0; i < d; i++ {
+		bi := 0
+		if block != nil {
+			bi = block[i]
+		}
+		if bi < 1 {
+			bi = isqrtCeil(dims[i])
+		}
+		if bi > dims[i] {
+			bi = dims[i]
+		}
+		r.b[i] = bi
+		r.nb[i] = (dims[i] + bi - 1) / bi
+	}
+	r.tables = make([]*table, 1<<uint(d))
+	for mask := 0; mask < 1<<uint(d); mask++ {
+		tdims := make([]int, d)
+		for i := 0; i < d; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				tdims[i] = dims[i] // partial dimension: global coordinate
+			} else {
+				tdims[i] = r.nb[i] // complete dimension: block index
+			}
+		}
+		text, err := grid.NewExtent(tdims)
+		if err != nil {
+			return nil, err
+		}
+		r.tables[mask] = &table{mask: mask, ext: text, v: make([]int64, text.Cells())}
+	}
+	return r, nil
+}
+
+// isqrtCeil returns ceil(sqrt(n)) for n >= 1.
+func isqrtCeil(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// FromArray builds the structure from an existing array by replaying its
+// nonzero cells.
+func FromArray(a *cube.Array) *RPS {
+	r, err := New(a.Dims())
+	if err != nil {
+		panic(err)
+	}
+	a.ForEachNonZero(func(p grid.Point, v int64) {
+		if _, err := r.Add(p, v); err != nil {
+			panic(err)
+		}
+	})
+	return r
+}
+
+// Dims returns a copy of the dimension sizes.
+func (r *RPS) Dims() []int { return r.ext.Dims() }
+
+// BlockSides returns a copy of the per-dimension block sides.
+func (r *RPS) BlockSides() []int { return append([]int(nil), r.b...) }
+
+// Ops returns the accumulated operation counts.
+func (r *RPS) Ops() cube.OpCounter { return r.ops }
+
+// ResetOps zeroes the operation counters.
+func (r *RPS) ResetOps() { r.ops.Reset() }
+
+// Get returns the raw value of cell p (0 outside the domain).
+func (r *RPS) Get(p grid.Point) int64 {
+	if !r.ext.Contains(p) {
+		return 0
+	}
+	return r.a[r.ext.Offset(p)]
+}
+
+// Prefix returns SUM(A[0,...,0] : A[p]) by combining one entry from each
+// of the 2^d tables — O(1) for fixed d. Coordinates beyond the domain are
+// clamped; negative coordinates yield 0.
+func (r *RPS) Prefix(p grid.Point) int64 {
+	d := r.ext.D()
+	if len(p) != d {
+		return 0
+	}
+	x := make(grid.Point, d)
+	for i, v := range p {
+		if v < 0 {
+			return 0
+		}
+		if v >= r.ext.Dim(i) {
+			v = r.ext.Dim(i) - 1
+		}
+		x[i] = v
+	}
+	idx := make(grid.Point, d)
+	var sum int64
+	for _, t := range r.tables {
+		for i := 0; i < d; i++ {
+			if t.mask&(1<<uint(i)) != 0 {
+				idx[i] = x[i]
+			} else {
+				idx[i] = x[i] / r.b[i]
+			}
+		}
+		sum += t.v[t.ext.Offset(idx)]
+		r.ops.QueryCells++
+	}
+	return sum
+}
+
+// RangeSum returns SUM(A[lo] : A[hi]) via the corner reduction.
+func (r *RPS) RangeSum(lo, hi grid.Point) (int64, error) {
+	if err := r.ext.CheckRange(lo, hi); err != nil {
+		return 0, err
+	}
+	return grid.RangeSum(r, lo, hi), nil
+}
+
+// Set changes the value of cell p to value. It returns the number of
+// table entries rewritten (O(n^{d/2}) worst case).
+func (r *RPS) Set(p grid.Point, value int64) (rewritten int, err error) {
+	if err := r.ext.Check(p); err != nil {
+		return 0, err
+	}
+	delta := value - r.a[r.ext.Offset(p)]
+	return r.addDelta(p, delta), nil
+}
+
+// Add adds delta to cell p; see Set for cost characteristics.
+func (r *RPS) Add(p grid.Point, delta int64) (rewritten int, err error) {
+	if err := r.ext.Check(p); err != nil {
+		return 0, err
+	}
+	return r.addDelta(p, delta), nil
+}
+
+func (r *RPS) addDelta(p grid.Point, delta int64) (rewritten int) {
+	r.a[r.ext.Offset(p)] += delta
+	if delta == 0 {
+		return 0
+	}
+	d := r.ext.D()
+	lo := make(grid.Point, d)
+	hi := make(grid.Point, d)
+	for _, t := range r.tables {
+		// An entry's region contains p iff:
+		//   complete dim i: block index > block(p_i)
+		//   partial dim i:  coordinate >= p_i within p's block
+		empty := false
+		for i := 0; i < d; i++ {
+			if t.mask&(1<<uint(i)) != 0 {
+				lo[i] = p[i]
+				hi[i] = (p[i]/r.b[i]+1)*r.b[i] - 1
+				if hi[i] >= r.ext.Dim(i) {
+					hi[i] = r.ext.Dim(i) - 1
+				}
+			} else {
+				lo[i] = p[i]/r.b[i] + 1
+				hi[i] = r.nb[i] - 1
+				if lo[i] > hi[i] {
+					empty = true
+				}
+			}
+		}
+		if empty {
+			continue
+		}
+		tt := t
+		grid.ForEachInBox(lo, hi, func(q grid.Point) {
+			tt.v[tt.ext.Offset(q)] += delta
+			rewritten++
+		})
+	}
+	r.ops.UpdateCells += uint64(rewritten)
+	return rewritten
+}
+
+// UpdateCost returns the number of table entries an update at p would
+// rewrite, without performing it; used by the experiment harness.
+func (r *RPS) UpdateCost(p grid.Point) (int, error) {
+	if err := r.ext.Check(p); err != nil {
+		return 0, err
+	}
+	d := r.ext.D()
+	total := 0
+	for _, t := range r.tables {
+		n := 1
+		for i := 0; i < d; i++ {
+			if t.mask&(1<<uint(i)) != 0 {
+				hi := (p[i]/r.b[i]+1)*r.b[i] - 1
+				if hi >= r.ext.Dim(i) {
+					hi = r.ext.Dim(i) - 1
+				}
+				n *= hi - p[i] + 1
+			} else {
+				n *= r.nb[i] - 1 - p[i]/r.b[i]
+			}
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// TableCells returns the total number of precomputed table entries, the
+// structure's storage cost in cells.
+func (r *RPS) TableCells() int {
+	n := 0
+	for _, t := range r.tables {
+		n += len(t.v)
+	}
+	return n
+}
+
+// PlannedTableCells returns the number of table entries a structure over
+// dims (with default sqrt block sides) would allocate, without building
+// it — used by storage experiments on domains too large to materialise.
+func PlannedTableCells(dims []int) (int, error) {
+	if _, err := grid.NewExtent(dims); err != nil {
+		return 0, err
+	}
+	d := len(dims)
+	nb := make([]int, d)
+	for i, n := range dims {
+		b := isqrtCeil(n)
+		nb[i] = (n + b - 1) / b
+	}
+	total := 0
+	for mask := 0; mask < 1<<uint(d); mask++ {
+		cells := 1
+		for i := 0; i < d; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				cells *= dims[i]
+			} else {
+				cells *= nb[i]
+			}
+		}
+		total += cells
+	}
+	return total, nil
+}

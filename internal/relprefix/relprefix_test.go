@@ -1,0 +1,280 @@
+package relprefix
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+func randomArray(t *testing.T, dims []int, seed int64) *cube.Array {
+	t.Helper()
+	a, err := cube.New(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seed
+	a.Extent().ForEach(func(p grid.Point) {
+		s = s*6364136223846793005 + 1442695040888963407
+		if err := a.Set(p, s%50-10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return a
+}
+
+func TestIsqrtCeil(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 2, 5: 3, 9: 3, 10: 4, 16: 4, 100: 10, 101: 11}
+	for in, want := range cases {
+		if got := isqrtCeil(in); got != want {
+			t.Fatalf("isqrtCeil(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPrefixMatchesNaive(t *testing.T) {
+	for _, dims := range [][]int{{9}, {16}, {7, 9}, {8, 8}, {4, 5, 6}, {3, 3, 3, 3}} {
+		a := randomArray(t, dims, 17)
+		r := FromArray(a)
+		a.Extent().ForEach(func(p grid.Point) {
+			if got, want := r.Prefix(p), a.Prefix(p); got != want {
+				t.Fatalf("dims %v: Prefix(%v) = %d, want %d", dims, p, got, want)
+			}
+		})
+	}
+}
+
+func TestNonDefaultBlockSides(t *testing.T) {
+	for _, b := range [][]int{{1, 1}, {2, 3}, {8, 8}, {5, 2}} {
+		a := randomArray(t, []int{8, 8}, 23)
+		r, err := NewWithBlock([]int{8, 8}, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.ForEachNonZero(func(p grid.Point, v int64) {
+			if _, err := r.Add(p, v); err != nil {
+				t.Fatal(err)
+			}
+		})
+		a.Extent().ForEach(func(p grid.Point) {
+			if got, want := r.Prefix(p), a.Prefix(p); got != want {
+				t.Fatalf("block %v: Prefix(%v) = %d, want %d", b, p, got, want)
+			}
+		})
+	}
+}
+
+func TestRangeSumMatchesNaive(t *testing.T) {
+	a := randomArray(t, []int{6, 7}, 31)
+	r := FromArray(a)
+	a.Extent().ForEach(func(lo grid.Point) {
+		loC := lo.Clone()
+		a.Extent().ForEach(func(hi grid.Point) {
+			if !loC.DominatedBy(hi) {
+				return
+			}
+			want, err := a.RangeSum(loC, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.RangeSum(loC, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("RangeSum(%v,%v) = %d, want %d", loC, hi, got, want)
+			}
+		})
+	})
+}
+
+func TestSetAndGet(t *testing.T) {
+	a := randomArray(t, []int{9, 9}, 5)
+	r := FromArray(a)
+	if _, err := r.Set(grid.Point{3, 7}, -4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set(grid.Point{3, 7}, -4); err != nil {
+		t.Fatal(err)
+	}
+	if r.Get(grid.Point{3, 7}) != -4 {
+		t.Fatal("Get does not reflect Set")
+	}
+	a.Extent().ForEach(func(p grid.Point) {
+		if got, want := r.Prefix(p), a.Prefix(p); got != want {
+			t.Fatalf("after Set, Prefix(%v) = %d, want %d", p, got, want)
+		}
+	})
+}
+
+func TestUpdateCostMatchesActual(t *testing.T) {
+	r, err := New([]int{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []grid.Point{{0, 0}, {3, 3}, {7, 9}, {15, 15}, {8, 0}} {
+		want, err := r.UpdateCost(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Add(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("UpdateCost(%v) = %d, actual rewrite = %d", p, want, got)
+		}
+	}
+}
+
+func TestUpdateCostIsSublinearInCells(t *testing.T) {
+	// For a 2-d cube of side n with b = sqrt(n), the worst-case update
+	// must be Θ(n) = Θ(n^{d/2}), far below the n^2 of the PS method.
+	n := 64
+	r, err := New([]int{n, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0
+	r.ext.ForEach(func(p grid.Point) {
+		c, err := r.UpdateCost(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > worst {
+			worst = c
+		}
+	})
+	if worst > 8*n {
+		t.Fatalf("worst-case update cost %d exceeds O(n^{d/2}) budget %d", worst, 8*n)
+	}
+	if worst < n/2 {
+		t.Fatalf("worst-case update cost %d suspiciously small", worst)
+	}
+}
+
+func TestZeroDeltaIsFree(t *testing.T) {
+	r, _ := New([]int{9, 9})
+	if n, _ := r.Add(grid.Point{0, 0}, 0); n != 0 {
+		t.Fatalf("zero-delta Add rewrote %d entries", n)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := New([]int{0}); err == nil {
+		t.Fatal("expected error for zero dimension")
+	}
+	r, _ := New([]int{4, 4})
+	if _, err := r.Set(grid.Point{4, 0}, 1); !errors.Is(err, grid.ErrRange) {
+		t.Fatalf("Set error = %v", err)
+	}
+	if _, err := r.Add(grid.Point{0}, 1); !errors.Is(err, grid.ErrDims) {
+		t.Fatalf("Add error = %v", err)
+	}
+	if _, err := r.UpdateCost(grid.Point{0, 9}); !errors.Is(err, grid.ErrRange) {
+		t.Fatalf("UpdateCost error = %v", err)
+	}
+	if got := r.Prefix(grid.Point{-1, 0}); got != 0 {
+		t.Fatalf("negative Prefix = %d", got)
+	}
+	if got := r.Prefix(grid.Point{0}); got != 0 {
+		t.Fatalf("wrong-dims Prefix = %d", got)
+	}
+}
+
+func TestBlockSidesAccessor(t *testing.T) {
+	r, _ := New([]int{16, 9})
+	b := r.BlockSides()
+	if b[0] != 4 || b[1] != 3 {
+		t.Fatalf("BlockSides = %v, want [4 3]", b)
+	}
+	b[0] = 99
+	if r.BlockSides()[0] != 4 {
+		t.Fatal("BlockSides aliases internal state")
+	}
+}
+
+func TestTableCellsAccounting(t *testing.T) {
+	r, _ := New([]int{4, 4}) // b = 2, nb = 2
+	// Tables: {} -> 2*2, {0} -> 4*2, {1} -> 2*4, {0,1} -> 4*4 = 36.
+	if got := r.TableCells(); got != 36 {
+		t.Fatalf("TableCells = %d, want 36", got)
+	}
+}
+
+func TestAccessorsAndOps(t *testing.T) {
+	r, _ := New([]int{6, 9})
+	if d := r.Dims(); d[0] != 6 || d[1] != 9 {
+		t.Fatalf("Dims = %v", d)
+	}
+	if _, err := r.Add(grid.Point{1, 1}, 5); err != nil {
+		t.Fatal(err)
+	}
+	r.Prefix(grid.Point{5, 8})
+	ops := r.Ops()
+	if ops.UpdateCells == 0 || ops.QueryCells == 0 {
+		t.Fatalf("ops not counted: %+v", ops)
+	}
+	r.ResetOps()
+	if r.Ops() != (cube.OpCounter{}) {
+		t.Fatal("ResetOps")
+	}
+	if got := r.Get(grid.Point{0}); got != 0 {
+		t.Fatalf("wrong-dims Get = %d", got)
+	}
+	if got := r.Get(grid.Point{6, 0}); got != 0 {
+		t.Fatalf("out-of-range Get = %d", got)
+	}
+	if _, err := r.RangeSum(grid.Point{0, 0}, grid.Point{6, 0}); !errors.Is(err, grid.ErrRange) {
+		t.Fatalf("RangeSum validation: %v", err)
+	}
+}
+
+func TestPlannedTableCellsMatchesActual(t *testing.T) {
+	for _, dims := range [][]int{{4, 4}, {16, 16}, {9, 25}, {8, 8, 8}} {
+		want, err := New(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PlannedTableCells(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want.TableCells() {
+			t.Fatalf("dims %v: planned %d != actual %d", dims, got, want.TableCells())
+		}
+	}
+	if _, err := PlannedTableCells([]int{0}); err == nil {
+		t.Fatal("expected error for zero dimension")
+	}
+}
+
+func TestRandomOpsQuick(t *testing.T) {
+	dims := []int{6, 9}
+	f := func(ops [24]struct {
+		P0, P1 uint8
+		V      int16
+	}) bool {
+		a, _ := cube.New(dims)
+		r, _ := New(dims)
+		for _, op := range ops {
+			p := grid.Point{int(op.P0) % 6, int(op.P1) % 9}
+			if err := a.Set(p, int64(op.V)); err != nil {
+				return false
+			}
+			if _, err := r.Set(p, int64(op.V)); err != nil {
+				return false
+			}
+			q := grid.Point{int(op.P1) % 6, int(op.P0) % 9}
+			if r.Prefix(q) != a.Prefix(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package workload generates the deterministic synthetic workloads the
+// experiment harness and examples run: uniform and clustered point
+// updates (the paper's EOSDIS / geographic scenarios), expanding point
+// streams (the star-catalog scenario of Section 5), trade-like update
+// streams (the Internet-commerce scenario of Section 1), and random
+// range-query mixes.
+//
+// Everything is seeded explicitly and uses a local splitmix64 generator,
+// so results are reproducible across platforms and Go versions.
+package workload
+
+import (
+	"math"
+
+	"ddc/internal/grid"
+)
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator with seed 0, but use NewRNG to be explicit.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator with the given seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn needs n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n).
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Int63n needs n > 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Norm returns an approximately standard-normal variate (Irwin–Hall sum
+// of twelve uniforms), good enough for clustered point generation.
+func (r *RNG) Norm() float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += float64(r.Uint64()>>11) / (1 << 53)
+	}
+	return s - 6
+}
+
+// Update is one point update: set cell Point to (or add to it) Value.
+type Update struct {
+	Point grid.Point
+	Value int64
+}
+
+// Query is one inclusive range-sum query box.
+type Query struct {
+	Lo, Hi grid.Point
+}
+
+// Uniform returns count updates at uniformly random cells of the domain
+// with values in [1, maxVal].
+func Uniform(r *RNG, dims []int, count int, maxVal int64) []Update {
+	out := make([]Update, count)
+	for i := range out {
+		p := make(grid.Point, len(dims))
+		for j, n := range dims {
+			p[j] = r.Intn(n)
+		}
+		out[i] = Update{Point: p, Value: 1 + r.Int63n(maxVal)}
+	}
+	return out
+}
+
+// Clustered returns count updates drawn from `clusters` Gaussian point
+// sources with the given standard deviation (in cells), clamped to the
+// domain — the shape of geographically clustered data (methane point
+// sources, city sales, star fields) from Section 5.
+func Clustered(r *RNG, dims []int, clusters, count int, stddev float64, maxVal int64) []Update {
+	centers := make([]grid.Point, clusters)
+	for c := range centers {
+		p := make(grid.Point, len(dims))
+		for j, n := range dims {
+			p[j] = r.Intn(n)
+		}
+		centers[c] = p
+	}
+	out := make([]Update, count)
+	for i := range out {
+		c := centers[r.Intn(clusters)]
+		p := make(grid.Point, len(dims))
+		for j, n := range dims {
+			v := c[j] + int(r.Norm()*stddev)
+			if v < 0 {
+				v = 0
+			}
+			if v >= n {
+				v = n - 1
+			}
+			p[j] = v
+		}
+		out[i] = Update{Point: p, Value: 1 + r.Int63n(maxVal)}
+	}
+	return out
+}
+
+// Expanding returns count updates whose coordinates drift outward from
+// the origin in random directions, eventually leaving any fixed initial
+// domain — the star-catalog discovery stream of Section 5. Coordinates
+// may be negative.
+func Expanding(r *RNG, d, count int, step float64, maxVal int64) []Update {
+	out := make([]Update, count)
+	radius := 1.0
+	for i := range out {
+		p := make(grid.Point, d)
+		for j := 0; j < d; j++ {
+			span := int(radius) + 1
+			p[j] = r.Intn(2*span+1) - span
+		}
+		out[i] = Update{Point: p, Value: 1 + r.Int63n(maxVal)}
+		radius += step
+	}
+	return out
+}
+
+// Skewed returns count updates whose cells follow an approximate Zipf
+// distribution over a shuffled cell ranking: a few hot cells receive
+// most updates — the hot-key shape of commerce and telemetry streams.
+// The skew parameter s >= 1 sharpens the distribution.
+func Skewed(r *RNG, dims []int, count int, s float64, maxVal int64) []Update {
+	if s < 1 {
+		s = 1
+	}
+	out := make([]Update, count)
+	d := len(dims)
+	for i := range out {
+		// Inverse-power sampling: rank ~ u^(-1/s) - 1 over a virtual
+		// ranking, then hash the rank onto the domain so hot cells are
+		// scattered rather than clustered at the origin.
+		u := float64(r.Uint64()>>11)/(1<<53) + 1e-12
+		rank := uint64(1 / math.Pow(u, 1/s)) // rank 1 is the hottest
+		h := rank * 0x9e3779b97f4a7c15
+		p := make(grid.Point, d)
+		for j := 0; j < d; j++ {
+			h ^= h >> 29
+			h *= 0xbf58476d1ce4e5b9
+			p[j] = int(h % uint64(dims[j]))
+		}
+		out[i] = Update{Point: p, Value: 1 + r.Int63n(maxVal)}
+	}
+	return out
+}
+
+// Ranges returns count random query boxes. Each side length is uniform
+// in [1, maxSide_i] where maxSide_i = max(1, frac * dims[i]).
+func Ranges(r *RNG, dims []int, count int, frac float64) []Query {
+	out := make([]Query, count)
+	for i := range out {
+		lo := make(grid.Point, len(dims))
+		hi := make(grid.Point, len(dims))
+		for j, n := range dims {
+			maxSide := int(frac * float64(n))
+			if maxSide < 1 {
+				maxSide = 1
+			}
+			side := 1 + r.Intn(maxSide)
+			if side > n {
+				side = n
+			}
+			start := r.Intn(n - side + 1)
+			lo[j] = start
+			hi[j] = start + side - 1
+		}
+		out[i] = Query{Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+// Trades returns an interleaved stream of updates and queries simulating
+// the paper's Internet-commerce scenario: mostly point updates (new
+// trades) with periodic analytic range queries. Every qEvery-th
+// operation is a query; the rest are updates. Returned slices preserve
+// stream order via the Ops index list: Ops[i] >= 0 indexes Updates,
+// Ops[i] < 0 indexes Queries at position -Ops[i]-1.
+type TradeStream struct {
+	Updates []Update
+	Queries []Query
+	Ops     []int
+}
+
+// Trades builds a TradeStream of the given total length over the domain.
+func Trades(r *RNG, dims []int, total, qEvery int, maxVal int64) TradeStream {
+	var ts TradeStream
+	for i := 0; i < total; i++ {
+		if qEvery > 0 && i%qEvery == qEvery-1 {
+			q := Ranges(r, dims, 1, 0.3)[0]
+			ts.Ops = append(ts.Ops, -len(ts.Queries)-1)
+			ts.Queries = append(ts.Queries, q)
+			continue
+		}
+		u := Uniform(r, dims, 1, maxVal)[0]
+		ts.Ops = append(ts.Ops, len(ts.Updates))
+		ts.Updates = append(ts.Updates, u)
+	}
+	return ts
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"testing"
+
+	"ddc/internal/grid"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Int63n(1 << 40); v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormIsCentered(t *testing.T) {
+	r := NewRNG(7)
+	var sum, sumSq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("mean = %f, want ~0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Fatalf("variance = %f, want ~1", variance)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	dims := []int{10, 20}
+	ups := Uniform(NewRNG(3), dims, 500, 9)
+	if len(ups) != 500 {
+		t.Fatalf("len = %d", len(ups))
+	}
+	for _, u := range ups {
+		for j, n := range dims {
+			if u.Point[j] < 0 || u.Point[j] >= n {
+				t.Fatalf("point %v out of domain", u.Point)
+			}
+		}
+		if u.Value < 1 || u.Value > 9 {
+			t.Fatalf("value %d out of [1,9]", u.Value)
+		}
+	}
+}
+
+func TestClusteredIsClustered(t *testing.T) {
+	dims := []int{1000, 1000}
+	ups := Clustered(NewRNG(5), dims, 3, 2000, 10, 5)
+	// Count distinct 100x100 buckets touched: clustered data must land
+	// in far fewer buckets than uniform data would.
+	buckets := map[[2]int]int{}
+	for _, u := range ups {
+		buckets[[2]int{u.Point[0] / 100, u.Point[1] / 100}]++
+	}
+	if len(buckets) > 30 {
+		t.Fatalf("clustered points hit %d of 100 buckets; not clustered", len(buckets))
+	}
+	for _, u := range ups {
+		if u.Point[0] < 0 || u.Point[0] >= 1000 || u.Point[1] < 0 || u.Point[1] >= 1000 {
+			t.Fatalf("point %v escaped clamping", u.Point)
+		}
+	}
+}
+
+func TestExpandingLeavesOrigin(t *testing.T) {
+	ups := Expanding(NewRNG(9), 3, 300, 0.5, 5)
+	if len(ups) != 300 {
+		t.Fatalf("len = %d", len(ups))
+	}
+	sawNegative, sawFar := false, false
+	for _, u := range ups {
+		for _, v := range u.Point {
+			if v < 0 {
+				sawNegative = true
+			}
+			if v > 50 || v < -50 {
+				sawFar = true
+			}
+		}
+	}
+	if !sawNegative {
+		t.Fatal("expanding stream never went negative — growth in 'before' directions untested")
+	}
+	if !sawFar {
+		t.Fatal("expanding stream never left the initial region")
+	}
+}
+
+func TestSkewedIsSkewed(t *testing.T) {
+	dims := []int{256, 256}
+	ups := Skewed(NewRNG(41), dims, 5000, 1.2, 10)
+	if len(ups) != 5000 {
+		t.Fatalf("len = %d", len(ups))
+	}
+	counts := map[[2]int]int{}
+	for _, u := range ups {
+		if u.Point[0] < 0 || u.Point[0] >= 256 || u.Point[1] < 0 || u.Point[1] >= 256 {
+			t.Fatalf("point %v out of domain", u.Point)
+		}
+		counts[[2]int{u.Point[0], u.Point[1]}]++
+	}
+	// The hottest cell must carry far more than a uniform share, and
+	// the distinct-cell count must be far below the update count.
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 100 {
+		t.Fatalf("hottest cell has %d updates; not skewed", max)
+	}
+	if len(counts) > 2500 {
+		t.Fatalf("%d distinct cells for 5000 updates; not skewed", len(counts))
+	}
+	// Degenerate skew parameter clamps rather than panics.
+	_ = Skewed(NewRNG(1), dims, 10, 0, 5)
+}
+
+func TestRanges(t *testing.T) {
+	dims := []int{16, 32}
+	qs := Ranges(NewRNG(11), dims, 200, 0.5)
+	for _, q := range qs {
+		for j, n := range dims {
+			if q.Lo[j] < 0 || q.Hi[j] >= n || q.Lo[j] > q.Hi[j] {
+				t.Fatalf("bad box [%v, %v]", q.Lo, q.Hi)
+			}
+		}
+	}
+	// Tiny domains must still produce valid single-cell boxes.
+	for _, q := range Ranges(NewRNG(1), []int{1, 1}, 10, 0.1) {
+		if !q.Lo.Equal(grid.Point{0, 0}) || !q.Hi.Equal(grid.Point{0, 0}) {
+			t.Fatalf("1x1 domain box [%v, %v]", q.Lo, q.Hi)
+		}
+	}
+}
+
+func TestTrades(t *testing.T) {
+	ts := Trades(NewRNG(13), []int{64, 64}, 100, 10, 50)
+	if len(ts.Ops) != 100 {
+		t.Fatalf("ops = %d", len(ts.Ops))
+	}
+	if len(ts.Queries) != 10 {
+		t.Fatalf("queries = %d, want 10", len(ts.Queries))
+	}
+	if len(ts.Updates) != 90 {
+		t.Fatalf("updates = %d, want 90", len(ts.Updates))
+	}
+	// Ops indices must reference valid entries in stream order.
+	uSeen, qSeen := 0, 0
+	for _, op := range ts.Ops {
+		if op >= 0 {
+			if op != uSeen {
+				t.Fatalf("update op out of order: %d != %d", op, uSeen)
+			}
+			uSeen++
+		} else {
+			if -op-1 != qSeen {
+				t.Fatalf("query op out of order: %d != %d", -op-1, qSeen)
+			}
+			qSeen++
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package ddc
+
+import "iter"
+
+// All returns an iterator over every nonzero cell (logical coordinates
+// and value), in the cube's deterministic Z-order. The coordinate slice
+// is reused between iterations; copy it to retain it.
+//
+//	for p, v := range c.All() {
+//	    fmt.Println(p, v)
+//	}
+func (c *DynamicCube) All() iter.Seq2[[]int, int64] {
+	return func(yield func([]int, int64) bool) {
+		stop := false
+		c.ForEachNonZero(func(p []int, v int64) {
+			if stop {
+				return
+			}
+			if !yield(p, v) {
+				stop = true
+			}
+		})
+	}
+}
+
+// InRange returns an iterator over the nonzero cells inside the
+// inclusive box [lo, hi], pruning subtrees outside it. An invalid range
+// yields nothing (use ForEachNonZeroInRange for the error).
+func (c *DynamicCube) InRange(lo, hi []int) iter.Seq2[[]int, int64] {
+	return func(yield func([]int, int64) bool) {
+		stop := false
+		_ = c.ForEachNonZeroInRange(lo, hi, func(p []int, v int64) {
+			if stop {
+				return
+			}
+			if !yield(p, v) {
+				stop = true
+			}
+		})
+	}
+}

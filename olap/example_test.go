@@ -1,0 +1,47 @@
+package olap_test
+
+import (
+	"fmt"
+	"time"
+
+	"ddc/olap"
+)
+
+// The paper's introductory data cube, by attribute value.
+func ExampleCube_Sum() {
+	sales, _ := olap.NewCube(olap.MustSchema(
+		olap.Numeric("age", 0, 120, 1),
+		olap.Numeric("day", 0, 365, 1),
+	))
+	_ = sales.Record(olap.Row{"age": 45, "day": 341}, 250)
+	_ = sales.Record(olap.Row{"age": 30, "day": 230}, 100)
+	total, _ := sales.Sum(olap.Between("age", 27, 45), olap.Between("day", 220, 251))
+	fmt.Println(total)
+	// Output: 100
+}
+
+// Categorical dimensions intern values on first sight; GROUP BY walks
+// the interned set.
+func ExampleCube_GroupBySum() {
+	sales, _ := olap.NewCube(olap.MustSchema(
+		olap.Numeric("day", 0, 365, 1),
+		olap.Categorical("region"),
+	))
+	_ = sales.Record(olap.Row{"day": 10, "region": "west"}, 100)
+	_ = sales.Record(olap.Row{"day": 11, "region": "east"}, 60)
+	_ = sales.Record(olap.Row{"day": 12, "region": "west"}, 40)
+	byRegion, _ := sales.GroupBySum("region")
+	fmt.Println(byRegion["west"], byRegion["east"])
+	// Output: 140 60
+}
+
+// Time dimensions bucket instants; queries filter by time range.
+func ExampleTime() {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	horizon := epoch.AddDate(1, 0, 0)
+	c, _ := olap.NewCube(olap.MustSchema(olap.Time("at", epoch, horizon, 24*time.Hour)))
+	_ = c.Record(olap.Row{"at": epoch.Add(36 * time.Hour)}, 5) // Jan 2nd
+	v, _ := c.Sum(olap.BetweenTimes("at", epoch, epoch.Add(48*time.Hour)))
+	fmt.Println(v)
+	// Output: 5
+}

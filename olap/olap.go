@@ -1,0 +1,507 @@
+// Package olap layers the OLAP vocabulary of the paper's introduction on
+// top of the raw index: measure attributes aggregated by functional
+// attributes (dimensions). It maps real attribute values — category
+// strings, numeric values, bucketed timestamps — onto the dense integer
+// coordinates the Dynamic Data Cube indexes, and compiles attribute
+// filters into the axis-aligned boxes range-sum queries need.
+//
+// A Cube here is the paper's "data cube": build one from a Schema, feed
+// it facts with Record, and ask for SUM / COUNT / AVERAGE over attribute
+// ranges:
+//
+//	sales := olap.MustSchema(
+//	    olap.Numeric("age", 0, 120, 1),
+//	    olap.Numeric("day", 0, 365, 1),
+//	    olap.Categorical("region"),
+//	)
+//	c, _ := olap.NewCube(sales)
+//	_ = c.Record(olap.Row{"age": 45, "day": 341, "region": "west"}, 250)
+//	total, _ := c.Sum(olap.Between("age", 27, 45), olap.Between("day", 220, 251))
+//
+// Categorical dimensions intern values on first sight; numeric
+// dimensions bucketize, and out-of-range values grow the underlying
+// cube (Section 5's dynamic growth), so neither the category set nor
+// the numeric extent needs to be known a priori.
+package olap
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ddc"
+)
+
+// Kind distinguishes dimension flavours.
+type Kind int
+
+// Dimension kinds.
+const (
+	KindNumeric Kind = iota
+	KindCategorical
+)
+
+// DimensionSpec declares one functional attribute.
+type DimensionSpec struct {
+	Name string
+	Kind Kind
+
+	// Numeric dimensions: values in [Min, Max] are expected (others grow
+	// the cube), bucketed into cells of Width.
+	Min, Max, Width int64
+
+	// Categorical dimensions: optional initial capacity hint.
+	Hint int
+
+	// Time dimensions (declared with Time): instants are mapped to
+	// bucket numbers counting TimeBucket intervals from TimeEpoch.
+	TimeEpoch  time.Time     `json:"time_epoch,omitempty"`
+	TimeBucket time.Duration `json:"time_bucket,omitempty"`
+}
+
+// Numeric declares a numeric dimension over [min, max] with the given
+// bucket width (1 = one cell per value).
+func Numeric(name string, min, max, width int64) DimensionSpec {
+	return DimensionSpec{Name: name, Kind: KindNumeric, Min: min, Max: max, Width: width}
+}
+
+// Categorical declares a string-valued dimension whose values are
+// interned in order of first appearance.
+func Categorical(name string) DimensionSpec {
+	return DimensionSpec{Name: name, Kind: KindCategorical, Hint: 16}
+}
+
+// Schema is an ordered set of dimensions.
+type Schema struct {
+	specs  []DimensionSpec
+	byName map[string]int
+}
+
+// NewSchema validates the dimension specs.
+func NewSchema(specs ...DimensionSpec) (*Schema, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("olap: schema needs at least one dimension")
+	}
+	s := &Schema{specs: append([]DimensionSpec(nil), specs...), byName: map[string]int{}}
+	for i, sp := range specs {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("olap: dimension %d has no name", i)
+		}
+		if _, dup := s.byName[sp.Name]; dup {
+			return nil, fmt.Errorf("olap: duplicate dimension %q", sp.Name)
+		}
+		s.byName[sp.Name] = i
+		if sp.Kind == KindNumeric {
+			if sp.Width < 1 {
+				return nil, fmt.Errorf("olap: dimension %q: width must be >= 1", sp.Name)
+			}
+			if sp.Max < sp.Min {
+				return nil, fmt.Errorf("olap: dimension %q: max < min", sp.Name)
+			}
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for literals.
+func MustSchema(specs ...DimensionSpec) *Schema {
+	s, err := NewSchema(specs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dimensions returns the dimension names in schema order.
+func (s *Schema) Dimensions() []string {
+	out := make([]string, len(s.specs))
+	for i, sp := range s.specs {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// Row is one fact's attribute values: dimension name -> value. Numeric
+// dimensions take int64 (or int); categorical take string.
+type Row map[string]interface{}
+
+// Cube is an OLAP data cube: a schema plus a growable sum/count pair.
+type Cube struct {
+	schema *Schema
+	agg    *ddc.Aggregate
+	cats   []*catTable // per dimension; nil for numeric dims
+}
+
+// catTable interns categorical values.
+type catTable struct {
+	byValue map[string]int
+	values  []string
+}
+
+func (ct *catTable) intern(v string) int {
+	if i, ok := ct.byValue[v]; ok {
+		return i
+	}
+	i := len(ct.values)
+	ct.byValue[v] = i
+	ct.values = append(ct.values, v)
+	return i
+}
+
+// NewCube builds an empty cube over the schema.
+func NewCube(s *Schema) (*Cube, error) {
+	dims := make([]int, len(s.specs))
+	cats := make([]*catTable, len(s.specs))
+	for i, sp := range s.specs {
+		switch sp.Kind {
+		case KindNumeric:
+			dims[i] = int((sp.Max-sp.Min)/sp.Width) + 1
+		case KindCategorical:
+			dims[i] = sp.Hint
+			if dims[i] < 1 {
+				dims[i] = 16
+			}
+			cats[i] = &catTable{byValue: map[string]int{}}
+		default:
+			return nil, fmt.Errorf("olap: dimension %q: unknown kind", sp.Name)
+		}
+	}
+	agg, err := ddc.NewAggregate(dims, ddc.Options{AutoGrow: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Cube{schema: s, agg: agg, cats: cats}, nil
+}
+
+// coord maps one attribute value to its cell index.
+func (c *Cube) coord(dim int, v interface{}) (int, error) {
+	sp := c.schema.specs[dim]
+	switch sp.Kind {
+	case KindNumeric:
+		var x int64
+		switch n := v.(type) {
+		case int64:
+			x = n
+		case int:
+			x = int64(n)
+		case time.Time:
+			b, err := resolveTimeValue(sp, n)
+			if err != nil {
+				return 0, err
+			}
+			x = b
+		default:
+			return 0, fmt.Errorf("olap: dimension %q wants a numeric value, got %T", sp.Name, v)
+		}
+		return c.bucket(sp, x), nil
+	case KindCategorical:
+		sv, ok := v.(string)
+		if !ok {
+			return 0, fmt.Errorf("olap: dimension %q wants a string value, got %T", sp.Name, v)
+		}
+		return c.cats[dim].intern(sv), nil
+	}
+	return 0, fmt.Errorf("olap: dimension %q: unknown kind", sp.Name)
+}
+
+// bucket maps a numeric value to its bucket index; values outside
+// [Min, Max] land in grown cells (the underlying cube auto-grows).
+func (c *Cube) bucket(sp DimensionSpec, x int64) int {
+	off := x - sp.Min
+	if off >= 0 {
+		return int(off / sp.Width)
+	}
+	// Round toward negative infinity so adjacent buckets stay disjoint.
+	return int((off - sp.Width + 1) / sp.Width)
+}
+
+// Record adds one fact with the given measure value. Every schema
+// dimension must be present in the row.
+func (c *Cube) Record(row Row, measure int64) error {
+	p, err := c.point(row)
+	if err != nil {
+		return err
+	}
+	return c.agg.Record(p, measure)
+}
+
+// Remove retracts one previously recorded fact.
+func (c *Cube) Remove(row Row, measure int64) error {
+	p, err := c.point(row)
+	if err != nil {
+		return err
+	}
+	return c.agg.Remove(p, measure)
+}
+
+func (c *Cube) point(row Row) ([]int, error) {
+	if len(row) != len(c.schema.specs) {
+		return nil, fmt.Errorf("olap: row has %d attributes, schema has %d", len(row), len(c.schema.specs))
+	}
+	p := make([]int, len(c.schema.specs))
+	for name, v := range row {
+		i, ok := c.schema.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("olap: unknown dimension %q", name)
+		}
+		ci, err := c.coord(i, v)
+		if err != nil {
+			return nil, err
+		}
+		p[i] = ci
+	}
+	return p, nil
+}
+
+// Filter restricts one dimension of a query.
+type Filter struct {
+	dim            string
+	numeric        bool
+	lo, hi         int64
+	value          string
+	all            bool
+	isTime         bool
+	timeLo, timeHi time.Time
+}
+
+// Between restricts a numeric dimension to values in [lo, hi].
+func Between(dim string, lo, hi int64) Filter {
+	return Filter{dim: dim, numeric: true, lo: lo, hi: hi}
+}
+
+// Equals restricts a categorical dimension to one value.
+func Equals(dim, value string) Filter {
+	return Filter{dim: dim, value: value}
+}
+
+// All explicitly leaves a dimension unrestricted (the default for
+// dimensions with no filter).
+func All(dim string) Filter { return Filter{dim: dim, all: true} }
+
+// box compiles filters into the inclusive coordinate box of the query.
+// Unfiltered dimensions span the cube's current bounds.
+func (c *Cube) box(filters []Filter) (lo, hi []int, empty bool, err error) {
+	blo, bhi := c.agg.Sum().Bounds()
+	lo = append([]int(nil), blo...)
+	hi = make([]int, len(bhi))
+	for i := range bhi {
+		hi[i] = bhi[i] - 1
+	}
+	for _, f := range filters {
+		i, ok := c.schema.byName[f.dim]
+		if !ok {
+			return nil, nil, false, fmt.Errorf("olap: unknown dimension %q", f.dim)
+		}
+		sp := c.schema.specs[i]
+		switch {
+		case f.all:
+			// leave the full span
+		case f.numeric:
+			if sp.Kind != KindNumeric {
+				return nil, nil, false, fmt.Errorf("olap: Between on categorical dimension %q", f.dim)
+			}
+			flo, fhi := f.lo, f.hi
+			if f.isTime {
+				if sp.TimeBucket == 0 {
+					return nil, nil, false, fmt.Errorf("olap: BetweenTimes on non-time dimension %q", f.dim)
+				}
+				flo, fhi = timeToBucket(sp, f.timeLo), timeToBucket(sp, f.timeHi)
+			}
+			if fhi < flo {
+				return nil, nil, true, nil
+			}
+			l, h := c.bucket(sp, flo), c.bucket(sp, fhi)
+			if l > lo[i] {
+				lo[i] = l
+			}
+			if h < hi[i] {
+				hi[i] = h
+			}
+		default:
+			if sp.Kind != KindCategorical {
+				return nil, nil, false, fmt.Errorf("olap: Equals on numeric dimension %q", f.dim)
+			}
+			idx, ok := c.cats[i].byValue[f.value]
+			if !ok {
+				return nil, nil, true, nil // value never seen: empty region
+			}
+			if idx > lo[i] {
+				lo[i] = idx
+			}
+			if idx < hi[i] {
+				hi[i] = idx
+			}
+		}
+		if lo[i] > hi[i] {
+			return nil, nil, true, nil
+		}
+	}
+	return lo, hi, false, nil
+}
+
+// Sum returns the total measure over the filtered region.
+func (c *Cube) Sum(filters ...Filter) (int64, error) {
+	lo, hi, empty, err := c.box(filters)
+	if err != nil || empty {
+		return 0, err
+	}
+	return c.agg.SumRange(lo, hi)
+}
+
+// Count returns the number of facts in the filtered region.
+func (c *Cube) Count(filters ...Filter) (int64, error) {
+	lo, hi, empty, err := c.box(filters)
+	if err != nil || empty {
+		return 0, err
+	}
+	return c.agg.CountRange(lo, hi)
+}
+
+// Average returns the mean measure over the filtered region;
+// ddc.ErrEmptyRegion when no facts match.
+func (c *Cube) Average(filters ...Filter) (float64, error) {
+	lo, hi, empty, err := c.box(filters)
+	if err != nil {
+		return 0, err
+	}
+	if empty {
+		return 0, ddc.ErrEmptyRegion
+	}
+	return c.agg.AverageRange(lo, hi)
+}
+
+// GroupBySum returns the sum per value of a categorical dimension,
+// applying the other filters to every group.
+func (c *Cube) GroupBySum(dim string, filters ...Filter) (map[string]int64, error) {
+	i, ok := c.schema.byName[dim]
+	if !ok {
+		return nil, fmt.Errorf("olap: unknown dimension %q", dim)
+	}
+	if c.schema.specs[i].Kind != KindCategorical {
+		return nil, fmt.Errorf("olap: GroupBySum needs a categorical dimension, %q is numeric", dim)
+	}
+	out := make(map[string]int64, len(c.cats[i].values))
+	for _, v := range c.cats[i].values {
+		s, err := c.Sum(append(append([]Filter(nil), filters...), Equals(dim, v))...)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = s
+	}
+	return out, nil
+}
+
+// GroupByCount returns the fact count per value of a categorical
+// dimension, applying the other filters to every group.
+func (c *Cube) GroupByCount(dim string, filters ...Filter) (map[string]int64, error) {
+	i, ok := c.schema.byName[dim]
+	if !ok {
+		return nil, fmt.Errorf("olap: unknown dimension %q", dim)
+	}
+	if c.schema.specs[i].Kind != KindCategorical {
+		return nil, fmt.Errorf("olap: GroupByCount needs a categorical dimension, %q is numeric", dim)
+	}
+	out := make(map[string]int64, len(c.cats[i].values))
+	for _, v := range c.cats[i].values {
+		n, err := c.Count(append(append([]Filter(nil), filters...), Equals(dim, v))...)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = n
+	}
+	return out, nil
+}
+
+// GroupByAverage returns the mean measure per value of a categorical
+// dimension; groups with no facts are omitted.
+func (c *Cube) GroupByAverage(dim string, filters ...Filter) (map[string]float64, error) {
+	sums, err := c.GroupBySum(dim, filters...)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := c.GroupByCount(dim, filters...)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(sums))
+	for v, s := range sums {
+		if n := counts[v]; n > 0 {
+			out[v] = float64(s) / float64(n)
+		}
+	}
+	return out, nil
+}
+
+// SeriesPoint is one bucket of a SeriesSum result.
+type SeriesPoint struct {
+	// Bucket is the bucket index along the series dimension; for
+	// numeric dimensions the bucket covers values
+	// [Min + Bucket*Width, Min + (Bucket+1)*Width).
+	Bucket int64
+	// Sum is the total measure in the bucket (other filters applied).
+	Sum int64
+	// Count is the number of facts in the bucket.
+	Count int64
+}
+
+// SeriesSum returns per-bucket sums and counts along a numeric
+// dimension — the histogram / time-series view (e.g. daily sales). The
+// series spans the dimension's filtered range; the other filters apply
+// to every bucket. Each bucket costs one O(log^d n) range query pair.
+func (c *Cube) SeriesSum(dim string, filters ...Filter) ([]SeriesPoint, error) {
+	i, ok := c.schema.byName[dim]
+	if !ok {
+		return nil, fmt.Errorf("olap: unknown dimension %q", dim)
+	}
+	if c.schema.specs[i].Kind != KindNumeric {
+		return nil, fmt.Errorf("olap: SeriesSum needs a numeric dimension, %q is categorical", dim)
+	}
+	lo, hi, empty, err := c.box(filters)
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return nil, nil
+	}
+	out := make([]SeriesPoint, 0, hi[i]-lo[i]+1)
+	blo := append([]int(nil), lo...)
+	bhi := append([]int(nil), hi...)
+	for b := lo[i]; b <= hi[i]; b++ {
+		blo[i], bhi[i] = b, b
+		s, err := c.agg.SumRange(blo, bhi)
+		if err != nil {
+			return nil, err
+		}
+		n, err := c.agg.CountRange(blo, bhi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SeriesPoint{Bucket: int64(b), Sum: s, Count: n})
+	}
+	return out, nil
+}
+
+// Schema returns a copy of the cube's dimension specifications.
+func (c *Cube) Schema() []DimensionSpec {
+	return append([]DimensionSpec(nil), c.schema.specs...)
+}
+
+// Categories returns the interned values of a categorical dimension in
+// first-appearance order.
+func (c *Cube) Categories(dim string) ([]string, error) {
+	i, ok := c.schema.byName[dim]
+	if !ok {
+		return nil, fmt.Errorf("olap: unknown dimension %q", dim)
+	}
+	if c.cats[i] == nil {
+		return nil, fmt.Errorf("olap: dimension %q is numeric", dim)
+	}
+	return append([]string(nil), c.cats[i].values...), nil
+}
+
+// Facts returns the number of recorded facts.
+func (c *Cube) Facts() int64 { return c.agg.Count().Total() }
+
+// Underlying exposes the sum/count pair for advanced use (growth stats,
+// snapshots, rolling windows).
+func (c *Cube) Underlying() *ddc.Aggregate { return c.agg }

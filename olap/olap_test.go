@@ -1,0 +1,322 @@
+package olap
+
+import (
+	"errors"
+	"testing"
+
+	"ddc"
+)
+
+func salesCube(t *testing.T) *Cube {
+	t.Helper()
+	c, err := NewCube(MustSchema(
+		Numeric("age", 0, 120, 1),
+		Numeric("day", 0, 365, 1),
+		Categorical("region"),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := []struct {
+		age, day int64
+		region   string
+		amount   int64
+	}{
+		{45, 341, "west", 250},
+		{37, 220, "west", 120},
+		{37, 221, "east", 80},
+		{29, 225, "east", 60},
+		{61, 300, "north", 40},
+		{45, 240, "west", 100},
+	}
+	for _, f := range facts {
+		if err := c.Record(Row{"age": f.age, "day": f.day, "region": f.region}, f.amount); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := NewSchema(Numeric("", 0, 10, 1)); err == nil {
+		t.Fatal("unnamed dimension accepted")
+	}
+	if _, err := NewSchema(Numeric("a", 0, 10, 1), Numeric("a", 0, 10, 1)); err == nil {
+		t.Fatal("duplicate dimension accepted")
+	}
+	if _, err := NewSchema(Numeric("a", 0, 10, 0)); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := NewSchema(Numeric("a", 10, 0, 1)); err == nil {
+		t.Fatal("max < min accepted")
+	}
+	s := MustSchema(Numeric("x", 0, 3, 1), Categorical("y"))
+	dims := s.Dimensions()
+	if len(dims) != 2 || dims[0] != "x" || dims[1] != "y" {
+		t.Fatalf("Dimensions = %v", dims)
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustSchema()
+}
+
+func TestSumCountAverage(t *testing.T) {
+	c := salesCube(t)
+	// "Average daily sales to customers between 27 and 45 during days
+	// 220 to 251" — the paper's example query.
+	sum, err := c.Sum(Between("age", 27, 45), Between("day", 220, 251))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 120+80+60+100 {
+		t.Fatalf("Sum = %d, want 360", sum)
+	}
+	n, err := c.Count(Between("age", 27, 45), Between("day", 220, 251))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("Count = %d", n)
+	}
+	avg, err := c.Average(Between("age", 27, 45), Between("day", 220, 251))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 90 {
+		t.Fatalf("Average = %f", avg)
+	}
+	// Unfiltered: everything.
+	total, err := c.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 650 {
+		t.Fatalf("total = %d", total)
+	}
+	if c.Facts() != 6 {
+		t.Fatalf("Facts = %d", c.Facts())
+	}
+}
+
+func TestCategoricalFilters(t *testing.T) {
+	c := salesCube(t)
+	west, err := c.Sum(Equals("region", "west"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if west != 470 {
+		t.Fatalf("west = %d", west)
+	}
+	// Combining categorical and numeric filters.
+	v, err := c.Sum(Equals("region", "east"), Between("day", 221, 230))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 140 {
+		t.Fatalf("east days 221-230 = %d", v)
+	}
+	// Unknown category: empty, not an error.
+	v, err = c.Sum(Equals("region", "atlantis"))
+	if err != nil || v != 0 {
+		t.Fatalf("unknown category: %d, %v", v, err)
+	}
+	// All() is an explicit no-op.
+	v, err = c.Sum(All("region"))
+	if err != nil || v != 650 {
+		t.Fatalf("All: %d, %v", v, err)
+	}
+	cats, err := c.Categories("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cats) != 3 || cats[0] != "west" || cats[1] != "east" || cats[2] != "north" {
+		t.Fatalf("Categories = %v", cats)
+	}
+}
+
+func TestGroupBySum(t *testing.T) {
+	c := salesCube(t)
+	byRegion, err := c.GroupBySum("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"west": 470, "east": 140, "north": 40}
+	for k, v := range want {
+		if byRegion[k] != v {
+			t.Fatalf("GroupBySum[%s] = %d, want %d", k, byRegion[k], v)
+		}
+	}
+	// Grouped with an extra filter.
+	byRegion, err = c.GroupBySum("region", Between("day", 220, 251))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byRegion["west"] != 220 || byRegion["east"] != 140 || byRegion["north"] != 0 {
+		t.Fatalf("filtered GroupBySum = %v", byRegion)
+	}
+	if _, err := c.GroupBySum("age"); err == nil {
+		t.Fatal("GroupBySum on numeric dimension accepted")
+	}
+	if _, err := c.GroupBySum("nope"); err == nil {
+		t.Fatal("GroupBySum on unknown dimension accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := salesCube(t)
+	if err := c.Remove(Row{"age": int64(45), "day": int64(341), "region": "west"}, 250); err != nil {
+		t.Fatal(err)
+	}
+	total, _ := c.Sum()
+	if total != 400 {
+		t.Fatalf("after Remove, total = %d", total)
+	}
+	if c.Facts() != 5 {
+		t.Fatalf("Facts = %d", c.Facts())
+	}
+}
+
+func TestBucketing(t *testing.T) {
+	c, err := NewCube(MustSchema(Numeric("ts", 0, 999, 100))) // 10 buckets
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []int64{0, 99, 100, 550, 999} {
+		if err := c.Record(Row{"ts": ts}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bucket 0 covers [0, 100): two facts.
+	v, err := c.Sum(Between("ts", 0, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("bucket 0 = %d", v)
+	}
+	// A range touching a bucket includes the whole bucket (bucket
+	// granularity is the query resolution).
+	v, _ = c.Sum(Between("ts", 100, 599))
+	if v != 2 {
+		t.Fatalf("buckets 1-5 = %d", v)
+	}
+}
+
+func TestOutOfRangeValuesGrow(t *testing.T) {
+	c, err := NewCube(MustSchema(Numeric("x", 0, 15, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values beyond the declared range (both directions) grow the cube.
+	for _, x := range []int64{-40, 5, 200} {
+		if err := c.Record(Row{"x": x}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := c.Sum(Between("x", -100, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("grown sum = %d", v)
+	}
+	v, _ = c.Sum(Between("x", -40, -40))
+	if v != 1 {
+		t.Fatalf("negative value sum = %d", v)
+	}
+}
+
+func TestCategoricalGrowsPastHint(t *testing.T) {
+	c, err := NewCube(MustSchema(Categorical("tag")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ { // far beyond the hint of 16
+		if err := c.Record(Row{"tag": string(rune('A' + i%26))}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, _ := c.Sum()
+	if total != 100 {
+		t.Fatalf("total = %d", total)
+	}
+	v, _ := c.Sum(Equals("tag", "A"))
+	if v != 4 {
+		t.Fatalf("tag A = %d", v)
+	}
+}
+
+func TestRowValidation(t *testing.T) {
+	c := salesCube(t)
+	cases := []struct {
+		name string
+		row  Row
+	}{
+		{"missing dim", Row{"age": 1, "day": 2}},
+		{"extra dim", Row{"age": 1, "day": 2, "region": "x", "bogus": 1}},
+		{"unknown dim", Row{"age": 1, "day": 2, "bogus": "x"}},
+		{"string for numeric", Row{"age": "old", "day": 2, "region": "x"}},
+		{"int for categorical", Row{"age": 1, "day": 2, "region": 7}},
+	}
+	for _, tc := range cases {
+		if err := c.Record(tc.row, 1); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Plain int is accepted for numeric dims.
+	if err := c.Record(Row{"age": 30, "day": 100, "region": "west"}, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	c := salesCube(t)
+	if _, err := c.Sum(Between("region", 1, 2)); err == nil {
+		t.Fatal("Between on categorical accepted")
+	}
+	if _, err := c.Sum(Equals("age", "x")); err == nil {
+		t.Fatal("Equals on numeric accepted")
+	}
+	if _, err := c.Sum(Between("bogus", 1, 2)); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+	// Inverted numeric range: empty, not an error.
+	v, err := c.Sum(Between("age", 50, 40))
+	if err != nil || v != 0 {
+		t.Fatalf("inverted range: %d, %v", v, err)
+	}
+	if _, err := c.Average(Equals("region", "atlantis")); !errors.Is(err, ddc.ErrEmptyRegion) {
+		t.Fatalf("empty Average error = %v", err)
+	}
+	if _, err := c.Categories("age"); err == nil {
+		t.Fatal("Categories on numeric accepted")
+	}
+	if _, err := c.Categories("bogus"); err == nil {
+		t.Fatal("Categories on unknown accepted")
+	}
+}
+
+func TestUnderlying(t *testing.T) {
+	c := salesCube(t)
+	if c.Underlying() == nil {
+		t.Fatal("Underlying nil")
+	}
+	// Rolling sums through the underlying aggregate: weekly sales over
+	// days 220-251 for ages 27-45.
+	sums, err := c.Underlying().RollingSums([]int{27, 220, 0}, []int{45, 251, 15}, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 26 {
+		t.Fatalf("rolling windows = %d", len(sums))
+	}
+}

@@ -1,0 +1,183 @@
+package olap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ddc/internal/workload"
+)
+
+// fact is one recorded observation for the brute-force reference.
+type fact struct {
+	age, day int64
+	region   string
+	amount   int64
+}
+
+// TestPropertyAgainstBruteForce records random facts and checks every
+// aggregate against direct recomputation over the fact list.
+func TestPropertyAgainstBruteForce(t *testing.T) {
+	regions := []string{"w", "e", "n", "s", "c"}
+	f := func(seed uint64, nFacts uint8) bool {
+		c, err := NewCube(MustSchema(
+			Numeric("age", 0, 63, 1),
+			Numeric("day", 0, 63, 1),
+			Categorical("region"),
+		))
+		if err != nil {
+			return false
+		}
+		r := workload.NewRNG(seed)
+		var facts []fact
+		for i := 0; i < int(nFacts%60)+5; i++ {
+			ft := fact{
+				age:    r.Int63n(64),
+				day:    r.Int63n(64),
+				region: regions[r.Intn(len(regions))],
+				amount: r.Int63n(200) - 100,
+			}
+			facts = append(facts, ft)
+			if err := c.Record(Row{"age": ft.age, "day": ft.day, "region": ft.region}, ft.amount); err != nil {
+				return false
+			}
+		}
+		// Random filtered queries vs brute force.
+		for q := 0; q < 10; q++ {
+			aLo, aHi := r.Int63n(64), r.Int63n(64)
+			if aLo > aHi {
+				aLo, aHi = aHi, aLo
+			}
+			dLo, dHi := r.Int63n(64), r.Int63n(64)
+			if dLo > dHi {
+				dLo, dHi = dHi, dLo
+			}
+			reg := regions[r.Intn(len(regions))]
+			var wantSum, wantN int64
+			for _, ft := range facts {
+				if ft.age >= aLo && ft.age <= aHi && ft.day >= dLo && ft.day <= dHi && ft.region == reg {
+					wantSum += ft.amount
+					wantN++
+				}
+			}
+			filters := []Filter{Between("age", aLo, aHi), Between("day", dLo, dHi), Equals("region", reg)}
+			gotSum, err := c.Sum(filters...)
+			if err != nil || gotSum != wantSum {
+				return false
+			}
+			gotN, err := c.Count(filters...)
+			if err != nil || gotN != wantN {
+				return false
+			}
+		}
+		// Group-by consistency: per-region sums add up to the total.
+		byRegion, err := c.GroupBySum("region")
+		if err != nil {
+			return false
+		}
+		var groupTotal int64
+		for _, v := range byRegion {
+			groupTotal += v
+		}
+		total, err := c.Sum()
+		if err != nil || groupTotal != total {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesSum(t *testing.T) {
+	c := salesCube(t)
+	// Daily sales series over days 220-225, all ages/regions.
+	series, err := c.SeriesSum("day", Between("day", 220, 225))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	byDay := map[int64]SeriesPoint{}
+	var seriesTotal int64
+	for _, p := range series {
+		byDay[p.Bucket] = p
+		seriesTotal += p.Sum
+	}
+	if byDay[220].Sum != 120 || byDay[220].Count != 1 {
+		t.Fatalf("day 220 = %+v", byDay[220])
+	}
+	if byDay[221].Sum != 80 || byDay[225].Sum != 60 {
+		t.Fatalf("series = %v", series)
+	}
+	if byDay[222].Sum != 0 || byDay[222].Count != 0 {
+		t.Fatalf("empty day = %+v", byDay[222])
+	}
+	// The series total matches the plain range sum.
+	want, _ := c.Sum(Between("day", 220, 225))
+	if seriesTotal != want {
+		t.Fatalf("series total %d != range sum %d", seriesTotal, want)
+	}
+	// Filters apply per bucket.
+	series, err = c.SeriesSum("day", Between("day", 220, 225), Equals("region", "east"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eastTotal int64
+	for _, p := range series {
+		eastTotal += p.Sum
+	}
+	if eastTotal != 140 {
+		t.Fatalf("east series total = %d", eastTotal)
+	}
+	// Validation and degenerate cases.
+	if _, err := c.SeriesSum("region"); err == nil {
+		t.Fatal("SeriesSum on categorical accepted")
+	}
+	if _, err := c.SeriesSum("bogus"); err == nil {
+		t.Fatal("SeriesSum on unknown accepted")
+	}
+	empty, err := c.SeriesSum("day", Between("day", 50, 40))
+	if err != nil || empty != nil {
+		t.Fatalf("inverted range series: %v, %v", empty, err)
+	}
+	if s := c.Schema(); len(s) != 3 || s[0].Name != "age" {
+		t.Fatalf("Schema = %v", s)
+	}
+}
+
+func TestGroupByCountAndAverage(t *testing.T) {
+	c := salesCube(t)
+	counts, err := c.GroupByCount("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["west"] != 3 || counts["east"] != 2 || counts["north"] != 1 {
+		t.Fatalf("GroupByCount = %v", counts)
+	}
+	avgs, err := c.GroupByAverage("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avgs["east"] != 70 {
+		t.Fatalf("east average = %f", avgs["east"])
+	}
+	if avgs["north"] != 40 {
+		t.Fatalf("north average = %f", avgs["north"])
+	}
+	// Filter that empties a group: the group is omitted from averages.
+	avgs, err = c.GroupByAverage("region", Between("day", 220, 251))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := avgs["north"]; ok {
+		t.Fatal("empty group should be omitted")
+	}
+	if _, err := c.GroupByCount("age"); err == nil {
+		t.Fatal("GroupByCount on numeric accepted")
+	}
+	if _, err := c.GroupByAverage("bogus"); err == nil {
+		t.Fatal("GroupByAverage on unknown accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package olap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"ddc"
+)
+
+// olapMagic opens version 1 of the OLAP snapshot format.
+var olapMagic = [8]byte{'D', 'D', 'C', 'O', 'L', 'A', 'P', '1'}
+
+// ErrBadSnapshot is returned by LoadCube for malformed input.
+var ErrBadSnapshot = errors.New("olap: bad snapshot")
+
+// snapshotHeader is the JSON-encoded metadata section: the schema and
+// every interned categorical value (index order preserved).
+type snapshotHeader struct {
+	Specs      []DimensionSpec `json:"specs"`
+	Categories [][]string      `json:"categories"`
+}
+
+// Save writes the cube — schema, interned categories, and the sum/count
+// pair — to w. The format is: magic, then three length-prefixed
+// sections (JSON header, sum snapshot, count snapshot).
+func (c *Cube) Save(w io.Writer) error {
+	if _, err := w.Write(olapMagic[:]); err != nil {
+		return err
+	}
+	hdr := snapshotHeader{Specs: c.schema.specs, Categories: make([][]string, len(c.cats))}
+	for i, ct := range c.cats {
+		if ct != nil {
+			hdr.Categories[i] = ct.values
+		}
+	}
+	hj, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if err := writeSection(w, hj); err != nil {
+		return err
+	}
+	var sum bytes.Buffer
+	if err := c.agg.Sum().Save(&sum); err != nil {
+		return err
+	}
+	if err := writeSection(w, sum.Bytes()); err != nil {
+		return err
+	}
+	var count bytes.Buffer
+	if err := c.agg.Count().Save(&count); err != nil {
+		return err
+	}
+	return writeSection(w, count.Bytes())
+}
+
+func writeSection(w io.Writer, data []byte) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(data))); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func readSection(r io.Reader) ([]byte, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<32 {
+		return nil, fmt.Errorf("implausible section size %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// LoadCube reads a snapshot written by Save.
+func LoadCube(r io.Reader) (*Cube, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadSnapshot, err)
+	}
+	if magic != olapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	hj, err := readSection(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(hj, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: header json: %v", ErrBadSnapshot, err)
+	}
+	schema, err := NewSchema(hdr.Specs...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if len(hdr.Categories) != len(hdr.Specs) {
+		return nil, fmt.Errorf("%w: %d category tables for %d dimensions", ErrBadSnapshot, len(hdr.Categories), len(hdr.Specs))
+	}
+	sumBytes, err := readSection(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: sum cube: %v", ErrBadSnapshot, err)
+	}
+	countBytes, err := readSection(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count cube: %v", ErrBadSnapshot, err)
+	}
+	sum, err := ddc.LoadDynamic(bytes.NewReader(sumBytes))
+	if err != nil {
+		return nil, fmt.Errorf("%w: sum cube: %v", ErrBadSnapshot, err)
+	}
+	count, err := ddc.LoadDynamic(bytes.NewReader(countBytes))
+	if err != nil {
+		return nil, fmt.Errorf("%w: count cube: %v", ErrBadSnapshot, err)
+	}
+	c := &Cube{
+		schema: schema,
+		agg:    ddc.RestoreAggregate(sum, count),
+		cats:   make([]*catTable, len(schema.specs)),
+	}
+	for i, sp := range schema.specs {
+		if sp.Kind != KindCategorical {
+			continue
+		}
+		ct := &catTable{byValue: map[string]int{}}
+		for _, v := range hdr.Categories[i] {
+			ct.intern(v)
+		}
+		c.cats[i] = ct
+	}
+	return c, nil
+}

@@ -1,0 +1,116 @@
+package olap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := salesCube(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCube(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema, categories and every aggregate round-trip.
+	if d := got.schema.Dimensions(); len(d) != 3 || d[2] != "region" {
+		t.Fatalf("Dimensions = %v", d)
+	}
+	cats, err := got.Categories("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cats) != 3 || cats[0] != "west" {
+		t.Fatalf("Categories = %v", cats)
+	}
+	wantSum, _ := c.Sum(Between("age", 27, 45), Between("day", 220, 251))
+	gotSum, err := got.Sum(Between("age", 27, 45), Between("day", 220, 251))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSum != wantSum {
+		t.Fatalf("Sum = %d, want %d", gotSum, wantSum)
+	}
+	if got.Facts() != c.Facts() {
+		t.Fatalf("Facts = %d, want %d", got.Facts(), c.Facts())
+	}
+	wantWest, _ := c.Sum(Equals("region", "west"))
+	gotWest, _ := got.Sum(Equals("region", "west"))
+	if gotWest != wantWest {
+		t.Fatalf("west = %d, want %d", gotWest, wantWest)
+	}
+	// The restored cube accepts new facts, reusing interned categories.
+	if err := got.Record(Row{"age": int64(50), "day": int64(1), "region": "west"}, 10); err != nil {
+		t.Fatal(err)
+	}
+	gotWest2, _ := got.Sum(Equals("region", "west"))
+	if gotWest2 != wantWest+10 {
+		t.Fatalf("west after new fact = %d", gotWest2)
+	}
+	// A brand-new category interns past the restored table.
+	if err := got.Record(Row{"age": int64(50), "day": int64(1), "region": "atlantis"}, 5); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := got.Sum(Equals("region", "atlantis"))
+	if v != 5 {
+		t.Fatalf("new category sum = %d", v)
+	}
+}
+
+func TestSnapshotGrownCube(t *testing.T) {
+	c, err := NewCube(MustSchema(Numeric("x", 0, 15, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int64{-40, 5, 200} {
+		if err := c.Record(Row{"x": x}, int64(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCube(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := c.Sum(Between("x", -100, 300))
+	v, err := got.Sum(Between("x", -100, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != want {
+		t.Fatalf("grown sum = %d, want %d", v, want)
+	}
+}
+
+func TestLoadCubeCorruption(t *testing.T) {
+	c := salesCube(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte("XXXXXXXX"), full[8:]...),
+		"truncated":  full[:len(full)/2],
+		"header cut": full[:10],
+	}
+	for name, data := range cases {
+		if _, err := LoadCube(bytes.NewReader(data)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: error = %v, want ErrBadSnapshot", name, err)
+		}
+	}
+	// Corrupt the JSON header in place.
+	bad := append([]byte(nil), full...)
+	bad[20] = '!'
+	if _, err := LoadCube(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("corrupt header: error = %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package olap
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time declares a time-valued numeric dimension: values are bucketed
+// into intervals of `bucket` starting at `epoch`. Rows may supply
+// time.Time values (or raw int64 bucket numbers); filters use
+// BetweenTimes. The expected range [epoch, horizon) sizes the initial
+// domain; observations outside it grow the cube, so the horizon is a
+// hint, not a limit.
+func Time(name string, epoch, horizon time.Time, bucket time.Duration) DimensionSpec {
+	if bucket <= 0 {
+		bucket = time.Hour
+	}
+	buckets := int64(horizon.Sub(epoch) / bucket)
+	if buckets < 1 {
+		buckets = 1
+	}
+	return DimensionSpec{
+		Name:       name,
+		Kind:       KindNumeric,
+		Min:        0,
+		Max:        buckets - 1,
+		Width:      1,
+		TimeEpoch:  epoch,
+		TimeBucket: bucket,
+	}
+}
+
+// BetweenTimes restricts a time dimension to observations in [from, to]
+// (inclusive, at bucket granularity). The cube resolves the bucket
+// mapping from the dimension's declaration.
+func BetweenTimes(dim string, from, to time.Time) Filter {
+	return Filter{dim: dim, numeric: true, timeLo: from, timeHi: to, isTime: true}
+}
+
+// timeToBucket maps an instant to its bucket index for a time spec.
+func timeToBucket(sp DimensionSpec, ts time.Time) int64 {
+	d := ts.Sub(sp.TimeEpoch)
+	b := int64(d / sp.TimeBucket)
+	if d < 0 && d%sp.TimeBucket != 0 {
+		b-- // floor toward the past so buckets stay disjoint
+	}
+	return b
+}
+
+// resolveTimeValue converts a Row's time.Time into the bucket number a
+// numeric dimension indexes. Returns an error when the dimension was not
+// declared with Time.
+func resolveTimeValue(sp DimensionSpec, ts time.Time) (int64, error) {
+	if sp.TimeBucket == 0 {
+		return 0, fmt.Errorf("olap: dimension %q does not accept time values", sp.Name)
+	}
+	return timeToBucket(sp, ts), nil
+}

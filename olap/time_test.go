@@ -1,0 +1,147 @@
+package olap
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func ts(s string) time.Time {
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestTimeDimension(t *testing.T) {
+	epoch := ts("2026-01-01T00:00:00Z")
+	horizon := ts("2027-01-01T00:00:00Z")
+	c, err := NewCube(MustSchema(
+		Time("at", epoch, horizon, 24*time.Hour),
+		Categorical("region"),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []struct {
+		when   string
+		region string
+		amount int64
+	}{
+		{"2026-01-01T09:00:00Z", "west", 100},
+		{"2026-01-01T21:00:00Z", "west", 50},  // same day bucket
+		{"2026-01-02T03:00:00Z", "east", 70},  // next day
+		{"2026-03-15T12:00:00Z", "west", 200}, // much later
+	}
+	for _, e := range events {
+		if err := c.Record(Row{"at": ts(e.when), "region": e.region}, e.amount); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Day one only.
+	v, err := c.Sum(BetweenTimes("at", ts("2026-01-01T00:00:00Z"), ts("2026-01-01T23:59:59Z")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 150 {
+		t.Fatalf("day one = %d, want 150", v)
+	}
+	// First week.
+	v, _ = c.Sum(BetweenTimes("at", ts("2026-01-01T00:00:00Z"), ts("2026-01-07T00:00:00Z")))
+	if v != 220 {
+		t.Fatalf("week one = %d, want 220", v)
+	}
+	// Combined with a categorical filter.
+	v, _ = c.Sum(
+		BetweenTimes("at", ts("2026-01-01T00:00:00Z"), ts("2026-12-31T00:00:00Z")),
+		Equals("region", "west"))
+	if v != 350 {
+		t.Fatalf("west all year = %d, want 350", v)
+	}
+}
+
+func TestTimeBeforeEpochGrows(t *testing.T) {
+	epoch := ts("2026-01-01T00:00:00Z")
+	c, err := NewCube(MustSchema(Time("at", epoch, ts("2026-02-01T00:00:00Z"), 24*time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An event before the epoch: negative bucket, auto-grows.
+	if err := c.Record(Row{"at": ts("2025-12-30T12:00:00Z")}, 5); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Sum(BetweenTimes("at", ts("2025-12-01T00:00:00Z"), ts("2025-12-31T00:00:00Z")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("pre-epoch sum = %d", v)
+	}
+	// A bucket boundary check: 2025-12-31T23:59 is bucket -1,
+	// 2026-01-01T00:00 is bucket 0.
+	if b := timeToBucket(c.schema.specs[0], ts("2025-12-31T23:59:00Z")); b != -1 {
+		t.Fatalf("bucket = %d, want -1", b)
+	}
+	if b := timeToBucket(c.schema.specs[0], epoch); b != 0 {
+		t.Fatalf("epoch bucket = %d, want 0", b)
+	}
+}
+
+func TestTimeValidation(t *testing.T) {
+	c, err := NewCube(MustSchema(Numeric("n", 0, 10, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record(Row{"n": ts("2026-01-01T00:00:00Z")}, 1); err == nil {
+		t.Fatal("time value on plain numeric dimension accepted")
+	}
+	if _, err := c.Sum(BetweenTimes("n", time.Now(), time.Now())); err == nil {
+		t.Fatal("BetweenTimes on plain numeric dimension accepted")
+	}
+	// Degenerate horizon still yields a valid (1-bucket) spec.
+	sp := Time("t", ts("2026-01-01T00:00:00Z"), ts("2026-01-01T00:00:00Z"), 0)
+	if sp.Max != 0 || sp.TimeBucket != time.Hour {
+		t.Fatalf("degenerate Time spec = %+v", sp)
+	}
+	// Inverted time range: empty, not an error.
+	tc, _ := NewCube(MustSchema(Time("at", ts("2026-01-01T00:00:00Z"), ts("2026-02-01T00:00:00Z"), time.Hour)))
+	_ = tc.Record(Row{"at": ts("2026-01-05T00:00:00Z")}, 3)
+	v, err := tc.Sum(BetweenTimes("at", ts("2026-01-20T00:00:00Z"), ts("2026-01-10T00:00:00Z")))
+	if err != nil || v != 0 {
+		t.Fatalf("inverted time range: %d, %v", v, err)
+	}
+}
+
+func TestTimeDimensionSnapshotRoundTrip(t *testing.T) {
+	epoch := ts("2026-01-01T00:00:00Z")
+	c, err := NewCube(MustSchema(Time("at", epoch, ts("2027-01-01T00:00:00Z"), 24*time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Record(Row{"at": ts("2026-06-15T10:00:00Z")}, 42)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCube(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The time mapping must survive: query by instants, not buckets.
+	v, err := got.Sum(BetweenTimes("at", ts("2026-06-01T00:00:00Z"), ts("2026-07-01T00:00:00Z")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("restored time query = %d, want 42", v)
+	}
+	// And new time-valued facts still record correctly.
+	if err := got.Record(Row{"at": ts("2026-06-16T10:00:00Z")}, 8); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = got.Sum(BetweenTimes("at", ts("2026-06-01T00:00:00Z"), ts("2026-07-01T00:00:00Z")))
+	if v != 50 {
+		t.Fatalf("after new fact = %d, want 50", v)
+	}
+}

@@ -1,0 +1,221 @@
+package ddc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ShardedCube partitions dimension 0 into independently locked Dynamic
+// Data Cubes, so updates and queries touching different shards proceed
+// concurrently — the scale-out shape for ingest-heavy services (contrast
+// Synchronized, which serializes everything).
+//
+// Shard s owns the dimension-0 slab [s*span, (s+1)*span). Range queries
+// fan out to the overlapping shards and add the partial sums (sums are
+// associative, so no coordination beyond per-shard locks is needed).
+// Sharded cubes have fixed domains: growth would change slab boundaries.
+type ShardedCube struct {
+	dims   []int
+	span   int // dimension-0 extent per shard
+	shards []shard
+}
+
+type shard struct {
+	mu sync.Mutex
+	c  *DynamicCube
+}
+
+// NewSharded returns a cube over dims split into `shards` slabs along
+// dimension 0. The shard count is clamped to dims[0]. AutoGrow is
+// rejected.
+func NewSharded(dims []int, shards int, opt Options) (*ShardedCube, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: shard count %d", ErrBadExtent, shards)
+	}
+	if opt.AutoGrow {
+		return nil, fmt.Errorf("%w: sharded cubes cannot AutoGrow", ErrBadExtent)
+	}
+	if len(dims) == 0 || dims[0] < 1 {
+		return nil, fmt.Errorf("%w: need a positive first dimension", ErrBadExtent)
+	}
+	if shards > dims[0] {
+		shards = dims[0]
+	}
+	span := (dims[0] + shards - 1) / shards
+	s := &ShardedCube{dims: append([]int(nil), dims...), span: span}
+	for lo := 0; lo < dims[0]; lo += span {
+		hi := lo + span
+		if hi > dims[0] {
+			hi = dims[0]
+		}
+		sdims := append([]int(nil), dims...)
+		sdims[0] = hi - lo
+		c, err := NewDynamicWithOptions(sdims, opt)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, shard{c: c})
+	}
+	return s, nil
+}
+
+// Shards returns the number of shards.
+func (s *ShardedCube) Shards() int { return len(s.shards) }
+
+// Dims implements Cube.
+func (s *ShardedCube) Dims() []int { return append([]int(nil), s.dims...) }
+
+// locate maps a global point to its shard and shard-local point.
+func (s *ShardedCube) locate(p []int) (*shard, []int, error) {
+	if len(p) != len(s.dims) {
+		return nil, nil, fmt.Errorf("%w: point has %d dims, cube has %d", ErrDims, len(p), len(s.dims))
+	}
+	if p[0] < 0 || p[0] >= s.dims[0] {
+		return nil, nil, fmt.Errorf("%w: coordinate 0 = %d not in [0, %d)", ErrRange, p[0], s.dims[0])
+	}
+	si := p[0] / s.span
+	local := append([]int(nil), p...)
+	local[0] = p[0] - si*s.span
+	return &s.shards[si], local, nil
+}
+
+// Get implements Cube.
+func (s *ShardedCube) Get(p []int) int64 {
+	sh, local, err := s.locate(p)
+	if err != nil {
+		return 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Get(local)
+}
+
+// Set implements Cube.
+func (s *ShardedCube) Set(p []int, v int64) error {
+	sh, local, err := s.locate(p)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Set(local, v)
+}
+
+// Add implements Cube.
+func (s *ShardedCube) Add(p []int, d int64) error {
+	sh, local, err := s.locate(p)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Add(local, d)
+}
+
+// Prefix implements Cube.
+func (s *ShardedCube) Prefix(p []int) int64 {
+	if len(p) != len(s.dims) {
+		return 0
+	}
+	for _, v := range p {
+		if v < 0 {
+			return 0
+		}
+	}
+	q := append([]int(nil), p...)
+	if q[0] >= s.dims[0] {
+		q[0] = s.dims[0] - 1
+	}
+	var sum int64
+	last := q[0] / s.span
+	for si := 0; si <= last; si++ {
+		local := append([]int(nil), q...)
+		if si < last {
+			local[0] = s.shards[si].c.Dims()[0] - 1
+		} else {
+			local[0] = q[0] - si*s.span
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		sum += sh.c.Prefix(local)
+		sh.mu.Unlock()
+	}
+	return sum
+}
+
+// RangeSum implements Cube: the box is split at slab boundaries and the
+// per-shard partial sums added.
+func (s *ShardedCube) RangeSum(lo, hi []int) (int64, error) {
+	if len(lo) != len(s.dims) || len(hi) != len(s.dims) {
+		return 0, fmt.Errorf("%w: box dims", ErrDims)
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return 0, fmt.Errorf("%w: dimension %d", ErrEmptyRange, i)
+		}
+		if lo[i] < 0 || hi[i] >= s.dims[i] {
+			return 0, fmt.Errorf("%w: dimension %d", ErrRange, i)
+		}
+	}
+	var sum int64
+	first, last := lo[0]/s.span, hi[0]/s.span
+	for si := first; si <= last; si++ {
+		slabLo, slabHi := si*s.span, si*s.span+s.shards[si].c.Dims()[0]-1
+		llo := append([]int(nil), lo...)
+		lhi := append([]int(nil), hi...)
+		if llo[0] < slabLo {
+			llo[0] = slabLo
+		}
+		if lhi[0] > slabHi {
+			lhi[0] = slabHi
+		}
+		llo[0] -= slabLo
+		lhi[0] -= slabLo
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		v, err := sh.c.RangeSum(llo, lhi)
+		sh.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// Total implements Cube.
+func (s *ShardedCube) Total() int64 {
+	var sum int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sum += sh.c.Total()
+		sh.mu.Unlock()
+	}
+	return sum
+}
+
+// Ops implements Cube, aggregating across shards.
+func (s *ShardedCube) Ops() OpCounts {
+	var out OpCounts
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		o := sh.c.Ops()
+		sh.mu.Unlock()
+		out.QueryCells += o.QueryCells
+		out.UpdateCells += o.UpdateCells
+		out.NodeVisits += o.NodeVisits
+	}
+	return out
+}
+
+// ResetOps implements Cube.
+func (s *ShardedCube) ResetOps() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.ResetOps()
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,192 @@
+package ddc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ddc/internal/grid"
+)
+
+// snapshotMagic identifies version 1 of the snapshot format.
+var snapshotMagic = [8]byte{'D', 'D', 'C', 'S', 'N', 'A', 'P', '1'}
+
+// ErrBadSnapshot is returned by LoadDynamic for malformed input.
+var ErrBadSnapshot = errors.New("ddc: bad snapshot")
+
+// snapshotHeader is the fixed-size portion of the on-disk format
+// (little-endian throughout).
+type snapshotHeader struct {
+	Magic    [8]byte
+	D        uint32
+	Tile     uint32
+	Fanout   uint32
+	AutoGrow uint8
+	Grown    uint8
+	_        [2]byte // padding for alignment clarity
+	Side     uint64  // padded domain side at save time
+}
+
+// Save writes a snapshot of the cube (declared dims, options, growth
+// state and every nonzero cell) to w. The format is deterministic:
+// cells are written in the tree's deterministic Z-order (Morton order
+// over internal coordinates).
+func (c *DynamicCube) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := snapshotHeader{
+		Magic:  snapshotMagic,
+		D:      uint32(c.t.D()),
+		Tile:   uint32(c.t.Config().Tile),
+		Fanout: uint32(c.t.Config().Fanout),
+		Side:   uint64(c.t.PaddedSide()),
+	}
+	if c.t.Config().AutoGrow {
+		hdr.AutoGrow = 1
+	}
+	if c.t.Grown() {
+		hdr.Grown = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for _, n := range c.t.Dims() {
+		if err := binary.Write(bw, binary.LittleEndian, int64(n)); err != nil {
+			return err
+		}
+	}
+	for _, o := range c.t.Origin() {
+		if err := binary.Write(bw, binary.LittleEndian, int64(o)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(c.NonZeroCells())); err != nil {
+		return err
+	}
+	var werr error
+	c.ForEachNonZero(func(p []int, v int64) {
+		if werr != nil {
+			return
+		}
+		for _, x := range p {
+			if werr = binary.Write(bw, binary.LittleEndian, int64(x)); werr != nil {
+				return
+			}
+		}
+		werr = binary.Write(bw, binary.LittleEndian, v)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// LoadDynamic reads a snapshot written by Save (version 1) or
+// SaveCompact (version 2) and reconstructs the cube, including its
+// growth history (bounds and origin round-trip exactly).
+func LoadDynamic(r io.Reader) (*DynamicCube, error) {
+	br := bufio.NewReader(r)
+	var hdr snapshotHeader
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	compact := hdr.Magic == snapshotMagic2
+	if hdr.Magic != snapshotMagic && !compact {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if hdr.D == 0 || hdr.D > 64 {
+		return nil, fmt.Errorf("%w: implausible dimensionality %d", ErrBadSnapshot, hdr.D)
+	}
+	d := int(hdr.D)
+	dims := make([]int, d)
+	for i := range dims {
+		var v int64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("%w: truncated dims", ErrBadSnapshot)
+		}
+		dims[i] = int(v)
+	}
+	origin := make([]int, d)
+	for i := range origin {
+		var v int64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("%w: truncated origin", ErrBadSnapshot)
+		}
+		origin[i] = int(v)
+	}
+	c, err := NewDynamicWithOptions(dims, Options{
+		Tile:     int(hdr.Tile),
+		Fanout:   int(hdr.Fanout),
+		AutoGrow: hdr.AutoGrow == 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if hdr.Grown == 1 {
+		if err := c.replayGrowth(origin, int(hdr.Side)); err != nil {
+			return nil, err
+		}
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: truncated count", ErrBadSnapshot)
+	}
+	if compact {
+		if err := loadCompactCells(br, c, d, count); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	p := make([]int, d)
+	for i := uint64(0); i < count; i++ {
+		for j := 0; j < d; j++ {
+			var v int64
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return nil, fmt.Errorf("%w: truncated cell %d", ErrBadSnapshot, i)
+			}
+			p[j] = int(v)
+		}
+		var v int64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("%w: truncated value %d", ErrBadSnapshot, i)
+		}
+		if err := c.Add(p, v); err != nil {
+			return nil, fmt.Errorf("%w: cell %v out of restored bounds: %v", ErrBadSnapshot, p, err)
+		}
+	}
+	return c, nil
+}
+
+// replayGrowth re-applies the growth sequence that produced the saved
+// origin and side. A grow in a "before" direction subtracts the current
+// side from the origin, so the saved origin decomposes each dimension's
+// grow directions as the binary representation of -origin/side0.
+func (c *DynamicCube) replayGrowth(origin []int, side int) error {
+	side0 := c.t.PaddedSide()
+	if side < side0 || side%side0 != 0 {
+		return fmt.Errorf("%w: saved side %d incompatible with base %d", ErrBadSnapshot, side, side0)
+	}
+	for s := 0; side0<<uint(s) < side; s++ {
+		before := make([]bool, len(origin))
+		for i, o := range origin {
+			if o > 0 || (-o)%side0 != 0 {
+				return fmt.Errorf("%w: origin %v not reachable by growth", ErrBadSnapshot, grid.Point(origin))
+			}
+			before[i] = ((-o)/side0)&(1<<uint(s)) != 0
+		}
+		if err := c.Grow(before); err != nil {
+			return err
+		}
+	}
+	got := c.t.Origin()
+	for i := range origin {
+		if got[i] != origin[i] {
+			return fmt.Errorf("%w: origin replay mismatch: %v != %v", ErrBadSnapshot, got, grid.Point(origin))
+		}
+	}
+	if c.t.PaddedSide() != side {
+		return fmt.Errorf("%w: side replay mismatch", ErrBadSnapshot)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package ddc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ddc/internal/workload"
+)
+
+func TestCompactSnapshotRoundTrip(t *testing.T) {
+	c, err := NewDynamicWithOptions([]int{512, 512}, Options{Tile: 2, Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workload.NewRNG(21)
+	for _, u := range workload.Clustered(r, []int{512, 512}, 5, 800, 12, 90) {
+		if err := c.Add(u.Point, u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var v1, v2 bytes.Buffer
+	if err := c.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveCompact(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Fatalf("compact (%d bytes) not smaller than v1 (%d bytes)", v2.Len(), v1.Len())
+	}
+	got, err := LoadDynamic(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != c.Total() || got.NonZeroCells() != c.NonZeroCells() {
+		t.Fatalf("compact round trip: total %d/%d nz %d/%d",
+			got.Total(), c.Total(), got.NonZeroCells(), c.NonZeroCells())
+	}
+	c.ForEachNonZero(func(p []int, v int64) {
+		if got.Get(p) != v {
+			t.Fatalf("cell %v = %d, want %d", p, got.Get(p), v)
+		}
+	})
+	if o := got.Options(); o.Tile != 2 || o.Fanout != 8 {
+		t.Fatalf("options = %+v", o)
+	}
+}
+
+func TestCompactSnapshotGrownAndNegative(t *testing.T) {
+	c, err := NewDynamicWithOptions([]int{8, 8}, Options{AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := [][2]int{{-33, 7}, {2, 2}, {40, -40}, {0, 0}}
+	for i, p := range pts {
+		if err := c.Set([]int{p[0], p[1]}, int64(-50+i*37)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.SaveCompact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDynamic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glo, ghi := got.Bounds()
+	clo, chi := c.Bounds()
+	for i := range glo {
+		if glo[i] != clo[i] || ghi[i] != chi[i] {
+			t.Fatalf("bounds [%v,%v) != [%v,%v)", glo, ghi, clo, chi)
+		}
+	}
+	for i, p := range pts {
+		if got.Get([]int{p[0], p[1]}) != int64(-50+i*37) {
+			t.Fatalf("cell %v wrong", p)
+		}
+	}
+}
+
+func TestCompactSnapshotCorruption(t *testing.T) {
+	c := mustNewDynamic(t, []int{8, 8})
+	_ = c.Add([]int{1, 1}, 5)
+	var buf bytes.Buffer
+	if err := c.SaveCompact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := LoadDynamic(bytes.NewReader(full[:len(full)-1])); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("truncated compact error = %v", err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		got, err := LoadDynamic(bytes.NewReader(full[:cut]))
+		if err == nil && got.Total() == 5 {
+			t.Fatalf("truncated compact snapshot (%d of %d) loaded complete", cut, len(full))
+		}
+	}
+}
+
+func TestGrowthReplayRejectsBadOrigins(t *testing.T) {
+	c, err := NewDynamicWithOptions([]int{4, 4}, Options{AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Set([]int{-3, 9}, 7) // grown snapshot
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Header layout: magic 8 + d 4 + tile 4 + fanout 4 + flags 2 +
+	// pad 2 + side 8 = 32 bytes, then dims (2 x int64), then origin.
+	const originOff = 32 + 16
+	cases := map[string]int64{
+		"positive origin":      5,
+		"non-multiple origin":  -3,
+		"unreachable negative": -1000000,
+	}
+	for name, v := range cases {
+		bad := append([]byte(nil), full...)
+		for i := 0; i < 8; i++ {
+			bad[originOff+i] = byte(uint64(v) >> (8 * i))
+		}
+		if _, err := LoadDynamic(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: error = %v, want ErrBadSnapshot", name, err)
+		}
+	}
+	// Corrupt the side field (offset 24) to something incompatible.
+	bad := append([]byte(nil), full...)
+	bad[24] = 3 // side = 3: not a multiple of the base side
+	if _, err := LoadDynamic(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("bad side: error = %v", err)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), 1<<62 - 1, -(1 << 62)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("zigzag round trip of %d = %d", v, got)
+		}
+	}
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactIsMuchSmallerForClusteredData(t *testing.T) {
+	// Delta encoding shines on row-major clustered cells: adjacent cells
+	// differ by tiny deltas.
+	c := mustNewDynamic(t, []int{4096, 4096})
+	r := workload.NewRNG(8)
+	for _, u := range workload.Clustered(r, []int{4096, 4096}, 3, 3000, 15, 60) {
+		if err := c.Add(u.Point, u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var v1, v2 bytes.Buffer
+	_ = c.Save(&v1)
+	_ = c.SaveCompact(&v2)
+	if ratio := float64(v1.Len()) / float64(v2.Len()); ratio < 3 {
+		t.Fatalf("compression ratio %.2f (v1 %d, v2 %d); expected >= 3x on clustered data",
+			ratio, v1.Len(), v2.Len())
+	}
+}

@@ -1,0 +1,332 @@
+package ddc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ddc/internal/workload"
+)
+
+// TestHighDimensionality exercises the full stack at the paper's target
+// dimensionalities (Table 1 uses d=8) on small sides, where PS/RPS
+// cascades are still tractable for cross-checking.
+func TestHighDimensionality(t *testing.T) {
+	for _, tc := range []struct {
+		d, n int
+	}{{5, 3}, {6, 2}, {8, 2}} {
+		dims := make([]int, tc.d)
+		for i := range dims {
+			dims[i] = tc.n
+		}
+		naive, err := NewNaive(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn, err := NewDynamicWithOptions(dims, Options{Tile: 1, Fanout: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, err := NewFenwick(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := workload.NewRNG(uint64(tc.d))
+		for i := 0; i < 40; i++ {
+			p := make([]int, tc.d)
+			for j := range p {
+				p[j] = r.Intn(tc.n)
+			}
+			v := r.Int63n(30) - 10
+			for _, c := range []Cube{naive, dyn, fw} {
+				if err := c.Add(p, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			q := make([]int, tc.d)
+			for j := range q {
+				q[j] = r.Intn(tc.n)
+			}
+			want := naive.Prefix(q)
+			if got := dyn.Prefix(q); got != want {
+				t.Fatalf("d=%d n=%d: DDC Prefix(%v) = %d, want %d", tc.d, tc.n, q, got, want)
+			}
+			if got := fw.Prefix(q); got != want {
+				t.Fatalf("d=%d n=%d: Fenwick Prefix(%v) = %d, want %d", tc.d, tc.n, q, got, want)
+			}
+		}
+		if dyn.Total() != naive.Total() {
+			t.Fatalf("d=%d: totals differ", tc.d)
+		}
+	}
+}
+
+// refCube is a map-backed reference supporting the grown logical
+// coordinate space (negative coordinates included).
+type refCube map[string]struct {
+	p []int
+	v int64
+}
+
+func (rc refCube) set(p []int, v int64) {
+	key := fmt.Sprint(p)
+	rc[key] = struct {
+		p []int
+		v int64
+	}{append([]int(nil), p...), v}
+}
+
+func (rc refCube) add(p []int, d int64) {
+	key := fmt.Sprint(p)
+	e, ok := rc[key]
+	if !ok {
+		rc.set(p, d)
+		return
+	}
+	e.v += d
+	rc[key] = e
+}
+
+func (rc refCube) rangeSum(lo, hi []int) int64 {
+	var s int64
+	for _, e := range rc {
+		in := true
+		for i := range lo {
+			if e.p[i] < lo[i] || e.p[i] > hi[i] {
+				in = false
+				break
+			}
+		}
+		if in {
+			s += e.v
+		}
+	}
+	return s
+}
+
+// TestGrownCubeStress runs a long random mixture of sets, adds, growth
+// steps, materialisations, snapshots and range queries on a growable
+// DDC, validating every query against the map reference.
+func TestGrownCubeStress(t *testing.T) {
+	c, err := NewDynamicWithOptions([]int{8, 8}, Options{AutoGrow: true, Tile: 2, Fanout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refCube{}
+	r := workload.NewRNG(123)
+	span := 8
+	randPoint := func() []int {
+		return []int{r.Intn(2*span) - span/2, r.Intn(2*span) - span/2}
+	}
+	for i := 0; i < 1500; i++ {
+		switch r.Intn(10) {
+		case 0: // widen the coordinate universe
+			if span < 512 {
+				span *= 2
+			}
+		case 1: // explicit growth in a random corner (bounded)
+			if lo, hi := c.Bounds(); hi[0]-lo[0] < 4096 {
+				if err := c.Grow([]bool{r.Intn(2) == 0, r.Intn(2) == 0}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 2: // materialise delegated levels
+			c.Materialize()
+		case 3, 4: // set
+			p := randPoint()
+			v := r.Int63n(100) - 50
+			if err := c.Set(p, v); err != nil {
+				t.Fatal(err)
+			}
+			ref.set(p, v)
+		default: // add
+			p := randPoint()
+			v := r.Int63n(20) - 10
+			if err := c.Add(p, v); err != nil {
+				t.Fatal(err)
+			}
+			ref.add(p, v)
+		}
+		if i%50 == 49 {
+			lo, hi := c.Bounds()
+			qlo := []int{lo[0] + r.Intn(hi[0]-lo[0]), lo[1] + r.Intn(hi[1]-lo[1])}
+			qhi := []int{qlo[0] + r.Intn(hi[0]-qlo[0]), qlo[1] + r.Intn(hi[1]-qlo[1])}
+			got, err := c.RangeSum(qlo, qhi)
+			if err != nil {
+				t.Fatalf("op %d: RangeSum: %v", i, err)
+			}
+			if want := ref.rangeSum(qlo, qhi); got != want {
+				t.Fatalf("op %d: RangeSum(%v,%v) = %d, want %d", i, qlo, qhi, got, want)
+			}
+		}
+	}
+	// Final deep checks: every nonzero cell and the grand total.
+	var refTotal int64
+	for _, e := range ref {
+		refTotal += e.v
+		if got := c.Get(e.p); got != e.v {
+			t.Fatalf("cell %v = %d, want %d", e.p, got, e.v)
+		}
+	}
+	if c.Total() != refTotal {
+		t.Fatalf("Total = %d, want %d", c.Total(), refTotal)
+	}
+}
+
+// TestSoakAllMethods is a longer cross-method soak (skipped with
+// -short): 3-d domain, thousands of interleaved mutations, every method
+// checked against the naive array at checkpoints.
+func TestSoakAllMethods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dims := []int{12, 10, 8}
+	naive, _ := NewNaive(dims)
+	others := map[string]Cube{}
+	ps, _ := NewPrefixSum(dims)
+	others["prefixsum"] = ps
+	rps, _ := NewRelativePrefixSum(dims)
+	others["relprefix"] = rps
+	fw, _ := NewFenwick(dims)
+	others["fenwick"] = fw
+	basic, _ := NewBasicDynamic(dims, 2)
+	others["basic"] = basic
+	dyn, _ := NewDynamicWithOptions(dims, Options{Tile: 2, Fanout: 3})
+	others["ddc"] = dyn
+	r := workload.NewRNG(31415)
+	for i := 0; i < 4000; i++ {
+		p := []int{r.Intn(12), r.Intn(10), r.Intn(8)}
+		v := r.Int63n(200) - 100
+		if i%4 == 0 {
+			if err := naive.Set(p, v); err != nil {
+				t.Fatal(err)
+			}
+			for name, c := range others {
+				if err := c.Set(p, v); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+		} else {
+			if err := naive.Add(p, v); err != nil {
+				t.Fatal(err)
+			}
+			for name, c := range others {
+				if err := c.Add(p, v); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+		}
+		if i%400 == 399 {
+			for _, q := range workload.Ranges(r, dims, 25, 0.8) {
+				want, err := naive.RangeSum(q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, c := range others {
+					got, err := c.RangeSum(q.Lo, q.Hi)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if got != want {
+						t.Fatalf("op %d %s: RangeSum(%v,%v) = %d, want %d",
+							i, name, q.Lo, q.Hi, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPublicForEachNonZeroInRange(t *testing.T) {
+	c := mustNewDynamic(t, []int{16, 16})
+	_ = c.Add([]int{2, 2}, 1)
+	_ = c.Add([]int{10, 10}, 2)
+	var sum int64
+	if err := c.ForEachNonZeroInRange([]int{0, 0}, []int{5, 5}, func(p []int, v int64) {
+		sum += v
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 1 {
+		t.Fatalf("range scan sum = %d", sum)
+	}
+}
+
+func TestExtremeValues(t *testing.T) {
+	// Large-magnitude values survive querying exactly (no intermediate
+	// precision loss); overflow beyond int64 is the caller's contract.
+	c := mustNewDynamic(t, []int{4, 4})
+	big := int64(math.MaxInt64 / 4)
+	if err := c.Set([]int{0, 0}, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set([]int{3, 3}, -big); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set([]int{1, 2}, big); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Total(); got != big {
+		t.Fatalf("Total = %d, want %d", got, big)
+	}
+	got, err := c.RangeSum([]int{0, 0}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*big {
+		t.Fatalf("RangeSum = %d, want %d", got, 2*big)
+	}
+}
+
+func TestRollingAggregates(t *testing.T) {
+	a, err := NewAggregate([]int{4, 10}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1 holds a daily series: day i has value i+1.
+	for day := 0; day < 10; day++ {
+		if err := a.Record([]int{1, day}, int64(day+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sums, err := a.RollingSums([]int{1, 0}, []int{1, 9}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 8 {
+		t.Fatalf("len = %d, want 8", len(sums))
+	}
+	for i, s := range sums {
+		want := int64(3*i + 6) // (i+1)+(i+2)+(i+3)
+		if s != want {
+			t.Fatalf("window %d sum = %d, want %d", i, s, want)
+		}
+	}
+	avgs, err := a.RollingAverages([]int{1, 0}, []int{1, 9}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avgs[0] != 2 || avgs[7] != 9 {
+		t.Fatalf("averages = %v", avgs)
+	}
+	// Empty windows yield NaN.
+	avgs2, err := a.RollingAverages([]int{2, 0}, []int{2, 5}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range avgs2 {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty-row averages = %v", avgs2)
+		}
+	}
+	// Validation errors.
+	if _, err := a.RollingSums([]int{1, 0}, []int{1, 9}, 5, 3); err == nil {
+		t.Fatal("bad dim accepted")
+	}
+	if _, err := a.RollingSums([]int{1, 0}, []int{1, 9}, 1, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := a.RollingSums([]int{1, 0}, []int{1, 2}, 1, 9); err == nil {
+		t.Fatal("oversized window accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package ddc
+
+import "sync"
+
+// Synchronized wraps a Cube with a mutex, making it safe for concurrent
+// use. All operations are serialized — including reads, because every
+// implementation updates internal operation counters while answering
+// queries — so this trades throughput for safety. For read-mostly
+// workloads at scale, shard by dimension ranges instead.
+type Synchronized struct {
+	mu sync.Mutex
+	c  Cube
+}
+
+// NewSynchronized wraps c. The wrapped cube must not be used directly
+// afterwards.
+func NewSynchronized(c Cube) *Synchronized { return &Synchronized{c: c} }
+
+// Dims implements Cube.
+func (s *Synchronized) Dims() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Dims()
+}
+
+// Get implements Cube.
+func (s *Synchronized) Get(p []int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Get(p)
+}
+
+// Set implements Cube.
+func (s *Synchronized) Set(p []int, v int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Set(p, v)
+}
+
+// Add implements Cube.
+func (s *Synchronized) Add(p []int, d int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Add(p, d)
+}
+
+// Prefix implements Cube.
+func (s *Synchronized) Prefix(p []int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Prefix(p)
+}
+
+// RangeSum implements Cube.
+func (s *Synchronized) RangeSum(lo, hi []int) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.RangeSum(lo, hi)
+}
+
+// Total implements Cube.
+func (s *Synchronized) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Total()
+}
+
+// Ops implements Cube.
+func (s *Synchronized) Ops() OpCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Ops()
+}
+
+// ResetOps implements Cube.
+func (s *Synchronized) ResetOps() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.ResetOps()
+}
+
+// Unwrap returns the underlying cube for type-specific operations; the
+// caller is responsible for synchronizing any direct use.
+func (s *Synchronized) Unwrap() Cube { return s.c }

@@ -1,0 +1,192 @@
+package ddc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The write-ahead log makes the paper's dynamic-update story durable: a
+// stream of point mutations is appended to a log as it is applied, and
+// can be replayed into a fresh (or snapshotted) cube after a restart.
+// Combine with Save/LoadDynamic for the usual checkpoint + tail-replay
+// recovery scheme.
+
+// walMagic opens a log stream (version 1).
+var walMagic = [8]byte{'D', 'D', 'C', 'W', 'A', 'L', '0', '1'}
+
+// Log record opcodes.
+const (
+	walOpAdd = uint8(1) // add delta to a cell
+	walOpSet = uint8(2) // set a cell's value
+)
+
+// ErrBadWAL is returned for malformed log streams.
+var ErrBadWAL = errors.New("ddc: bad write-ahead log")
+
+// WAL appends cube mutations to an io.Writer as they are applied to an
+// underlying Cube. It is not safe for concurrent use; wrap the WAL (not
+// the inner cube) in Synchronized if needed.
+type WAL struct {
+	c   Cube
+	w   *bufio.Writer
+	d   int
+	n   uint64 // records written
+	err error  // first write error; subsequent mutations fail fast
+}
+
+// NewWAL wraps c so every Add/Set is logged to w before being applied.
+// It writes the stream header immediately.
+func NewWAL(c Cube, w io.Writer) (*WAL, error) {
+	l := &WAL{c: c, w: bufio.NewWriter(w), d: len(c.Dims())}
+	if _, err := l.w.Write(walMagic[:]); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(l.w, binary.LittleEndian, uint32(l.d)); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Records returns the number of mutation records written.
+func (l *WAL) Records() uint64 { return l.n }
+
+// Flush flushes buffered log records to the underlying writer. Call it
+// at commit points; mutations are not durable until flushed.
+func (l *WAL) Flush() error {
+	if l.err != nil {
+		return l.err
+	}
+	return l.w.Flush()
+}
+
+// append writes one record.
+func (l *WAL) append(op uint8, p []int, v int64) error {
+	if l.err != nil {
+		return l.err
+	}
+	if len(p) != l.d {
+		return fmt.Errorf("%w: point has %d dims, log has %d", ErrBadWAL, len(p), l.d)
+	}
+	if err := l.w.WriteByte(op); err != nil {
+		l.err = err
+		return err
+	}
+	for _, x := range p {
+		if err := binary.Write(l.w, binary.LittleEndian, int64(x)); err != nil {
+			l.err = err
+			return err
+		}
+	}
+	if err := binary.Write(l.w, binary.LittleEndian, v); err != nil {
+		l.err = err
+		return err
+	}
+	l.n++
+	return nil
+}
+
+// Add implements Cube: log, then apply.
+func (l *WAL) Add(p []int, delta int64) error {
+	if err := l.append(walOpAdd, p, delta); err != nil {
+		return err
+	}
+	return l.c.Add(p, delta)
+}
+
+// Set implements Cube: log, then apply.
+func (l *WAL) Set(p []int, value int64) error {
+	if err := l.append(walOpSet, p, value); err != nil {
+		return err
+	}
+	return l.c.Set(p, value)
+}
+
+// Read-only methods delegate to the inner cube.
+
+// Dims implements Cube.
+func (l *WAL) Dims() []int { return l.c.Dims() }
+
+// Get implements Cube.
+func (l *WAL) Get(p []int) int64 { return l.c.Get(p) }
+
+// Prefix implements Cube.
+func (l *WAL) Prefix(p []int) int64 { return l.c.Prefix(p) }
+
+// RangeSum implements Cube.
+func (l *WAL) RangeSum(lo, hi []int) (int64, error) { return l.c.RangeSum(lo, hi) }
+
+// Total implements Cube.
+func (l *WAL) Total() int64 { return l.c.Total() }
+
+// Ops implements Cube.
+func (l *WAL) Ops() OpCounts { return l.c.Ops() }
+
+// ResetOps implements Cube.
+func (l *WAL) ResetOps() { l.c.ResetOps() }
+
+// Unwrap returns the inner cube.
+func (l *WAL) Unwrap() Cube { return l.c }
+
+// ReplayWAL applies every record in a log stream to c and returns the
+// number of records applied. A cleanly truncated tail (mid-record EOF,
+// as after a crash) stops the replay without error; corrupt headers or
+// opcodes return ErrBadWAL.
+func ReplayWAL(r io.Reader, c Cube) (applied uint64, err error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, fmt.Errorf("%w: missing header: %v", ErrBadWAL, err)
+	}
+	if magic != walMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrBadWAL)
+	}
+	var d32 uint32
+	if err := binary.Read(br, binary.LittleEndian, &d32); err != nil {
+		return 0, fmt.Errorf("%w: truncated header", ErrBadWAL)
+	}
+	d := int(d32)
+	if d != len(c.Dims()) {
+		return 0, fmt.Errorf("%w: log is %d-dimensional, cube is %d", ErrBadWAL, d, len(c.Dims()))
+	}
+	p := make([]int, d)
+	for {
+		op, err := br.ReadByte()
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil {
+			return applied, err
+		}
+		if op != walOpAdd && op != walOpSet {
+			return applied, fmt.Errorf("%w: unknown opcode %d at record %d", ErrBadWAL, op, applied)
+		}
+		ok := true
+		for j := 0; j < d; j++ {
+			var x int64
+			if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
+				ok = false
+				break
+			}
+			p[j] = int(x)
+		}
+		if !ok {
+			return applied, nil // torn tail record: stop cleanly
+		}
+		var v int64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return applied, nil // torn tail record
+		}
+		if op == walOpAdd {
+			err = c.Add(p, v)
+		} else {
+			err = c.Set(p, v)
+		}
+		if err != nil {
+			return applied, fmt.Errorf("%w: record %d: %v", ErrBadWAL, applied, err)
+		}
+		applied++
+	}
+}

@@ -1,0 +1,253 @@
+package ddc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ddc/internal/workload"
+)
+
+func TestWALLogsAndReplays(t *testing.T) {
+	var log bytes.Buffer
+	inner := mustNewDynamic(t, []int{16, 16})
+	w, err := NewWAL(inner, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workload.NewRNG(1)
+	for i := 0; i < 50; i++ {
+		p := []int{r.Intn(16), r.Intn(16)}
+		if i%3 == 0 {
+			if err := w.Set(p, r.Int63n(100)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := w.Add(p, r.Int63n(20)-10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if w.Records() != 50 {
+		t.Fatalf("Records = %d, want 50", w.Records())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := mustNewDynamic(t, []int{16, 16})
+	applied, err := ReplayWAL(bytes.NewReader(log.Bytes()), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 50 {
+		t.Fatalf("applied = %d, want 50", applied)
+	}
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 16; y++ {
+			p := []int{x, y}
+			if fresh.Get(p) != inner.Get(p) {
+				t.Fatalf("cell %v: replay %d != original %d", p, fresh.Get(p), inner.Get(p))
+			}
+		}
+	}
+	if fresh.Total() != inner.Total() {
+		t.Fatal("totals differ after replay")
+	}
+}
+
+func TestWALReadsDelegate(t *testing.T) {
+	var log bytes.Buffer
+	inner := mustNewDynamic(t, []int{8, 8})
+	w, err := NewWAL(inner, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]int{2, 3}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Get([]int{2, 3}); got != 7 {
+		t.Fatalf("Get = %d", got)
+	}
+	if got := w.Prefix([]int{7, 7}); got != 7 {
+		t.Fatalf("Prefix = %d", got)
+	}
+	if got, _ := w.RangeSum([]int{0, 0}, []int{7, 7}); got != 7 {
+		t.Fatalf("RangeSum = %d", got)
+	}
+	if w.Total() != 7 {
+		t.Fatal("Total")
+	}
+	if len(w.Dims()) != 2 {
+		t.Fatal("Dims")
+	}
+	if w.Unwrap() != Cube(inner) {
+		t.Fatal("Unwrap")
+	}
+	w.ResetOps()
+	if w.Ops() != (OpCounts{}) {
+		t.Fatal("Ops after reset")
+	}
+}
+
+func TestWALTornTailStopsCleanly(t *testing.T) {
+	var log bytes.Buffer
+	w, err := NewWAL(mustNewDynamic(t, []int{8, 8}), &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Add([]int{i % 8, i % 8}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := log.Bytes()
+	// Cut mid-record (each record is 1 + 2*8 + 8 = 25 bytes after the
+	// 12-byte header): drop the last 7 bytes.
+	torn := full[:len(full)-7]
+	fresh := mustNewDynamic(t, []int{8, 8})
+	applied, err := ReplayWAL(bytes.NewReader(torn), fresh)
+	if err != nil {
+		t.Fatalf("torn tail should not error: %v", err)
+	}
+	if applied != 9 {
+		t.Fatalf("applied = %d, want 9", applied)
+	}
+}
+
+func TestWALCorruption(t *testing.T) {
+	var log bytes.Buffer
+	w, err := NewWAL(mustNewDynamic(t, []int{8, 8}), &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Add([]int{1, 1}, 1)
+	_ = w.Flush()
+	full := append([]byte(nil), log.Bytes()...)
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte("XXXXXXXX"), full[8:]...)
+		if _, err := ReplayWAL(bytes.NewReader(bad), mustNewDynamic(t, []int{8, 8})); !errors.Is(err, ErrBadWAL) {
+			t.Fatalf("error = %v", err)
+		}
+	})
+	t.Run("bad opcode", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		bad[12] = 99
+		if _, err := ReplayWAL(bytes.NewReader(bad), mustNewDynamic(t, []int{8, 8})); !errors.Is(err, ErrBadWAL) {
+			t.Fatalf("error = %v", err)
+		}
+	})
+	t.Run("dims mismatch", func(t *testing.T) {
+		if _, err := ReplayWAL(bytes.NewReader(full), mustNewDynamic(t, []int{8, 8, 8})); !errors.Is(err, ErrBadWAL) {
+			t.Fatalf("error = %v", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := ReplayWAL(bytes.NewReader(nil), mustNewDynamic(t, []int{8, 8})); !errors.Is(err, ErrBadWAL) {
+			t.Fatalf("error = %v", err)
+		}
+	})
+	t.Run("out-of-range record", func(t *testing.T) {
+		var l2 bytes.Buffer
+		big := mustNewDynamic(t, []int{32, 32})
+		w2, _ := NewWAL(big, &l2)
+		_ = w2.Add([]int{20, 20}, 1)
+		_ = w2.Flush()
+		small := mustNewDynamic(t, []int{8, 8})
+		if _, err := ReplayWAL(bytes.NewReader(l2.Bytes()), small); !errors.Is(err, ErrBadWAL) {
+			t.Fatalf("error = %v", err)
+		}
+	})
+}
+
+func TestWALDimMismatchOnWrite(t *testing.T) {
+	var log bytes.Buffer
+	w, err := NewWAL(mustNewDynamic(t, []int{8, 8}), &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]int{1}, 1); !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+// TestCheckpointPlusTailReplay exercises the intended recovery scheme:
+// snapshot, keep logging, crash, restore snapshot + replay tail.
+func TestCheckpointPlusTailReplay(t *testing.T) {
+	inner := mustNewDynamic(t, []int{16, 16})
+	r := workload.NewRNG(9)
+	for i := 0; i < 30; i++ {
+		if err := inner.Add([]int{r.Intn(16), r.Intn(16)}, r.Int63n(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := inner.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var tail bytes.Buffer
+	w, err := NewWAL(inner, &tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.Add([]int{r.Intn(16), r.Intn(16)}, r.Int63n(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// "Recovery": load the checkpoint, replay the tail.
+	restored, err := LoadDynamic(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWAL(bytes.NewReader(tail.Bytes()), restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Total() != inner.Total() {
+		t.Fatalf("recovered total %d != live total %d", restored.Total(), inner.Total())
+	}
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 16; y++ {
+			if restored.Get([]int{x, y}) != inner.Get([]int{x, y}) {
+				t.Fatalf("cell (%d,%d) differs after recovery", x, y)
+			}
+		}
+	}
+}
+
+func TestBuildDynamicPublic(t *testing.T) {
+	vals := make([]int64, 8*8)
+	for i := range vals {
+		vals[i] = int64(i % 5)
+	}
+	bulk, err := BuildDynamic([]int{8, 8}, vals, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewNaive([]int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if err := naive.Set([]int{i / 8, i % 8}, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			if bulk.Prefix([]int{x, y}) != naive.Prefix([]int{x, y}) {
+				t.Fatalf("Prefix(%d,%d) mismatch", x, y)
+			}
+		}
+	}
+	if _, err := BuildDynamic([]int{8, 8}, vals[:10], Options{}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}

@@ -1,0 +1,83 @@
+package ddc
+
+import "errors"
+
+// ErrClosedScenario is returned when a finished scenario is used again.
+var ErrClosedScenario = errors.New("ddc: scenario already committed or rolled back")
+
+// Scenario is a what-if overlay on a cube: hypothetical updates are
+// applied to the live structure (so every query sees them at full
+// speed) while their inverses are recorded, and Rollback undoes them
+// exactly — the interactive "what-if" analysis Section 1 of the paper
+// says dynamic updates enable. Scenarios rely on the inverse property
+// of addition, the same property the index itself is built on.
+//
+// A scenario is not isolated: other readers of the cube see the
+// hypothetical state until Rollback. Nest scenarios by creating a new
+// one after the previous is resolved; interleaved scenarios roll back
+// in LIFO order only if their cells do not overlap (deltas commute).
+type Scenario struct {
+	c      Cube
+	undo   []scenarioDelta
+	closed bool
+}
+
+type scenarioDelta struct {
+	p     []int
+	delta int64
+}
+
+// Begin starts a what-if scenario on the cube.
+func Begin(c Cube) *Scenario { return &Scenario{c: c} }
+
+// Add applies a hypothetical delta to a cell.
+func (s *Scenario) Add(p []int, delta int64) error {
+	if s.closed {
+		return ErrClosedScenario
+	}
+	if err := s.c.Add(p, delta); err != nil {
+		return err
+	}
+	s.undo = append(s.undo, scenarioDelta{p: append([]int(nil), p...), delta: delta})
+	return nil
+}
+
+// Set applies a hypothetical value to a cell.
+func (s *Scenario) Set(p []int, value int64) error {
+	if s.closed {
+		return ErrClosedScenario
+	}
+	return s.Add(p, value-s.c.Get(p))
+}
+
+// Cube returns the underlying cube for querying the hypothetical state.
+func (s *Scenario) Cube() Cube { return s.c }
+
+// Pending returns the number of hypothetical updates applied so far.
+func (s *Scenario) Pending() int { return len(s.undo) }
+
+// Rollback undoes every hypothetical update, in reverse order, and
+// closes the scenario.
+func (s *Scenario) Rollback() error {
+	if s.closed {
+		return ErrClosedScenario
+	}
+	s.closed = true
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		if err := s.c.Add(s.undo[i].p, -s.undo[i].delta); err != nil {
+			return err
+		}
+	}
+	s.undo = nil
+	return nil
+}
+
+// Commit keeps the hypothetical updates and closes the scenario.
+func (s *Scenario) Commit() error {
+	if s.closed {
+		return ErrClosedScenario
+	}
+	s.closed = true
+	s.undo = nil
+	return nil
+}

@@ -1,0 +1,112 @@
+package ddc
+
+import (
+	"errors"
+	"testing"
+
+	"ddc/internal/workload"
+)
+
+func TestScenarioRollback(t *testing.T) {
+	c := mustNewDynamic(t, []int{16, 16})
+	r := workload.NewRNG(3)
+	for _, u := range workload.Uniform(r, []int{16, 16}, 60, 50) {
+		if err := c.Add(u.Point, u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseTotal := c.Total()
+	basePrefix := c.Prefix([]int{9, 9})
+
+	s := Begin(c)
+	if err := s.Add([]int{3, 3}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set([]int{5, 5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set([]int{3, 3}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	// Hypothetical state is visible through the cube.
+	if got := s.Cube().Get([]int{3, 3}); got != 7 {
+		t.Fatalf("hypothetical Get = %d", got)
+	}
+	if c.Total() == baseTotal {
+		t.Fatal("scenario did not change the cube")
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != baseTotal {
+		t.Fatalf("Total after rollback = %d, want %d", c.Total(), baseTotal)
+	}
+	if c.Prefix([]int{9, 9}) != basePrefix {
+		t.Fatal("Prefix changed after rollback")
+	}
+	// A closed scenario refuses further use.
+	if err := s.Add([]int{0, 0}, 1); !errors.Is(err, ErrClosedScenario) {
+		t.Fatalf("closed Add error = %v", err)
+	}
+	if err := s.Rollback(); !errors.Is(err, ErrClosedScenario) {
+		t.Fatalf("double rollback error = %v", err)
+	}
+}
+
+func TestScenarioCommit(t *testing.T) {
+	c := mustNewDynamic(t, []int{8, 8})
+	s := Begin(c)
+	if err := s.Add([]int{1, 1}, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get([]int{1, 1}) != 9 {
+		t.Fatal("committed update lost")
+	}
+	if err := s.Commit(); !errors.Is(err, ErrClosedScenario) {
+		t.Fatalf("double commit error = %v", err)
+	}
+	if err := s.Set([]int{0, 0}, 1); !errors.Is(err, ErrClosedScenario) {
+		t.Fatalf("closed Set error = %v", err)
+	}
+}
+
+func TestScenarioOnAnyCube(t *testing.T) {
+	// Scenarios work on every Cube implementation, including sharded.
+	sc, err := NewSharded([]int{32, 8}, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sc.Add([]int{20, 3}, 11)
+	s := Begin(sc)
+	_ = s.Add([]int{20, 3}, 4)
+	_ = s.Add([]int{1, 1}, 2)
+	if sc.Total() != 17 {
+		t.Fatalf("hypothetical total = %d", sc.Total())
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Total() != 11 {
+		t.Fatalf("rolled-back total = %d", sc.Total())
+	}
+}
+
+func TestScenarioErrorsDontRecord(t *testing.T) {
+	c := mustNewDynamic(t, []int{8, 8})
+	s := Begin(c)
+	if err := s.Add([]int{99, 99}, 5); !errors.Is(err, ErrRange) {
+		t.Fatalf("oob error = %v", err)
+	}
+	if s.Pending() != 0 {
+		t.Fatal("failed update recorded")
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
