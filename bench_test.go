@@ -364,3 +364,114 @@ func BenchmarkMaterialize(b *testing.B) {
 		c.Materialize()
 	}
 }
+
+// BenchmarkShardedParallelQuery measures range-sum throughput with many
+// concurrent readers on one ShardedCube (b.RunParallel; vary -cpu). The
+// per-shard RWMutexes and the pooled per-call tree scratch let every
+// reader proceed at once, so throughput should scale with cores instead
+// of flatlining behind a global lock.
+func BenchmarkShardedParallelQuery(b *testing.B) {
+	dims := []int{2048, 256}
+	vals := make([]int64, 2048*256)
+	r := workload.NewRNG(11)
+	for i := range vals {
+		vals[i] = r.Int63n(50)
+	}
+	qs := workload.Ranges(r, dims, 1024, 0.5)
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sc, err := BuildSharded(dims, vals, shards, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				var sink int64
+				for pb.Next() {
+					q := qs[i%len(qs)]
+					i++
+					v, err := sc.RangeSum(q.Lo, q.Hi)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					sink += v
+				}
+				_ = sink
+			})
+		})
+	}
+}
+
+// BenchmarkShardedFanout measures one wide range-sum per iteration from
+// a single caller. The box spans every shard, so the only parallelism is
+// the internal fan-out: shards>1 should beat shards=1 (the sequential
+// shape) on a multicore box.
+func BenchmarkShardedFanout(b *testing.B) {
+	dims := []int{2048, 256}
+	vals := make([]int64, 2048*256)
+	r := workload.NewRNG(13)
+	for i := range vals {
+		vals[i] = r.Int63n(50)
+	}
+	lo := []int{0, 16}
+	hi := []int{2047, 240}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sc, err := BuildSharded(dims, vals, shards, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				v, err := sc.RangeSum(lo, hi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += v
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAddBatch compares applying k deltas one Add at a time against
+// one AddBatch call: the batch groups by shard, locks each shard once,
+// and applies the groups concurrently, amortising locking and scheduling
+// over the batch.
+func BenchmarkAddBatch(b *testing.B) {
+	dims := []int{1024, 256}
+	const k = 256
+	r := workload.NewRNG(17)
+	batch := make([]PointDelta, k)
+	for i := range batch {
+		batch[i] = PointDelta{Point: []int{r.Intn(1024), r.Intn(256)}, Delta: 1}
+	}
+	for _, mode := range []string{"point", "batch"} {
+		b.Run(fmt.Sprintf("%s/k=%d", mode, k), func(b *testing.B) {
+			sc, err := NewSharded(dims, 16, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "batch" {
+					if err := sc.AddBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				for _, pd := range batch {
+					if err := sc.Add(pd.Point, pd.Delta); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@
 //	ddcbench -list           list experiment ids
 //	ddcbench <id> [<id>...]  run selected experiments
 //	ddcbench all             run everything (the EXPERIMENTS.md inputs)
+//	ddcbench -json out.json  run the concurrency perf suite, write JSON
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV series instead of tables (figure1 only)")
+	jsonOut := flag.String("json", "", "run the concurrency perf suite and write JSON results to `file`")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ddcbench [-list] <experiment-id>... | all\n\nexperiments:\n")
 		for _, e := range experiments.All() {
@@ -26,6 +28,13 @@ func main() {
 		}
 	}
 	flag.Parse()
+	if *jsonOut != "" {
+		if err := runPerfSuite(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ddcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)

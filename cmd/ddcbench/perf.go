@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"ddc"
+	"ddc/internal/workload"
+)
+
+// The -json perf suite measures the concurrent query engine — point vs
+// batched ingest and sequential vs parallel-fan-out queries — and writes
+// the results as machine-readable JSON, one file per run, so successive
+// runs form a perf trajectory (BENCH_*.json at the repository root).
+
+// benchResult is one measured configuration.
+type benchResult struct {
+	// Name identifies the measurement, e.g. "query/parallel".
+	Name string `json:"name"`
+	// Params are the knobs that shaped it (shards, batch size, ...).
+	Params map[string]int `json:"params,omitempty"`
+	// NsPerOp is nanoseconds per benchmark operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Iters is how many operations the timing loop ran.
+	Iters int `json:"iters"`
+	// OpCounts aggregates the cube's internal work counters over the
+	// whole timed run (cells touched by queries/updates, node visits).
+	OpCounts ddc.OpCounts `json:"op_counts"`
+}
+
+// perfReport is the top-level JSON document.
+type perfReport struct {
+	Suite      string        `json:"suite"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	GoVersion  string        `json:"go_version"`
+	Results    []benchResult `json:"results"`
+}
+
+const (
+	perfDim0    = 1024
+	perfDim1    = 256
+	perfShards  = 16
+	perfBatch   = 256
+	perfPreload = 4096
+)
+
+func perfDims() []int { return []int{perfDim0, perfDim1} }
+
+// loadedSharded builds a sharded cube preloaded with a uniform workload.
+func loadedSharded(shards int) (*ddc.ShardedCube, error) {
+	vals := make([]int64, perfDim0*perfDim1)
+	r := workload.NewRNG(101)
+	for i := 0; i < perfPreload; i++ {
+		vals[r.Intn(len(vals))] += 1 + r.Int63n(50)
+	}
+	return ddc.BuildSharded(perfDims(), vals, shards, ddc.Options{})
+}
+
+// measure runs fn under the standard benchmark harness and pairs the
+// timing with the cube's operation counters for the timed run.
+func measure(name string, params map[string]int, c *ddc.ShardedCube, fn func(b *testing.B)) benchResult {
+	c.ResetOps()
+	res := testing.Benchmark(fn)
+	return benchResult{
+		Name:     name,
+		Params:   params,
+		NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
+		Iters:    res.N,
+		OpCounts: c.Ops(),
+	}
+}
+
+// runPerfSuite measures the concurrency engine and writes the JSON
+// report to path.
+func runPerfSuite(path string) error {
+	var report perfReport
+	report.Suite = "concurrency"
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.GoVersion = runtime.Version()
+
+	// Ingest: one Add per delta vs one AddBatch for the whole batch.
+	r := workload.NewRNG(103)
+	batch := make([]ddc.PointDelta, perfBatch)
+	for i := range batch {
+		batch[i] = ddc.PointDelta{Point: []int{r.Intn(perfDim0), r.Intn(perfDim1)}, Delta: 1}
+	}
+	for _, mode := range []string{"point", "batch"} {
+		c, err := loadedSharded(perfShards)
+		if err != nil {
+			return err
+		}
+		mode := mode
+		report.Results = append(report.Results, measure(
+			"add/"+mode,
+			map[string]int{"shards": perfShards, "batch": perfBatch},
+			c,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if mode == "batch" {
+						if err := c.AddBatch(batch); err != nil {
+							b.Fatal(err)
+						}
+						continue
+					}
+					for _, pd := range batch {
+						if err := c.Add(pd.Point, pd.Delta); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}))
+	}
+
+	// Queries: the same wide box (spanning every shard) answered by the
+	// single-shard sequential shape and by the parallel fan-out.
+	lo, hi := []int{0, 16}, []int{perfDim0 - 1, perfDim1 - 16}
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"query/sequential", 1},
+		{"query/parallel", perfShards},
+	} {
+		c, err := loadedSharded(cfg.shards)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, measure(
+			cfg.name,
+			map[string]int{"shards": cfg.shards},
+			c,
+			func(b *testing.B) {
+				var sink int64
+				for i := 0; i < b.N; i++ {
+					v, err := c.RangeSum(lo, hi)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink += v
+				}
+				_ = sink
+			}))
+	}
+
+	out, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d results to %s (GOMAXPROCS=%d)\n", len(report.Results), path, report.GoMaxProcs)
+	return nil
+}

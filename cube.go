@@ -47,6 +47,35 @@ type OpCounts struct {
 	NodeVisits  uint64
 }
 
+// PointDelta is one cell update inside a batch (see BatchAdder).
+type PointDelta struct {
+	Point []int
+	Delta int64
+}
+
+// BatchAdder is implemented by cubes offering a bulk update path that
+// amortises locking and scheduling across many deltas. ShardedCube
+// groups the batch by shard and applies each shard's share concurrently
+// under a single lock acquisition; DynamicCube applies the batch in
+// order; Synchronized holds its lock once for the whole batch.
+type BatchAdder interface {
+	AddBatch(batch []PointDelta) error
+}
+
+// ConcurrentReader is implemented by cubes whose read methods (Get,
+// Prefix, RangeSum, Total, Ops) are safe to call from any number of
+// goroutines concurrently, provided no update runs at the same time.
+// DynamicCube qualifies (queries use pooled per-call scratch and merge
+// operation counts atomically); ShardedCube goes further and also
+// tolerates concurrent writers through its per-shard locks. The
+// operation-counting structures (naive, PS, RPS, basic, Fenwick) do
+// not: their counters mutate on reads. Synchronized consults this
+// interface to decide between shared (RLock) and exclusive locking for
+// reads.
+type ConcurrentReader interface {
+	ConcurrentReads() bool
+}
+
 func fromInternal(c cube.OpCounter) OpCounts {
 	return OpCounts{QueryCells: c.QueryCells, UpdateCells: c.UpdateCells, NodeVisits: c.NodeVisits}
 }

@@ -1,6 +1,8 @@
 package ddc
 
 import (
+	"fmt"
+
 	"ddc/internal/core"
 	"ddc/internal/cube"
 	"ddc/internal/grid"
@@ -85,6 +87,26 @@ func BuildDynamicParallel(dims []int, values []int64, opt Options) (*DynamicCube
 		return nil, err
 	}
 	return &DynamicCube{t: t}, nil
+}
+
+// ConcurrentReads reports that the cube's read methods (Get, Prefix,
+// RangeSum, Total, Ops, ExplainPrefix, the iterators) are safe for any
+// number of concurrent callers, as long as no mutation (Add, Set, Grow,
+// Materialize, Compact) runs at the same time; it implements
+// ConcurrentReader.
+func (c *DynamicCube) ConcurrentReads() bool { return true }
+
+// AddBatch applies every delta in order, implementing BatchAdder. On the
+// first failing point the batch stops and the error reports its index;
+// earlier deltas remain applied (the cube is an aggregate index, not a
+// transactional store).
+func (c *DynamicCube) AddBatch(batch []PointDelta) error {
+	for i, pd := range batch {
+		if err := c.t.Add(grid.Point(pd.Point), pd.Delta); err != nil {
+			return fmt.Errorf("batch[%d]: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Dims implements Cube (the sizes declared at construction; see Bounds

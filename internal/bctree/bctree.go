@@ -177,10 +177,22 @@ func routeTo(keys []int, key int) int {
 // cumulative row sum of Section 4.1 — in O(f log_f k). A negative key
 // yields 0.
 func (t *Tree) PrefixSum(key int) int64 {
+	v, n := t.PrefixSumVisits(key)
+	t.NodeVisits += n
+	return v
+}
+
+// PrefixSumVisits is PrefixSum returning the node-visit count to the
+// caller instead of accumulating it into the tree. It writes no tree
+// state at all, so any number of goroutines may call it concurrently
+// (with each other; not with Add/Set) — the read path the concurrent
+// query engine uses.
+func (t *Tree) PrefixSumVisits(key int) (int64, uint64) {
 	var s int64
+	var visits uint64
 	n := t.root
 	for {
-		t.NodeVisits++
+		visits++
 		if n.leaf {
 			for i, k := range n.keys {
 				if k > key {
@@ -188,11 +200,11 @@ func (t *Tree) PrefixSum(key int) int64 {
 				}
 				s += n.vals[i]
 			}
-			return s
+			return s, visits
 		}
 		i := routeTo(n.keys, key)
 		if i < 0 {
-			return s
+			return s, visits
 		}
 		for j := 0; j < i; j++ {
 			s += n.sums[j] // the preceding STSs of the walk-through

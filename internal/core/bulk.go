@@ -210,8 +210,8 @@ func (t *Tree) buildGroupsFromDense(k int, gs [][]int64) []group {
 		return nil
 	case t.d == 2:
 		return []group{
-			&bcGroup{tr: bctree.FromSlice(gs[0], t.cfg.Fanout), ops: t.ops},
-			&bcGroup{tr: bctree.FromSlice(gs[1], t.cfg.Fanout), ops: t.ops},
+			&bcGroup{tr: bctree.FromSlice(gs[0], t.cfg.Fanout)},
+			&bcGroup{tr: bctree.FromSlice(gs[1], t.cfg.Fanout)},
 		}
 	default:
 		dims := make([]int, t.d-1)

@@ -54,6 +54,8 @@ type Contribution struct {
 // contribution collected on the way down — the full structure's
 // counterpart of the basic tree's PrefixTrace. It is built for
 // debugging and education, not hot paths (it allocates per level).
+// Like Prefix, it only reads the tree and is safe for concurrent
+// callers.
 func (t *Tree) ExplainPrefix(p grid.Point) (int64, []Contribution) {
 	if len(p) != t.d || t.root == nil {
 		return 0, nil
@@ -70,16 +72,19 @@ func (t *Tree) ExplainPrefix(p grid.Point) (int64, []Contribution) {
 		q[i] = v
 	}
 	var parts []Contribution
-	sum := t.explainRec(t.root, make(grid.Point, t.d), t.n, q, 0, &parts)
+	s := getQueryScratch(t.d)
+	sum := t.explainRec(s, t.root, make(grid.Point, t.d), t.n, q, 0, &parts)
+	t.ops.AtomicAdd(s.ops)
+	putQueryScratch(s)
 	return sum, parts
 }
 
-func (t *Tree) explainRec(nd *node, anchor grid.Point, ext int, q grid.Point, level int, parts *[]Contribution) int64 {
+func (t *Tree) explainRec(s *queryScratch, nd *node, anchor grid.Point, ext int, q grid.Point, level int, parts *[]Contribution) int64 {
 	if nd == nil {
 		return 0
 	}
 	if ext == t.cfg.Tile {
-		v := t.leafPrefix(nd, anchor, q, level)
+		v := t.leafPrefix(s, nd, anchor, q, level)
 		if v != 0 {
 			*parts = append(*parts, Contribution{
 				Level: level, BoxAnchor: t.logical(anchor), K: ext, Kind: KindLeaf, Value: v,
@@ -139,7 +144,7 @@ func (t *Tree) explainRec(nd *node, anchor grid.Point, ext int, q grid.Point, le
 				for i := 0; i < t.d; i++ {
 					qq[i] = boxAnchor[i] + l[i]
 				}
-				v := t.prefixRec(nd.children[ci], boxAnchor.Clone(), k, qq, level+1)
+				v := t.prefixRec(s, nd.children[ci], boxAnchor.Clone(), k, qq, level+1)
 				if v != 0 {
 					*parts = append(*parts, Contribution{
 						Level: level, BoxAnchor: t.logical(boxAnchor), K: k, Kind: KindDelegated, Value: v,
@@ -148,7 +153,7 @@ func (t *Tree) explainRec(nd *node, anchor grid.Point, ext int, q grid.Point, le
 				sum += v
 				break
 			}
-			v := b.groups[faceDim].prefix(dropDim(l, faceDim))
+			v := b.groups[faceDim].prefix(dropDim(l, faceDim), &s.ops)
 			if v != 0 {
 				*parts = append(*parts, Contribution{
 					Level: level, BoxAnchor: t.logical(boxAnchor), K: k, Kind: KindRowSum, Value: v,
@@ -156,7 +161,7 @@ func (t *Tree) explainRec(nd *node, anchor grid.Point, ext int, q grid.Point, le
 			}
 			sum += v
 		default:
-			sum += t.explainRec(nd.children[ci], boxAnchor.Clone(), k, q, level+1, parts)
+			sum += t.explainRec(s, nd.children[ci], boxAnchor.Clone(), k, q, level+1, parts)
 		}
 	}
 	return sum

@@ -21,8 +21,8 @@ func (t *Tree) makeGroups(k int) []group {
 		return nil
 	case t.d == 2:
 		return []group{
-			&bcGroup{tr: bctree.NewWithFanout(t.cfg.Fanout), ops: t.ops},
-			&bcGroup{tr: bctree.NewWithFanout(t.cfg.Fanout), ops: t.ops},
+			&bcGroup{tr: bctree.NewWithFanout(t.cfg.Fanout)},
+			&bcGroup{tr: bctree.NewWithFanout(t.cfg.Fanout)},
 		}
 	default:
 		gs := make([]group, t.d)
@@ -38,22 +38,23 @@ func (t *Tree) makeGroups(k int) []group {
 }
 
 // bcGroup stores a one-dimensional set of row sums in a B_c tree.
+// Operation counts flow through the caller's per-call counter, so
+// prefix leaves both the tree and any shared counter untouched —
+// concurrent readers never write shared state.
 type bcGroup struct {
-	tr  *bctree.Tree
-	ops *cube.OpCounter
+	tr *bctree.Tree
 }
 
-func (g *bcGroup) prefix(l []int) int64 {
-	before := g.tr.NodeVisits
-	v := g.tr.PrefixSum(l[0])
-	g.ops.QueryCells += g.tr.NodeVisits - before
+func (g *bcGroup) prefix(l []int, ops *cube.OpCounter) int64 {
+	v, visits := g.tr.PrefixSumVisits(l[0])
+	ops.QueryCells += visits
 	return v
 }
 
-func (g *bcGroup) add(l []int, delta int64) {
+func (g *bcGroup) add(l []int, delta int64, ops *cube.OpCounter) {
 	before := g.tr.NodeVisits
 	g.tr.Add(l[0], delta)
-	g.ops.UpdateCells += g.tr.NodeVisits - before
+	ops.UpdateCells += g.tr.NodeVisits - before
 }
 
 func (g *bcGroup) storageCells() int { return g.tr.StorageCells() }
@@ -64,11 +65,13 @@ type ddcGroup struct {
 	tr *Tree
 }
 
-func (g *ddcGroup) prefix(l []int) int64 { return g.tr.Prefix(grid.Point(l)) }
+func (g *ddcGroup) prefix(l []int, ops *cube.OpCounter) int64 {
+	return g.tr.prefixWithOps(grid.Point(l), ops)
+}
 
-func (g *ddcGroup) add(l []int, delta int64) {
+func (g *ddcGroup) add(l []int, delta int64, ops *cube.OpCounter) {
 	// Row-sum coordinates are generated internally and always in range.
-	if err := g.tr.Add(grid.Point(l), delta); err != nil {
+	if err := g.tr.addWithOps(grid.Point(l), delta, ops); err != nil {
 		panic(err)
 	}
 }

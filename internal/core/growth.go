@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ddc/internal/cube"
 	"ddc/internal/grid"
 )
 
@@ -75,10 +76,12 @@ func (t *Tree) GrowToInclude(p grid.Point) error {
 // query cost for ranges that cut through grown regions. Cost is
 // proportional to the number of nonzero cells below delegating boxes.
 func (t *Tree) Materialize() {
-	t.materializeRec(t.root, make(grid.Point, t.d), t.n)
+	var ops cube.OpCounter
+	t.materializeRec(&ops, t.root, make(grid.Point, t.d), t.n)
+	t.ops.AtomicAdd(ops)
 }
 
-func (t *Tree) materializeRec(nd *node, anchor grid.Point, ext int) {
+func (t *Tree) materializeRec(ops *cube.OpCounter, nd *node, anchor grid.Point, ext int) {
 	if nd == nil || ext == t.cfg.Tile {
 		return
 	}
@@ -99,11 +102,11 @@ func (t *Tree) materializeRec(nd *node, anchor grid.Point, ext int) {
 					o[i] = p[i] - boxAnchor[i]
 				}
 				for j := range b.groups {
-					b.groups[j].add(dropDim(o, j), v)
+					b.groups[j].add(dropDim(o, j), v, ops)
 				}
 			})
 		}
-		t.materializeRec(nd.children[ci], boxAnchor, k)
+		t.materializeRec(ops, nd.children[ci], boxAnchor, k)
 	}
 }
 

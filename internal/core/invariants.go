@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ddc/internal/cube"
 	"ddc/internal/grid"
 )
 
@@ -95,11 +96,12 @@ func (t *Tree) checkGroups(nd *node, ci int, b *box, boxAnchor grid.Point, k int
 	})
 	// For each dimension j and each local face coordinate, compare the
 	// group's prefix answer to a direct sum over raw cells.
+	var ops cube.OpCounter
 	for j := 0; j < t.d; j++ {
 		l := make([]int, t.d-1)
 		for {
 			want := t.rawFaceValue(raw, boxAnchor, k, j, l)
-			got := b.groups[j].prefix(l)
+			got := b.groups[j].prefix(l, &ops)
 			if got != want {
 				return fmt.Errorf("box at %v k=%d: group %d prefix(%v) = %d, want %d",
 					boxAnchor, k, j, l, got, want)

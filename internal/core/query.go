@@ -1,6 +1,7 @@
 package core
 
 import (
+	"ddc/internal/cube"
 	"ddc/internal/grid"
 )
 
@@ -8,14 +9,32 @@ import (
 // in O(log^d n) (Theorem 2). Coordinates beyond the current bounds are
 // clamped; a coordinate below the lower bound makes the region empty and
 // the result 0.
+//
+// Prefix only reads the tree: all per-call state (the clamped point, the
+// recursion buffers, the operation counts) lives in a pooled query
+// scratch, and the counts are merged into the shared counter atomically.
+// Any number of goroutines may therefore query one tree concurrently,
+// provided no update runs at the same time.
 func (t *Tree) Prefix(p grid.Point) int64 {
+	var ops cube.OpCounter
+	v := t.prefixWithOps(p, &ops)
+	t.ops.AtomicAdd(ops)
+	return v
+}
+
+// prefixWithOps answers a prefix query, accumulating operation counts
+// into ops instead of the tree's shared counter. Nested group trees use
+// this entry point so an entire query merges its counts exactly once.
+func (t *Tree) prefixWithOps(p grid.Point, ops *cube.OpCounter) int64 {
 	if len(p) != t.d || t.root == nil {
 		return 0
 	}
-	q := t.qbuf
+	s := getQueryScratch(t.d)
+	q := s.q
 	for i, v := range p {
 		v -= t.origin[i]
 		if v < 0 {
+			putQueryScratch(s)
 			return 0
 		}
 		if v >= t.n {
@@ -23,27 +42,30 @@ func (t *Tree) Prefix(p grid.Point) int64 {
 		}
 		q[i] = v
 	}
-	return t.prefixRec(t.root, t.zero, t.n, q, 0)
+	sum := t.prefixRec(s, t.root, t.zero, t.n, q, 0)
+	ops.Add(s.ops)
+	putQueryScratch(s)
+	return sum
 }
 
 // prefixRec returns SUM over the region [anchor : min(q, anchor+ext-1)]
 // of the subtree rooted at nd. The caller guarantees q_i >= anchor_i for
 // every dimension (internal coordinates). anchor and q are read-only;
-// per-level buffers come from the depth-indexed scratch, so exactly one
-// invocation per depth may be live — which holds because the recursion
-// descends one child (or one delegating box) at a time.
-func (t *Tree) prefixRec(nd *node, anchor grid.Point, ext int, q grid.Point, depth int) int64 {
+// per-level buffers come from the call's depth-indexed query scratch, so
+// exactly one invocation per depth may be live — which holds because the
+// recursion descends one child (or one delegating box) at a time.
+func (t *Tree) prefixRec(s *queryScratch, nd *node, anchor grid.Point, ext int, q grid.Point, depth int) int64 {
 	if nd == nil {
 		return 0
 	}
-	t.ops.NodeVisits++
+	s.ops.NodeVisits++
 	if ext == t.cfg.Tile {
-		return t.leafPrefix(nd, anchor, q, depth)
+		return t.leafPrefix(s, nd, anchor, q, depth)
 	}
 	if nd.boxes == nil {
 		return 0
 	}
-	fr := t.scr.frame(depth, t.d)
+	fr := s.frame(depth, t.d)
 	boxAnchor, l := fr.boxAnchor, fr.l
 	k := ext / 2
 	var sum int64
@@ -80,7 +102,7 @@ func (t *Tree) prefixRec(nd *node, anchor grid.Point, ext int, q grid.Point, dep
 			// Target region includes the whole box: the subtotal cell.
 			if b != nil {
 				sum += b.sub
-				t.ops.QueryCells++
+				s.ops.QueryCells++
 			}
 		case faceDim >= 0:
 			// Partial intersection: one row sum value (Section 3.1).
@@ -94,25 +116,25 @@ func (t *Tree) prefixRec(nd *node, anchor grid.Point, ext int, q grid.Point, dep
 				for i := 0; i < t.d; i++ {
 					qq[i] = boxAnchor[i] + l[i]
 				}
-				sum += t.prefixRec(nd.children[ci], boxAnchor, k, qq, depth+1)
+				sum += t.prefixRec(s, nd.children[ci], boxAnchor, k, qq, depth+1)
 				break
 			}
-			sum += b.groups[faceDim].prefix(dropDimInto(fr.drop, l, faceDim))
+			sum += b.groups[faceDim].prefix(dropDimInto(fr.drop, l, faceDim), &s.ops)
 		default:
 			// The box covers the target cell: descend (Theorem 1 —
 			// exactly one child per level).
-			sum += t.prefixRec(nd.children[ci], boxAnchor, k, q, depth+1)
+			sum += t.prefixRec(s, nd.children[ci], boxAnchor, k, q, depth+1)
 		}
 	}
 	return sum
 }
 
 // leafPrefix sums the raw cells of a leaf tile inside the target region.
-func (t *Tree) leafPrefix(nd *node, anchor, q grid.Point, depth int) int64 {
+func (t *Tree) leafPrefix(s *queryScratch, nd *node, anchor, q grid.Point, depth int) int64 {
 	if nd.leaf == nil {
 		return 0
 	}
-	fr := t.scr.frame(depth, t.d)
+	fr := s.frame(depth, t.d)
 	tile := t.cfg.Tile
 	hi := fr.hi
 	for i := 0; i < t.d; i++ {
@@ -132,7 +154,7 @@ func (t *Tree) leafPrefix(nd *node, anchor, q grid.Point, depth int) int64 {
 			off = off*tile + idx[i]
 		}
 		sum += nd.leaf[off]
-		t.ops.QueryCells++
+		s.ops.QueryCells++
 		i := t.d - 1
 		for ; i >= 0; i-- {
 			idx[i]++
@@ -154,13 +176,26 @@ func dropDim(l grid.Point, j int) []int {
 	return dropDimInto(make([]int, 0, len(l)-1), l, j)
 }
 
+// prefixOracle adapts prefixWithOps to grid.PrefixSummer so RangeSum's
+// corner reduction merges its operation counts exactly once.
+type prefixOracle struct {
+	t   *Tree
+	ops *cube.OpCounter
+}
+
+func (o prefixOracle) Prefix(p grid.Point) int64 { return o.t.prefixWithOps(p, o.ops) }
+
 // RangeSum returns the sum over the inclusive logical box [lo, hi] via
-// the corner reduction of Figure 4 (at most 2^d prefix queries).
+// the corner reduction of Figure 4 (at most 2^d prefix queries). Like
+// Prefix, it is safe for any number of concurrent callers.
 func (t *Tree) RangeSum(lo, hi grid.Point) (int64, error) {
 	if err := t.checkRange(lo, hi); err != nil {
 		return 0, err
 	}
-	return grid.RangeSum(t, lo, hi), nil
+	var ops cube.OpCounter
+	v := grid.RangeSum(prefixOracle{t: t, ops: &ops}, lo, hi)
+	t.ops.AtomicAdd(ops)
+	return v, nil
 }
 
 // checkRange validates an inclusive logical query box.
@@ -180,7 +215,8 @@ func (t *Tree) checkRange(lo, hi grid.Point) error {
 }
 
 // Get returns the raw value of cell p (0 outside the current bounds) by
-// descending to its leaf tile in O(log n).
+// descending to its leaf tile in O(log n). It reads no shared scratch
+// and counts no operations, so it is safe for concurrent callers.
 func (t *Tree) Get(p grid.Point) int64 {
 	if len(p) != t.d || t.root == nil {
 		return 0

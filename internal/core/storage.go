@@ -1,6 +1,7 @@
 package core
 
 import (
+	"ddc/internal/cube"
 	"ddc/internal/grid"
 )
 
@@ -156,13 +157,15 @@ func (t *Tree) Compact() {
 	t.root = nil
 	// Re-add every nonzero cell into a fresh tree with the same bounds.
 	q := make(grid.Point, t.d)
+	var ops cube.OpCounter
 	t.forEachNonZeroRec(old, make(grid.Point, t.d), oldN, func(p grid.Point, v int64) {
 		copy(q, p)
 		if t.root == nil {
 			t.root = &node{}
 		}
-		t.addRec(t.root, t.zero, t.n, q, v, 0)
+		t.addRec(&ops, t.root, t.zero, t.n, q, v, 0)
 	})
+	t.ops.AtomicAdd(ops)
 }
 
 // ForEachNonZeroInRange calls fn for every nonzero cell inside the

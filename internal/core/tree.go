@@ -77,6 +77,15 @@ func (c Config) withDefaults() (Config, error) {
 // Logical coordinates start at the origin chosen at construction (0 in
 // every dimension) but may extend below it after growth in a "before"
 // direction; all methods accept logical coordinates.
+//
+// Concurrency: the read methods (Prefix, RangeSum, Get, Total, Ops,
+// ExplainPrefix and the non-zero walks) are safe to call from any number
+// of goroutines simultaneously — queries draw all per-call state from a
+// pool and merge operation counts atomically. Mutating methods (Add,
+// Set, Grow, Materialize, Compact, ResetOps, the load paths) require
+// exclusive access: no other method, reader or writer, may run
+// concurrently with them. Callers wanting mixed readers and writers
+// wrap the tree (see the ddc package's Synchronized and ShardedCube).
 type Tree struct {
 	d      int
 	cfg    Config
@@ -87,13 +96,15 @@ type Tree struct {
 	root   *node
 
 	// ops accumulates operation counts; nested group trees share it.
+	// All merges into it are atomic (per-call counters accumulate the
+	// raw counts), so concurrent queries never race on it.
 	ops *cube.OpCounter
 
-	// Hot-path scratch (trees are not safe for concurrent use, so one
-	// set per tree is sound; nested group trees carry their own).
+	// Update-path scratch (updates require exclusive access, so one set
+	// per tree is sound; nested group trees carry their own). Queries
+	// use pooled per-call scratch instead — see queryScratch.
 	scr  scratch
 	zero grid.Point // all-zero root anchor, never written
-	qbuf grid.Point // clamped query point buffer (Prefix)
 	pbuf grid.Point // internalized update point buffer (Add/Set)
 }
 
@@ -114,10 +125,12 @@ type box struct {
 }
 
 // group stores one (d-1)-dimensional set of row sums G_j and answers its
-// prefix sums — the recursive storage of Section 4.2.
+// prefix sums — the recursive storage of Section 4.2. Operation counts
+// flow through the caller's per-call counter (ops) so reads write no
+// shared state and whole operations merge their counts exactly once.
 type group interface {
-	prefix(l []int) int64
-	add(l []int, delta int64)
+	prefix(l []int, ops *cube.OpCounter) int64
+	add(l []int, delta int64, ops *cube.OpCounter)
 	storageCells() int
 }
 
@@ -150,7 +163,6 @@ func NewWithConfig(dims []int, cfg Config) (*Tree, error) {
 		n:      n,
 		ops:    ops,
 		zero:   make(grid.Point, len(dims)),
-		qbuf:   make(grid.Point, len(dims)),
 		pbuf:   make(grid.Point, len(dims)),
 	}, nil
 }
@@ -221,21 +233,33 @@ func (t *Tree) Grown() bool { return t.grown }
 func (t *Tree) Config() Config { return t.cfg }
 
 // Ops returns the accumulated operation counts (shared with all nested
-// group structures).
-func (t *Tree) Ops() cube.OpCounter { return *t.ops }
+// group structures); safe to call concurrently with queries.
+func (t *Tree) Ops() cube.OpCounter { return t.ops.AtomicSnapshot() }
 
 // ResetOps zeroes the operation counters.
-func (t *Tree) ResetOps() { t.ops.Reset() }
+func (t *Tree) ResetOps() { t.ops.AtomicReset() }
+
+// boundsAt returns the logical bounds of one dimension without
+// allocating (the hot-path form of Bounds).
+func (t *Tree) boundsAt(i int) (lo, hi int) {
+	lo = t.origin[i]
+	if t.grown {
+		hi = t.origin[i] + t.n
+	} else {
+		hi = t.dims[i]
+	}
+	return lo, hi
+}
 
 // checkPoint validates p against the current logical bounds.
 func (t *Tree) checkPoint(p grid.Point) error {
 	if len(p) != t.d {
 		return fmt.Errorf("%w: point has %d dims, cube has %d", grid.ErrDims, len(p), t.d)
 	}
-	lo, hi := t.Bounds()
 	for i, v := range p {
-		if v < lo[i] || v >= hi[i] {
-			return fmt.Errorf("%w: coordinate %d = %d not in [%d, %d)", grid.ErrRange, i, v, lo[i], hi[i])
+		lo, hi := t.boundsAt(i)
+		if v < lo || v >= hi {
+			return fmt.Errorf("%w: coordinate %d = %d not in [%d, %d)", grid.ErrRange, i, v, lo, hi)
 		}
 	}
 	return nil

@@ -3,12 +3,30 @@ package core
 import (
 	"errors"
 
+	"ddc/internal/cube"
 	"ddc/internal/grid"
 )
 
 // Add adds delta to cell p in O(log^d n) (Theorem 2). In AutoGrow mode an
 // out-of-bounds p first grows the cube to include it (Section 5).
+//
+// Updates require exclusive access to the tree: they mutate nodes, use
+// the tree's update scratch, and may reshape group stores. Counts are
+// accumulated per call and merged atomically, so queries observing the
+// shared counter (from other trees) stay race-free.
 func (t *Tree) Add(p grid.Point, delta int64) error {
+	var ops cube.OpCounter
+	if err := t.addWithOps(p, delta, &ops); err != nil {
+		return err
+	}
+	t.ops.AtomicAdd(ops)
+	return nil
+}
+
+// addWithOps applies one point update, accumulating operation counts
+// into ops instead of the tree's shared counter. Nested group trees use
+// this entry point so an entire update merges its counts exactly once.
+func (t *Tree) addWithOps(p grid.Point, delta int64, ops *cube.OpCounter) error {
 	if err := t.checkPoint(p); err != nil {
 		if t.cfg.AutoGrow && errors.Is(err, grid.ErrRange) {
 			if gerr := t.GrowToInclude(p); gerr != nil {
@@ -28,7 +46,7 @@ func (t *Tree) Add(p grid.Point, delta int64) error {
 	for i := range q {
 		q[i] = p[i] - t.origin[i]
 	}
-	t.addRec(t.root, t.zero, t.n, q, delta, 0)
+	t.addRec(ops, t.root, t.zero, t.n, q, delta, 0)
 	return nil
 }
 
@@ -49,9 +67,10 @@ func (t *Tree) Set(p grid.Point, value int64) error {
 // addRec descends the covering child of every level (Figure 12), adding
 // the difference to the covering box's subtotal and performing one point
 // update in each of its d row-sum groups — O(d log^{d-1} k) per level.
-// anchor and q are read-only; see prefixRec for the scratch discipline.
-func (t *Tree) addRec(nd *node, anchor grid.Point, ext int, q grid.Point, delta int64, depth int) {
-	t.ops.NodeVisits++
+// anchor and q are read-only; see prefixRec for the scratch discipline
+// (updates use the tree's own scratch, which exclusivity makes sound).
+func (t *Tree) addRec(ops *cube.OpCounter, nd *node, anchor grid.Point, ext int, q grid.Point, delta int64, depth int) {
+	ops.NodeVisits++
 	if ext == t.cfg.Tile {
 		if nd.leaf == nil {
 			sz := 1
@@ -65,7 +84,7 @@ func (t *Tree) addRec(nd *node, anchor grid.Point, ext int, q grid.Point, delta 
 			off = off*t.cfg.Tile + (q[i] - anchor[i])
 		}
 		nd.leaf[off] += delta
-		t.ops.UpdateCells++
+		ops.UpdateCells++
 		return
 	}
 	if nd.boxes == nil {
@@ -89,7 +108,7 @@ func (t *Tree) addRec(nd *node, anchor grid.Point, ext int, q grid.Point, delta 
 		nd.boxes[ci] = b
 	}
 	b.sub += delta
-	t.ops.UpdateCells++
+	ops.UpdateCells++
 	if !b.delegate {
 		o := fr.o
 		for i := 0; i < t.d; i++ {
@@ -97,7 +116,7 @@ func (t *Tree) addRec(nd *node, anchor grid.Point, ext int, q grid.Point, delta 
 		}
 		for j := range b.groups {
 			// The updated cell changes row o_{-j} of group j by delta.
-			b.groups[j].add(dropDimInto(fr.drop, o, j), delta)
+			b.groups[j].add(dropDimInto(fr.drop, o, j), delta, ops)
 		}
 	}
 	child := nd.children[ci]
@@ -105,5 +124,5 @@ func (t *Tree) addRec(nd *node, anchor grid.Point, ext int, q grid.Point, delta 
 		child = &node{}
 		nd.children[ci] = child
 	}
-	t.addRec(child, childAnchor, k, q, delta, depth+1)
+	t.addRec(ops, child, childAnchor, k, q, delta, depth+1)
 }

@@ -5,6 +5,8 @@
 package cube
 
 import (
+	"sync/atomic"
+
 	"ddc/internal/grid"
 )
 
@@ -38,6 +40,38 @@ func (c *OpCounter) Add(o OpCounter) {
 	c.QueryCells += o.QueryCells
 	c.UpdateCells += o.UpdateCells
 	c.NodeVisits += o.NodeVisits
+}
+
+// AtomicAdd accumulates o into c with atomic adds. Hot paths count into a
+// private per-call counter and merge it here once, so any number of
+// concurrent operations can share one counter without data races.
+func (c *OpCounter) AtomicAdd(o OpCounter) {
+	if o.QueryCells != 0 {
+		atomic.AddUint64(&c.QueryCells, o.QueryCells)
+	}
+	if o.UpdateCells != 0 {
+		atomic.AddUint64(&c.UpdateCells, o.UpdateCells)
+	}
+	if o.NodeVisits != 0 {
+		atomic.AddUint64(&c.NodeVisits, o.NodeVisits)
+	}
+}
+
+// AtomicSnapshot returns a copy of the counters read with atomic loads;
+// safe to call while concurrent operations are merging counts in.
+func (c *OpCounter) AtomicSnapshot() OpCounter {
+	return OpCounter{
+		QueryCells:  atomic.LoadUint64(&c.QueryCells),
+		UpdateCells: atomic.LoadUint64(&c.UpdateCells),
+		NodeVisits:  atomic.LoadUint64(&c.NodeVisits),
+	}
+}
+
+// AtomicReset zeroes the counters with atomic stores.
+func (c *OpCounter) AtomicReset() {
+	atomic.StoreUint64(&c.QueryCells, 0)
+	atomic.StoreUint64(&c.UpdateCells, 0)
+	atomic.StoreUint64(&c.NodeVisits, 0)
 }
 
 // New returns a zeroed dense array with the given dimension sizes.

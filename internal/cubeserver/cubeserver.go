@@ -24,10 +24,12 @@ import (
 	"ddc/internal/cubecli"
 )
 
-// Server serves one cube. All operations are serialized by an internal
-// mutex (the cube's query counters mutate even on reads).
+// Server serves one cube. Mutations are serialized by an internal
+// RWMutex; reads take the shared lock, so any number of queries are
+// answered in parallel (DynamicCube's read paths are concurrency-safe:
+// per-call pooled scratch, atomically merged counters).
 type Server struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	c   *ddc.DynamicCube
 	wal *ddc.WAL // optional; when set, mutations go through it
 	mux *http.ServeMux
@@ -121,9 +123,9 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	v := s.c.Get(m.Point)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]int64{"value": v})
 }
 
@@ -220,9 +222,9 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "point: %v", err)
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	v := s.c.Get(p)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]int64{"value": v})
 }
 
@@ -232,9 +234,9 @@ func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "range: %v", err)
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	sum, err := s.c.RangeSum(lo, hi)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -243,7 +245,7 @@ func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	lo, hi := s.c.Bounds()
 	stats := map[string]interface{}{
 		"dims":    s.c.Dims(),
@@ -253,7 +255,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"nonzero": s.c.NonZeroCells(),
 		"storage": s.c.StorageCells(),
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, stats)
 }
 
@@ -266,9 +268,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "point: %v", err)
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	sum, parts := s.c.ExplainPrefix(p)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"prefix":        sum,
 		"contributions": parts,
@@ -299,7 +301,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 			limit = scanLimit
 		}
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	cells := make([]scanCell, 0, 64)
 	truncated := false
 	err = s.c.ForEachNonZeroInRange(lo, hi, func(p []int, v int64) {
@@ -309,7 +311,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		}
 		cells = append(cells, scanCell{Point: append([]int(nil), p...), Value: v})
 	})
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -321,8 +323,8 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := s.c.Save(w); err != nil {
 		// Headers are already out; nothing more we can do than log-style

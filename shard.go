@@ -2,17 +2,24 @@ package ddc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ShardedCube partitions dimension 0 into independently locked Dynamic
 // Data Cubes, so updates and queries touching different shards proceed
 // concurrently — the scale-out shape for ingest-heavy services (contrast
-// Synchronized, which serializes everything).
+// Synchronized, which wraps a single cube in one lock).
 //
 // Shard s owns the dimension-0 slab [s*span, (s+1)*span). Range queries
-// fan out to the overlapping shards and add the partial sums (sums are
-// associative, so no coordination beyond per-shard locks is needed).
+// fan out to the overlapping shards in parallel (bounded by GOMAXPROCS)
+// and add the partial sums — sums are associative, so no coordination
+// beyond per-shard locks is needed. Each shard carries a sync.RWMutex:
+// reads of one shard run concurrently with each other (the underlying
+// DynamicCube read paths are themselves concurrency-safe), and writes to
+// different shards never contend. AddBatch groups a batch of deltas by
+// shard and applies each shard's share under a single lock acquisition.
 // Sharded cubes have fixed domains: growth would change slab boundaries.
 type ShardedCube struct {
 	dims   []int
@@ -21,8 +28,23 @@ type ShardedCube struct {
 }
 
 type shard struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	c  *DynamicCube
+}
+
+// coordPool recycles shard-local coordinate buffers for the hot paths,
+// replacing the per-call slice copies the sequential implementation
+// made with append.
+var coordPool = sync.Pool{New: func() interface{} { return new([]int) }}
+
+// getCoord returns a pooled []int of length n (contents undefined).
+func getCoord(n int) *[]int {
+	bp := coordPool.Get().(*[]int)
+	if cap(*bp) < n {
+		*bp = make([]int, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
 }
 
 // NewSharded returns a cube over dims split into `shards` slabs along
@@ -59,60 +81,196 @@ func NewSharded(dims []int, shards int, opt Options) (*ShardedCube, error) {
 	return s, nil
 }
 
+// BuildSharded bulk-loads a sharded cube from dense row-major values
+// (len(values) must equal the product of dims). Dimension 0 is the
+// outermost coordinate, so each shard's slab is one contiguous chunk of
+// values; the shards are built concurrently through the bottom-up
+// parallel construction path, and the result is identical to replaying
+// one Add per nonzero cell.
+func BuildSharded(dims []int, values []int64, shards int, opt Options) (*ShardedCube, error) {
+	s, err := NewSharded(dims, shards, opt)
+	if err != nil {
+		return nil, err
+	}
+	stride := 1
+	for _, sz := range dims[1:] {
+		stride *= sz
+	}
+	if len(values) != dims[0]*stride {
+		return nil, fmt.Errorf("%w: %d values for domain of %d cells", ErrDims, len(values), dims[0]*stride)
+	}
+	var firstErr atomic.Value
+	parallelDo(len(s.shards), func(si int) {
+		sh := &s.shards[si]
+		lo := si * s.span
+		n0 := sh.c.Dims()[0]
+		sdims := append([]int(nil), dims...)
+		sdims[0] = n0
+		c, err := BuildDynamicParallel(sdims, values[lo*stride:(lo+n0)*stride], opt)
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err)
+			return
+		}
+		sh.c = c
+	})
+	if err, ok := firstErr.Load().(error); ok {
+		return nil, err
+	}
+	return s, nil
+}
+
 // Shards returns the number of shards.
 func (s *ShardedCube) Shards() int { return len(s.shards) }
 
 // Dims implements Cube.
 func (s *ShardedCube) Dims() []int { return append([]int(nil), s.dims...) }
 
-// locate maps a global point to its shard and shard-local point.
-func (s *ShardedCube) locate(p []int) (*shard, []int, error) {
+// ConcurrentReads reports that the sharded cube's read methods are safe
+// for any number of concurrent callers (they are — even alongside
+// writers, thanks to the per-shard RWMutexes).
+func (s *ShardedCube) ConcurrentReads() bool { return true }
+
+// locate maps a global point to its shard, writing the shard-local
+// coordinates into local (len(s.dims), typically pooled).
+func (s *ShardedCube) locate(p, local []int) (*shard, error) {
 	if len(p) != len(s.dims) {
-		return nil, nil, fmt.Errorf("%w: point has %d dims, cube has %d", ErrDims, len(p), len(s.dims))
+		return nil, fmt.Errorf("%w: point has %d dims, cube has %d", ErrDims, len(p), len(s.dims))
 	}
 	if p[0] < 0 || p[0] >= s.dims[0] {
-		return nil, nil, fmt.Errorf("%w: coordinate 0 = %d not in [0, %d)", ErrRange, p[0], s.dims[0])
+		return nil, fmt.Errorf("%w: coordinate 0 = %d not in [0, %d)", ErrRange, p[0], s.dims[0])
 	}
 	si := p[0] / s.span
-	local := append([]int(nil), p...)
+	copy(local, p)
 	local[0] = p[0] - si*s.span
-	return &s.shards[si], local, nil
+	return &s.shards[si], nil
 }
 
 // Get implements Cube.
 func (s *ShardedCube) Get(p []int) int64 {
-	sh, local, err := s.locate(p)
+	bp := getCoord(len(s.dims))
+	defer coordPool.Put(bp)
+	sh, err := s.locate(p, *bp)
 	if err != nil {
 		return 0
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.c.Get(local)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.c.Get(*bp)
 }
 
 // Set implements Cube.
 func (s *ShardedCube) Set(p []int, v int64) error {
-	sh, local, err := s.locate(p)
+	bp := getCoord(len(s.dims))
+	defer coordPool.Put(bp)
+	sh, err := s.locate(p, *bp)
 	if err != nil {
 		return err
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.c.Set(local, v)
+	return sh.c.Set(*bp, v)
 }
 
 // Add implements Cube.
 func (s *ShardedCube) Add(p []int, d int64) error {
-	sh, local, err := s.locate(p)
+	bp := getCoord(len(s.dims))
+	defer coordPool.Put(bp)
+	sh, err := s.locate(p, *bp)
 	if err != nil {
 		return err
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.c.Add(local, d)
+	return sh.c.Add(*bp, d)
 }
 
-// Prefix implements Cube.
+// AddBatch applies a batch of point deltas, implementing BatchAdder.
+// The batch is validated up front (a bad point rejects the whole batch
+// before any delta lands), grouped by shard, and each shard's share is
+// applied under one lock acquisition — with the per-shard groups running
+// concurrently. This amortises both locking and scheduling over the
+// batch, the bulk-ingest shape for high-rate feeds.
+func (s *ShardedCube) AddBatch(batch []PointDelta) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	groups := make([][]PointDelta, len(s.shards))
+	for bi, pd := range batch {
+		if len(pd.Point) != len(s.dims) {
+			return fmt.Errorf("%w: batch[%d] has %d dims, cube has %d", ErrDims, bi, len(pd.Point), len(s.dims))
+		}
+		for i, v := range pd.Point {
+			if v < 0 || v >= s.dims[i] {
+				return fmt.Errorf("%w: batch[%d] coordinate %d = %d not in [0, %d)", ErrRange, bi, i, v, s.dims[i])
+			}
+		}
+		si := pd.Point[0] / s.span
+		groups[si] = append(groups[si], pd)
+	}
+	work := make([]int, 0, len(groups))
+	for si, g := range groups {
+		if len(g) > 0 {
+			work = append(work, si)
+		}
+	}
+	var firstErr atomic.Value
+	parallelDo(len(work), func(wi int) {
+		si := work[wi]
+		sh := &s.shards[si]
+		bp := getCoord(len(s.dims))
+		defer coordPool.Put(bp)
+		local := *bp
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, pd := range groups[si] {
+			copy(local, pd.Point)
+			local[0] = pd.Point[0] - si*s.span
+			if err := sh.c.Add(local, pd.Delta); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+		}
+	})
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// parallelDo runs fn(0..n-1) across up to GOMAXPROCS goroutines. For
+// n <= 1 (or a single-processor box) it stays on the calling goroutine.
+func parallelDo(n int, fn func(i int)) {
+	workers := n
+	if m := runtime.GOMAXPROCS(0); workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Prefix implements Cube: the dominated region is split at slab
+// boundaries and the overlapping shards are queried in parallel, each
+// under its own read lock.
 func (s *ShardedCube) Prefix(p []int) int64 {
 	if len(p) != len(s.dims) {
 		return 0
@@ -122,29 +280,33 @@ func (s *ShardedCube) Prefix(p []int) int64 {
 			return 0
 		}
 	}
-	q := append([]int(nil), p...)
-	if q[0] >= s.dims[0] {
-		q[0] = s.dims[0] - 1
+	x := p[0]
+	if x >= s.dims[0] {
+		x = s.dims[0] - 1
 	}
-	var sum int64
-	last := q[0] / s.span
-	for si := 0; si <= last; si++ {
-		local := append([]int(nil), q...)
-		if si < last {
-			local[0] = s.shards[si].c.Dims()[0] - 1
-		} else {
-			local[0] = q[0] - si*s.span
-		}
+	last := x / s.span
+	var total int64
+	parallelDo(last+1, func(si int) {
+		bp := getCoord(len(s.dims))
+		defer coordPool.Put(bp)
+		local := *bp
+		copy(local, p)
 		sh := &s.shards[si]
-		sh.mu.Lock()
-		sum += sh.c.Prefix(local)
-		sh.mu.Unlock()
-	}
-	return sum
+		if si < last {
+			local[0] = sh.c.Dims()[0] - 1
+		} else {
+			local[0] = x - si*s.span
+		}
+		sh.mu.RLock()
+		v := sh.c.Prefix(local)
+		sh.mu.RUnlock()
+		atomic.AddInt64(&total, v)
+	})
+	return total
 }
 
 // RangeSum implements Cube: the box is split at slab boundaries and the
-// per-shard partial sums added.
+// per-shard partial sums — computed in parallel — are added.
 func (s *ShardedCube) RangeSum(lo, hi []int) (int64, error) {
 	if len(lo) != len(s.dims) || len(hi) != len(s.dims) {
 		return 0, fmt.Errorf("%w: box dims", ErrDims)
@@ -157,12 +319,20 @@ func (s *ShardedCube) RangeSum(lo, hi []int) (int64, error) {
 			return 0, fmt.Errorf("%w: dimension %d", ErrRange, i)
 		}
 	}
-	var sum int64
 	first, last := lo[0]/s.span, hi[0]/s.span
-	for si := first; si <= last; si++ {
-		slabLo, slabHi := si*s.span, si*s.span+s.shards[si].c.Dims()[0]-1
-		llo := append([]int(nil), lo...)
-		lhi := append([]int(nil), hi...)
+	var total int64
+	var firstErr atomic.Value
+	parallelDo(last-first+1, func(i int) {
+		si := first + i
+		sh := &s.shards[si]
+		lop := getCoord(len(s.dims))
+		hip := getCoord(len(s.dims))
+		defer coordPool.Put(lop)
+		defer coordPool.Put(hip)
+		llo, lhi := *lop, *hip
+		copy(llo, lo)
+		copy(lhi, hi)
+		slabLo, slabHi := si*s.span, si*s.span+sh.c.Dims()[0]-1
 		if llo[0] < slabLo {
 			llo[0] = slabLo
 		}
@@ -171,38 +341,43 @@ func (s *ShardedCube) RangeSum(lo, hi []int) (int64, error) {
 		}
 		llo[0] -= slabLo
 		lhi[0] -= slabLo
-		sh := &s.shards[si]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		v, err := sh.c.RangeSum(llo, lhi)
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 		if err != nil {
-			return 0, err
+			firstErr.CompareAndSwap(nil, err)
+			return
 		}
-		sum += v
+		atomic.AddInt64(&total, v)
+	})
+	if err, ok := firstErr.Load().(error); ok {
+		return 0, err
 	}
-	return sum, nil
+	return total, nil
 }
 
-// Total implements Cube.
+// Total implements Cube, summing the shards in parallel.
 func (s *ShardedCube) Total() int64 {
-	var sum int64
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		sum += sh.c.Total()
-		sh.mu.Unlock()
-	}
-	return sum
+	var total int64
+	parallelDo(len(s.shards), func(si int) {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		v := sh.c.Total()
+		sh.mu.RUnlock()
+		atomic.AddInt64(&total, v)
+	})
+	return total
 }
 
-// Ops implements Cube, aggregating across shards.
+// Ops implements Cube, aggregating across shards; safe to call while
+// queries and updates are in flight.
 func (s *ShardedCube) Ops() OpCounts {
 	var out OpCounts
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		o := sh.c.Ops()
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 		out.QueryCells += o.QueryCells
 		out.UpdateCells += o.UpdateCells
 		out.NodeVisits += o.NodeVisits

@@ -2,31 +2,58 @@ package ddc
 
 import "sync"
 
-// Synchronized wraps a Cube with a mutex, making it safe for concurrent
-// use. All operations are serialized — including reads, because every
-// implementation updates internal operation counters while answering
-// queries — so this trades throughput for safety. For read-mostly
-// workloads at scale, shard by dimension ranges instead.
+// Synchronized wraps a Cube with a sync.RWMutex, making it safe for
+// concurrent use. Mutations always take the exclusive lock. Reads take
+// the shared lock when the wrapped cube declares (via ConcurrentReader)
+// that its read paths tolerate concurrent callers — DynamicCube and
+// ShardedCube do — so any number of readers proceed in parallel and only
+// writers serialize. For cubes whose reads mutate internal state (the
+// operation-counting baselines), reads fall back to the exclusive lock
+// and behave exactly like the historical single-mutex wrapper.
 type Synchronized struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	c  Cube
+	// sharedReads is true when c's read methods are safe under RLock.
+	sharedReads bool
 }
 
 // NewSynchronized wraps c. The wrapped cube must not be used directly
 // afterwards.
-func NewSynchronized(c Cube) *Synchronized { return &Synchronized{c: c} }
+func NewSynchronized(c Cube) *Synchronized {
+	s := &Synchronized{c: c}
+	if cr, ok := c.(ConcurrentReader); ok && cr.ConcurrentReads() {
+		s.sharedReads = true
+	}
+	return s
+}
+
+func (s *Synchronized) rlock() {
+	if s.sharedReads {
+		s.mu.RLock()
+	} else {
+		s.mu.Lock()
+	}
+}
+
+func (s *Synchronized) runlock() {
+	if s.sharedReads {
+		s.mu.RUnlock()
+	} else {
+		s.mu.Unlock()
+	}
+}
 
 // Dims implements Cube.
 func (s *Synchronized) Dims() []int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.c.Dims()
 }
 
 // Get implements Cube.
 func (s *Synchronized) Get(p []int) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.c.Get(p)
 }
 
@@ -44,31 +71,48 @@ func (s *Synchronized) Add(p []int, d int64) error {
 	return s.c.Add(p, d)
 }
 
-// Prefix implements Cube.
-func (s *Synchronized) Prefix(p []int) int64 {
+// AddBatch applies a batch of deltas under one lock acquisition,
+// implementing BatchAdder. If the wrapped cube has its own bulk path it
+// is used; otherwise the deltas are applied in order.
+func (s *Synchronized) AddBatch(batch []PointDelta) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ba, ok := s.c.(BatchAdder); ok {
+		return ba.AddBatch(batch)
+	}
+	for _, pd := range batch {
+		if err := s.c.Add(pd.Point, pd.Delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prefix implements Cube.
+func (s *Synchronized) Prefix(p []int) int64 {
+	s.rlock()
+	defer s.runlock()
 	return s.c.Prefix(p)
 }
 
 // RangeSum implements Cube.
 func (s *Synchronized) RangeSum(lo, hi []int) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.c.RangeSum(lo, hi)
 }
 
 // Total implements Cube.
 func (s *Synchronized) Total() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.c.Total()
 }
 
 // Ops implements Cube.
 func (s *Synchronized) Ops() OpCounts {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.c.Ops()
 }
 
