@@ -29,6 +29,10 @@ type benchResult struct {
 	// OpCounts aggregates the cube's internal work counters over the
 	// whole timed run (cells touched by queries/updates, node visits).
 	OpCounts ddc.OpCounts `json:"op_counts"`
+	// Telemetry is the metric snapshot for the timed run: operation
+	// totals, visit/cell counters, contribution kinds, and latency and
+	// fan-out histogram percentiles.
+	Telemetry ddc.TelemetrySnapshot `json:"telemetry"`
 }
 
 // perfReport is the top-level JSON document.
@@ -37,6 +41,9 @@ type perfReport struct {
 	GoMaxProcs int           `json:"go_max_procs"`
 	GoVersion  string        `json:"go_version"`
 	Results    []benchResult `json:"results"`
+	// QueryLevels profiles one worst-case prefix query's descent: the
+	// contribution count and value collected at each tree level.
+	QueryLevels []ddc.TraceLevel `json:"query_levels,omitempty"`
 }
 
 const (
@@ -62,20 +69,57 @@ func loadedSharded(shards int) (*ddc.ShardedCube, error) {
 // measure runs fn under the standard benchmark harness and pairs the
 // timing with the cube's operation counters for the timed run.
 func measure(name string, params map[string]int, c *ddc.ShardedCube, fn func(b *testing.B)) benchResult {
+	tel := ddc.GlobalTelemetry()
 	c.ResetOps()
+	tel.Reset()
 	res := testing.Benchmark(fn)
 	return benchResult{
-		Name:     name,
-		Params:   params,
-		NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
-		Iters:    res.N,
-		OpCounts: c.Ops(),
+		Name:      name,
+		Params:    params,
+		NsPerOp:   float64(res.T.Nanoseconds()) / float64(res.N),
+		Iters:     res.N,
+		OpCounts:  c.Ops(),
+		Telemetry: tel.Snapshot(),
 	}
+}
+
+// queryLevelProfile traces one worst-case prefix query on an unsharded
+// cube with the same workload and returns its per-level contribution
+// walk.
+func queryLevelProfile() ([]ddc.TraceLevel, error) {
+	c, err := ddc.NewDynamic(perfDims())
+	if err != nil {
+		return nil, err
+	}
+	r := workload.NewRNG(101)
+	for i := 0; i < perfPreload; i++ {
+		p := []int{r.Intn(perfDim0), r.Intn(perfDim1)}
+		if err := c.Add(p, 1+r.Int63n(50)); err != nil {
+			return nil, err
+		}
+	}
+	tel := ddc.GlobalTelemetry()
+	tel.Reset()
+	tel.SetTraceSampling(1)
+	defer tel.SetTraceSampling(0)
+	c.Prefix([]int{perfDim0 - 2, perfDim1 - 2})
+	traces := tel.Traces()
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("no trace captured for the level profile")
+	}
+	return traces[0].Levels, nil
 }
 
 // runPerfSuite measures the concurrency engine and writes the JSON
 // report to path.
 func runPerfSuite(path string) error {
+	tel := ddc.GlobalTelemetry()
+	tel.Enable()
+	defer func() {
+		tel.Disable()
+		tel.Reset()
+	}()
+
 	var report perfReport
 	report.Suite = "concurrency"
 	report.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -144,6 +188,12 @@ func runPerfSuite(path string) error {
 				_ = sink
 			}))
 	}
+
+	levels, err := queryLevelProfile()
+	if err != nil {
+		return err
+	}
+	report.QueryLevels = levels
 
 	out, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {

@@ -4,9 +4,12 @@
 // argues for.
 //
 //	ddcserver -dims 100,366 -addr :8080 [-cube snap] [-wal log] [-autogrow]
+//	          [-pprof] [-trace-sample N] [-slow-query 50ms]
 //
-// Endpoints: POST /v1/add, POST /v1/set, GET /v1/get, GET /v1/sum,
-// GET /v1/stats, GET /v1/snapshot. See internal/cubeserver.
+// Endpoints: POST /v1/add, POST /v1/set, POST /v1/batch, GET /v1/get,
+// GET /v1/sum, GET /v1/scan, GET /v1/explain, GET /v1/stats,
+// GET /v1/trace, GET /v1/snapshot, GET /metrics (Prometheus text), and
+// GET /debug/pprof/ with -pprof. See internal/cubeserver.
 package main
 
 import (
@@ -27,6 +30,9 @@ func main() {
 	cubePath := flag.String("cube", "", "snapshot to load instead of a fresh cube")
 	walPath := flag.String("wal", "", "append mutations to this write-ahead log (replayed at startup if it exists)")
 	autogrow := flag.Bool("autogrow", false, "grow the cube for out-of-range updates")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	traceSample := flag.Int("trace-sample", 0, "record a structured trace for 1 in N queries (0 = off)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries at or above this duration to /v1/trace (0 = off)")
 	flag.Parse()
 
 	cube, err := openCube(*dimsFlag, *cubePath, *autogrow)
@@ -58,8 +64,13 @@ func main() {
 			log.Fatal("ddcserver: ", err)
 		}
 	}
+	srv := cubeserver.NewWithOptions(cube, wal, cubeserver.Options{
+		Pprof:       *pprofFlag,
+		TraceSample: *traceSample,
+		SlowQuery:   *slowQuery,
+	})
 	log.Printf("serving cube dims=%v on %s", cube.Dims(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, cubeserver.New(cube, wal)))
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
 func openCube(dims, cubePath string, autogrow bool) (*ddc.DynamicCube, error) {

@@ -2,6 +2,7 @@ package ddc
 
 import (
 	"fmt"
+	"time"
 
 	"ddc/internal/core"
 	"ddc/internal/cube"
@@ -101,12 +102,28 @@ func (c *DynamicCube) ConcurrentReads() bool { return true }
 // earlier deltas remain applied (the cube is an aggregate index, not a
 // transactional store).
 func (c *DynamicCube) AddBatch(batch []PointDelta) error {
+	tel := globalTelemetry
+	if !tel.on() {
+		for i, pd := range batch {
+			if err := c.t.Add(grid.Point(pd.Point), pd.Delta); err != nil {
+				return fmt.Errorf("batch[%d]: %w", i, err)
+			}
+		}
+		return nil
+	}
+	start := time.Now()
+	var merged cube.OpCounter
+	var batchErr error
 	for i, pd := range batch {
-		if err := c.t.Add(grid.Point(pd.Point), pd.Delta); err != nil {
-			return fmt.Errorf("batch[%d]: %w", i, err)
+		ops, err := c.t.AddOps(grid.Point(pd.Point), pd.Delta)
+		merged.Add(ops)
+		if err != nil {
+			batchErr = fmt.Errorf("batch[%d]: %w", i, err)
+			break
 		}
 	}
-	return nil
+	tel.recordUpdate(uOpBatch, time.Since(start), merged)
+	return batchErr
 }
 
 // Dims implements Cube (the sizes declared at construction; see Bounds
@@ -124,18 +141,83 @@ func (c *DynamicCube) Bounds() (lo, hi []int) {
 // Get implements Cube.
 func (c *DynamicCube) Get(p []int) int64 { return c.t.Get(grid.Point(p)) }
 
-// Set implements Cube.
-func (c *DynamicCube) Set(p []int, v int64) error { return c.t.Set(grid.Point(p), v) }
+// Set implements Cube. With telemetry enabled the update's latency and
+// operation counts are recorded; disabled, one atomic flag load is the
+// only overhead.
+func (c *DynamicCube) Set(p []int, v int64) error {
+	tel := globalTelemetry
+	if !tel.on() {
+		return c.t.Set(grid.Point(p), v)
+	}
+	start := time.Now()
+	ops, err := c.t.SetOps(grid.Point(p), v)
+	tel.recordUpdate(uOpSet, time.Since(start), ops)
+	return err
+}
 
-// Add implements Cube.
-func (c *DynamicCube) Add(p []int, d int64) error { return c.t.Add(grid.Point(p), d) }
+// Add implements Cube; see Set for the telemetry contract.
+func (c *DynamicCube) Add(p []int, d int64) error {
+	tel := globalTelemetry
+	if !tel.on() {
+		return c.t.Add(grid.Point(p), d)
+	}
+	start := time.Now()
+	ops, err := c.t.AddOps(grid.Point(p), d)
+	tel.recordUpdate(uOpAdd, time.Since(start), ops)
+	return err
+}
 
-// Prefix implements Cube.
-func (c *DynamicCube) Prefix(p []int) int64 { return c.t.Prefix(grid.Point(p)) }
+// Prefix implements Cube. With telemetry enabled the query's latency,
+// node visits and contribution kinds are recorded, and sampled or slow
+// queries land in the trace ring (sampled traces re-walk the descent
+// for per-level statistics).
+func (c *DynamicCube) Prefix(p []int) int64 {
+	tel := globalTelemetry
+	if !tel.on() {
+		return c.t.Prefix(grid.Point(p))
+	}
+	start := time.Now()
+	v, ops := c.t.PrefixOps(grid.Point(p))
+	d := time.Since(start)
+	tel.recordQuery(qOpPrefix, d, ops)
+	if sampled, slow := tel.shouldTrace(d); sampled || slow {
+		tr := QueryTrace{
+			Op: "prefix", Start: start, DurationNs: d.Nanoseconds(),
+			Point: cloneInts(p), NodeVisits: ops.NodeVisits,
+			QueryCells: ops.QueryCells, Contributions: contribMap(ops),
+			Slow: slow,
+		}
+		if sampled {
+			_, parts := c.t.ExplainPrefix(grid.Point(p))
+			tr.Levels = traceLevels(parts)
+		}
+		tel.trace(tr)
+	}
+	return v
+}
 
-// RangeSum implements Cube.
+// RangeSum implements Cube; see Prefix for the telemetry contract
+// (range traces carry the query box, not a per-level walk).
 func (c *DynamicCube) RangeSum(lo, hi []int) (int64, error) {
-	return c.t.RangeSum(grid.Point(lo), grid.Point(hi))
+	tel := globalTelemetry
+	if !tel.on() {
+		return c.t.RangeSum(grid.Point(lo), grid.Point(hi))
+	}
+	start := time.Now()
+	v, ops, err := c.t.RangeSumOps(grid.Point(lo), grid.Point(hi))
+	d := time.Since(start)
+	tel.recordQuery(qOpRange, d, ops)
+	if err == nil {
+		if sampled, slow := tel.shouldTrace(d); sampled || slow {
+			tel.trace(QueryTrace{
+				Op: "rangesum", Start: start, DurationNs: d.Nanoseconds(),
+				Lo: cloneInts(lo), Hi: cloneInts(hi),
+				NodeVisits: ops.NodeVisits, QueryCells: ops.QueryCells,
+				Contributions: contribMap(ops), Slow: slow,
+			})
+		}
+	}
+	return v, err
 }
 
 // Total implements Cube.

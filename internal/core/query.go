@@ -16,10 +16,20 @@ import (
 // Any number of goroutines may therefore query one tree concurrently,
 // provided no update runs at the same time.
 func (t *Tree) Prefix(p grid.Point) int64 {
+	v, _ := t.PrefixOps(p)
+	return v
+}
+
+// PrefixOps is Prefix returning, in addition, the operation counts of
+// this one call (node visits, cells read, per-kind contribution counts).
+// The counts are still merged into the shared counter; the copy lets
+// the telemetry layer attribute work to individual queries without
+// re-reading shared state.
+func (t *Tree) PrefixOps(p grid.Point) (int64, cube.OpCounter) {
 	var ops cube.OpCounter
 	v := t.prefixWithOps(p, &ops)
 	t.ops.AtomicAdd(ops)
-	return v
+	return v, ops
 }
 
 // prefixWithOps answers a prefix query, accumulating operation counts
@@ -103,6 +113,7 @@ func (t *Tree) prefixRec(s *queryScratch, nd *node, anchor grid.Point, ext int, 
 			if b != nil {
 				sum += b.sub
 				s.ops.QueryCells++
+				s.ops.Contribs[KindSubtotal]++
 			}
 		case faceDim >= 0:
 			// Partial intersection: one row sum value (Section 3.1).
@@ -112,6 +123,7 @@ func (t *Tree) prefixRec(s *queryScratch, nd *node, anchor grid.Point, ext int, 
 			if b.delegate {
 				// Growth left this box without materialised groups:
 				// answer through the child subtree (Section 5).
+				s.ops.Contribs[KindDelegated]++
 				qq := fr.qq
 				for i := 0; i < t.d; i++ {
 					qq[i] = boxAnchor[i] + l[i]
@@ -119,6 +131,7 @@ func (t *Tree) prefixRec(s *queryScratch, nd *node, anchor grid.Point, ext int, 
 				sum += t.prefixRec(s, nd.children[ci], boxAnchor, k, qq, depth+1)
 				break
 			}
+			s.ops.Contribs[KindRowSum]++
 			sum += b.groups[faceDim].prefix(dropDimInto(fr.drop, l, faceDim), &s.ops)
 		default:
 			// The box covers the target cell: descend (Theorem 1 —
@@ -134,6 +147,7 @@ func (t *Tree) leafPrefix(s *queryScratch, nd *node, anchor, q grid.Point, depth
 	if nd.leaf == nil {
 		return 0
 	}
+	s.ops.Contribs[KindLeaf]++
 	fr := s.frame(depth, t.d)
 	tile := t.cfg.Tile
 	hi := fr.hi
@@ -189,13 +203,21 @@ func (o prefixOracle) Prefix(p grid.Point) int64 { return o.t.prefixWithOps(p, o
 // the corner reduction of Figure 4 (at most 2^d prefix queries). Like
 // Prefix, it is safe for any number of concurrent callers.
 func (t *Tree) RangeSum(lo, hi grid.Point) (int64, error) {
+	v, _, err := t.RangeSumOps(lo, hi)
+	return v, err
+}
+
+// RangeSumOps is RangeSum returning, in addition, the operation counts
+// of this one call (summed over the 2^d corner prefix queries); see
+// PrefixOps.
+func (t *Tree) RangeSumOps(lo, hi grid.Point) (int64, cube.OpCounter, error) {
 	if err := t.checkRange(lo, hi); err != nil {
-		return 0, err
+		return 0, cube.OpCounter{}, err
 	}
 	var ops cube.OpCounter
 	v := grid.RangeSum(prefixOracle{t: t, ops: &ops}, lo, hi)
 	t.ops.AtomicAdd(ops)
-	return v, nil
+	return v, ops, nil
 }
 
 // checkRange validates an inclusive logical query box.

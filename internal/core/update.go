@@ -15,12 +15,21 @@ import (
 // accumulated per call and merged atomically, so queries observing the
 // shared counter (from other trees) stay race-free.
 func (t *Tree) Add(p grid.Point, delta int64) error {
+	_, err := t.AddOps(p, delta)
+	return err
+}
+
+// AddOps is Add returning, in addition, the operation counts of this
+// one call (node visits and cells written, including the per-group
+// B_c/nested-cube work). The counts are still merged into the shared
+// counter; the copy feeds the telemetry layer's per-update attribution.
+func (t *Tree) AddOps(p grid.Point, delta int64) (cube.OpCounter, error) {
 	var ops cube.OpCounter
 	if err := t.addWithOps(p, delta, &ops); err != nil {
-		return err
+		return ops, err
 	}
 	t.ops.AtomicAdd(ops)
-	return nil
+	return ops, nil
 }
 
 // addWithOps applies one point update, accumulating operation counts
@@ -52,16 +61,23 @@ func (t *Tree) addWithOps(p grid.Point, delta int64, ops *cube.OpCounter) error 
 
 // Set changes the value of cell p to value.
 func (t *Tree) Set(p grid.Point, value int64) error {
+	_, err := t.SetOps(p, value)
+	return err
+}
+
+// SetOps is Set returning, in addition, the operation counts of the
+// underlying delta add; see AddOps.
+func (t *Tree) SetOps(p grid.Point, value int64) (cube.OpCounter, error) {
 	if err := t.checkPoint(p); err != nil {
 		if t.cfg.AutoGrow && errors.Is(err, grid.ErrRange) {
 			if gerr := t.GrowToInclude(p); gerr != nil {
-				return gerr
+				return cube.OpCounter{}, gerr
 			}
 		} else {
-			return err
+			return cube.OpCounter{}, err
 		}
 	}
-	return t.Add(p, value-t.Get(p))
+	return t.AddOps(p, value-t.Get(p))
 }
 
 // addRec descends the covering child of every level (Figure 12), adding

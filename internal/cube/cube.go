@@ -22,6 +22,13 @@ type Array struct {
 	ops OpCounter
 }
 
+// NumContribKinds is the number of contribution kinds the DDC query
+// path classifies, matching internal/core's ContributionKind taxonomy
+// (subtotal, row sum, delegated, leaf — in that order). The counter
+// carries the array so per-kind counts ride the same per-call merge
+// discipline as the scalar counts.
+const NumContribKinds = 4
+
 // OpCounter tallies the number of cells touched by queries and updates.
 // The paper's evaluation is in operation counts, not wall time; every
 // structure in this repository carries one of these so methods can be
@@ -30,6 +37,10 @@ type OpCounter struct {
 	QueryCells  uint64 // cells read while answering queries
 	UpdateCells uint64 // cells written (or rewritten) by updates
 	NodeVisits  uint64 // tree nodes visited (tree structures only)
+
+	// Contribs counts query contributions by kind, indexed by the
+	// internal/core ContributionKind values (DDC trees only).
+	Contribs [NumContribKinds]uint64
 }
 
 // Reset zeroes all counters.
@@ -40,6 +51,9 @@ func (c *OpCounter) Add(o OpCounter) {
 	c.QueryCells += o.QueryCells
 	c.UpdateCells += o.UpdateCells
 	c.NodeVisits += o.NodeVisits
+	for i, n := range o.Contribs {
+		c.Contribs[i] += n
+	}
 }
 
 // AtomicAdd accumulates o into c with atomic adds. Hot paths count into a
@@ -55,16 +69,25 @@ func (c *OpCounter) AtomicAdd(o OpCounter) {
 	if o.NodeVisits != 0 {
 		atomic.AddUint64(&c.NodeVisits, o.NodeVisits)
 	}
+	for i, n := range o.Contribs {
+		if n != 0 {
+			atomic.AddUint64(&c.Contribs[i], n)
+		}
+	}
 }
 
 // AtomicSnapshot returns a copy of the counters read with atomic loads;
 // safe to call while concurrent operations are merging counts in.
 func (c *OpCounter) AtomicSnapshot() OpCounter {
-	return OpCounter{
+	out := OpCounter{
 		QueryCells:  atomic.LoadUint64(&c.QueryCells),
 		UpdateCells: atomic.LoadUint64(&c.UpdateCells),
 		NodeVisits:  atomic.LoadUint64(&c.NodeVisits),
 	}
+	for i := range c.Contribs {
+		out.Contribs[i] = atomic.LoadUint64(&c.Contribs[i])
+	}
+	return out
 }
 
 // AtomicReset zeroes the counters with atomic stores.
@@ -72,6 +95,9 @@ func (c *OpCounter) AtomicReset() {
 	atomic.StoreUint64(&c.QueryCells, 0)
 	atomic.StoreUint64(&c.UpdateCells, 0)
 	atomic.StoreUint64(&c.NodeVisits, 0)
+	for i := range c.Contribs {
+		atomic.StoreUint64(&c.Contribs[i], 0)
+	}
 }
 
 // New returns a zeroed dense array with the given dimension sizes.

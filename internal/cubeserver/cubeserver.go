@@ -8,17 +8,26 @@
 //
 //	POST /v1/add      {"point":[45,341],"delta":250}
 //	POST /v1/set      {"point":[45,341],"value":250}
+//	POST /v1/batch    {"ops":[{"op":"add","point":[45,341],"value":250},...]}
 //	GET  /v1/get?point=45,341
 //	GET  /v1/sum?range=27,220:45,251
+//	GET  /v1/scan?range=27,220:45,251&limit=100
+//	GET  /v1/explain?point=45,341
 //	GET  /v1/stats
+//	GET  /v1/trace                  (retained query traces, newest first)
 //	GET  /v1/snapshot               (binary snapshot stream)
+//	GET  /metrics                   (Prometheus text exposition)
+//	GET  /debug/pprof/...           (only with Options.Pprof)
 package cubeserver
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ddc"
 	"ddc/internal/cubecli"
@@ -33,12 +42,55 @@ type Server struct {
 	c   *ddc.DynamicCube
 	wal *ddc.WAL // optional; when set, mutations go through it
 	mux *http.ServeMux
+
+	// version counts successful mutations; the derived-stats cache below
+	// is recomputed only when it moves (NonZeroCells/StorageCells/Total
+	// walk the whole tree, far too hot to pay per /v1/stats hit).
+	version atomic.Uint64
+	statsMu sync.Mutex
+	stats   cachedStats
+}
+
+// cachedStats is the expensive, mutation-dependent half of /v1/stats.
+type cachedStats struct {
+	version uint64
+	valid   bool
+	total   int64
+	nonzero int
+	storage int
+}
+
+// Options configures optional server behaviour.
+type Options struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// TraceSample, when > 0, makes 1 in N queries record a structured
+	// trace (GET /v1/trace).
+	TraceSample int
+	// SlowQuery, when > 0, records every query at or above the
+	// threshold into the trace ring and the slow-query counter.
+	SlowQuery time.Duration
 }
 
 // New returns a server over the cube. If wal is non-nil, every mutation
 // is appended (and flushed) to it before the response is sent, making
 // updates durable.
 func New(c *ddc.DynamicCube, wal *ddc.WAL) *Server {
+	return NewWithOptions(c, wal, Options{})
+}
+
+// NewWithOptions is New with observability knobs. Construction enables
+// the process-wide telemetry registry (served at GET /metrics) and
+// applies the trace sampling and slow-query thresholds.
+func NewWithOptions(c *ddc.DynamicCube, wal *ddc.WAL, opts Options) *Server {
+	tel := ddc.GlobalTelemetry()
+	tel.Enable()
+	if opts.TraceSample > 0 {
+		tel.SetTraceSampling(opts.TraceSample)
+	}
+	if opts.SlowQuery > 0 {
+		tel.SetSlowQueryThreshold(opts.SlowQuery)
+	}
 	s := &Server{c: c, wal: wal, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/add", s.handleAdd)
 	s.mux.HandleFunc("/v1/set", s.handleSet)
@@ -49,6 +101,15 @@ func New(c *ddc.DynamicCube, wal *ddc.WAL) *Server {
 	s.mux.HandleFunc("/v1/scan", s.handleScan)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/v1/trace", s.handleTrace)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -91,10 +152,14 @@ func (s *Server) decodeMutation(w http.ResponseWriter, r *http.Request) (*mutati
 	return &m, true
 }
 
-// mutate applies one logged (if a WAL is attached) mutation.
+// mutate applies one logged (if a WAL is attached) mutation, bumping the
+// stats-cache version on success.
 func (s *Server) mutate(fn func() error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Invalidate unconditionally: a failing batch may still have applied
+	// a prefix of its operations.
+	s.version.Add(1)
 	if err := fn(); err != nil {
 		return err
 	}
@@ -247,16 +312,72 @@ func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	lo, hi := s.c.Bounds()
+	dims := s.c.Dims()
+	total, nonzero, storage := s.derivedStats()
+	s.mu.RUnlock()
+	snap := ddc.GlobalTelemetry().Snapshot()
+	var queries, updates uint64
+	for _, n := range snap.Queries {
+		queries += n
+	}
+	for _, n := range snap.Updates {
+		updates += n
+	}
 	stats := map[string]interface{}{
-		"dims":    s.c.Dims(),
+		"dims":    dims,
 		"lo":      lo,
 		"hi":      hi,
-		"total":   s.c.Total(),
-		"nonzero": s.c.NonZeroCells(),
-		"storage": s.c.StorageCells(),
+		"total":   total,
+		"nonzero": nonzero,
+		"storage": storage,
+		"ops": map[string]uint64{
+			"queries":           queries,
+			"updates":           updates,
+			"query_node_visits": snap.QueryNodeVisits,
+			"query_cells":       snap.QueryCells,
+			"update_cells":      snap.UpdateCells,
+		},
 	}
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, stats)
+}
+
+// derivedStats returns the tree-walk half of /v1/stats, recomputing
+// only when a mutation has happened since the cached copy. Callers hold
+// the read lock (so the cube cannot change underneath); statsMu only
+// serializes cache maintenance between concurrent readers.
+func (s *Server) derivedStats() (total int64, nonzero, storage int) {
+	v := s.version.Load()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if !s.stats.valid || s.stats.version != v {
+		s.stats = cachedStats{
+			version: v,
+			valid:   true,
+			total:   s.c.Total(),
+			nonzero: s.c.NonZeroCells(),
+			storage: s.c.StorageCells(),
+		}
+	}
+	return s.stats.total, s.stats.nonzero, s.stats.storage
+}
+
+// handleMetrics serves the telemetry registry in the Prometheus text
+// exposition format (stdlib only; histograms appear as summaries with
+// p50/p95/p99 quantile labels).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = ddc.GlobalTelemetry().WritePrometheus(w)
+}
+
+// handleTrace serves the retained query traces (sampled and slow),
+// newest first.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tel := ddc.GlobalTelemetry()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"sampling":      tel.TraceSampling(),
+		"slow_query_ns": tel.SlowQueryThreshold().Nanoseconds(),
+		"traces":        tel.Traces(),
+	})
 }
 
 // handleExplain returns the prefix sum at a point together with the

@@ -1,0 +1,235 @@
+package cubeserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ddc"
+)
+
+// resetTelemetry clears the process-wide telemetry between tests (the
+// registry is global; server construction enables it).
+func resetTelemetry(t *testing.T) {
+	t.Helper()
+	tel := ddc.GlobalTelemetry()
+	tel.Reset()
+	tel.SetTraceSampling(0)
+	tel.SetSlowQueryThreshold(0)
+	t.Cleanup(func() {
+		tel.Disable()
+		tel.SetTraceSampling(0)
+		tel.SetSlowQueryThreshold(0)
+		tel.Reset()
+	})
+}
+
+// scrapeMetrics fetches /metrics and returns every sample line as a
+// name -> value map (quantile lines keep their label suffix).
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMetricsEndpointUnderLoad(t *testing.T) {
+	resetTelemetry(t)
+	srv := newTestServer(t, nil, mustCube(t, []int{100, 100}, ddc.Options{}))
+
+	load := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			post(t, srv.URL+"/v1/add", fmt.Sprintf(`{"point":[%d,%d],"delta":3}`, i%100, (i*7)%100))
+			get(t, srv.URL+fmt.Sprintf("/v1/sum?range=0,0:%d,99", 50+i%50))
+		}
+	}
+
+	load(5)
+	first := scrapeMetrics(t, srv.URL)
+	if first[`ddc_updates_total{op="add"}`] != 5 {
+		t.Errorf("adds after first load = %v, want 5", first[`ddc_updates_total{op="add"}`])
+	}
+	if first[`ddc_queries_total{op="rangesum"}`] != 5 {
+		t.Errorf("range sums after first load = %v, want 5", first[`ddc_queries_total{op="rangesum"}`])
+	}
+	if first["ddc_query_latency_ns_count"] != 5 {
+		t.Errorf("latency count = %v, want 5", first["ddc_query_latency_ns_count"])
+	}
+	if first[`ddc_query_latency_ns{quantile="0.5"}`] <= 0 {
+		t.Error("latency p50 should be positive under load")
+	}
+
+	load(10)
+	second := scrapeMetrics(t, srv.URL)
+	if got := second[`ddc_queries_total{op="rangesum"}`]; got != 15 {
+		t.Errorf("range sums after second load = %v, want 15", got)
+	}
+	if second["ddc_query_node_visits_total"] <= first["ddc_query_node_visits_total"] {
+		t.Error("node visit counter did not advance under load")
+	}
+}
+
+func TestStatsAndMetricsAgree(t *testing.T) {
+	resetTelemetry(t)
+	srv := newTestServer(t, nil, mustCube(t, []int{64, 64}, ddc.Options{}))
+
+	for i := 0; i < 7; i++ {
+		post(t, srv.URL+"/v1/add", fmt.Sprintf(`{"point":[%d,%d],"delta":1}`, i, i))
+	}
+	for i := 0; i < 4; i++ {
+		get(t, srv.URL+"/v1/sum?range=0,0:63,63")
+	}
+
+	_, stats := get(t, srv.URL+"/v1/stats")
+	ops, ok := stats["ops"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("/v1/stats has no ops section: %v", stats)
+	}
+	metrics := scrapeMetrics(t, srv.URL)
+
+	var scrapeQueries, scrapeUpdates float64
+	for name, v := range metrics {
+		if strings.HasPrefix(name, "ddc_queries_total{") {
+			scrapeQueries += v
+		}
+		if strings.HasPrefix(name, "ddc_updates_total{") {
+			scrapeUpdates += v
+		}
+	}
+	if got := ops["queries"].(float64); got != scrapeQueries {
+		t.Errorf("/v1/stats queries %v != /metrics total %v", got, scrapeQueries)
+	}
+	if got := ops["updates"].(float64); got != scrapeUpdates {
+		t.Errorf("/v1/stats updates %v != /metrics total %v", got, scrapeUpdates)
+	}
+	if got := ops["query_cells"].(float64); got != metrics["ddc_query_cells_total"] {
+		t.Errorf("/v1/stats query_cells %v != /metrics %v", got, metrics["ddc_query_cells_total"])
+	}
+}
+
+func TestStatsCacheInvalidation(t *testing.T) {
+	resetTelemetry(t)
+	srv := newTestServer(t, nil, mustCube(t, []int{32, 32}, ddc.Options{}))
+
+	post(t, srv.URL+"/v1/add", `{"point":[3,4],"delta":5}`)
+	_, s1 := get(t, srv.URL+"/v1/stats")
+	if s1["total"].(float64) != 5 {
+		t.Fatalf("total = %v, want 5", s1["total"])
+	}
+	// A second read must serve the cached values unchanged.
+	_, s2 := get(t, srv.URL+"/v1/stats")
+	if s2["total"] != s1["total"] || s2["nonzero"] != s1["nonzero"] || s2["storage"] != s1["storage"] {
+		t.Errorf("cached stats changed without a mutation: %v vs %v", s2, s1)
+	}
+	// A mutation must invalidate the cache.
+	post(t, srv.URL+"/v1/add", `{"point":[9,9],"delta":7}`)
+	_, s3 := get(t, srv.URL+"/v1/stats")
+	if s3["total"].(float64) != 12 {
+		t.Errorf("total after second add = %v, want 12", s3["total"])
+	}
+	if s3["nonzero"].(float64) != 2 {
+		t.Errorf("nonzero after second add = %v, want 2", s3["nonzero"])
+	}
+	// Batches invalidate too (even partially applied ones).
+	post(t, srv.URL+"/v1/batch", `{"ops":[{"op":"add","point":[1,1],"value":3}]}`)
+	_, s4 := get(t, srv.URL+"/v1/stats")
+	if s4["total"].(float64) != 15 {
+		t.Errorf("total after batch = %v, want 15", s4["total"])
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	resetTelemetry(t)
+	cube := mustCube(t, []int{64, 64}, ddc.Options{})
+	srv := httptest.NewServer(NewWithOptions(cube, nil, Options{
+		TraceSample: 1,
+		SlowQuery:   time.Nanosecond,
+	}))
+	t.Cleanup(srv.Close)
+
+	post(t, srv.URL+"/v1/add", `{"point":[10,10],"delta":4}`)
+	get(t, srv.URL+"/v1/sum?range=0,0:63,63")
+
+	_, out := get(t, srv.URL+"/v1/trace")
+	if out["sampling"].(float64) != 1 {
+		t.Errorf("sampling = %v, want 1", out["sampling"])
+	}
+	if out["slow_query_ns"].(float64) != 1 {
+		t.Errorf("slow_query_ns = %v, want 1", out["slow_query_ns"])
+	}
+	traces, ok := out["traces"].([]interface{})
+	if !ok || len(traces) == 0 {
+		t.Fatalf("no traces returned: %v", out)
+	}
+	tr := traces[0].(map[string]interface{})
+	if tr["op"] != "rangesum" {
+		t.Errorf("newest trace op = %v, want rangesum", tr["op"])
+	}
+	if tr["slow"] != true {
+		t.Errorf("1ns threshold should mark the query slow: %v", tr)
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	resetTelemetry(t)
+	cube := mustCube(t, []int{16, 16}, ddc.Options{})
+
+	plain := httptest.NewServer(New(cube, nil))
+	t.Cleanup(plain.Close)
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof served without the flag: status %d", resp.StatusCode)
+	}
+
+	prof := httptest.NewServer(NewWithOptions(cube, nil, Options{Pprof: true}))
+	t.Cleanup(prof.Close)
+	resp, err = http.Get(prof.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,418 @@
+// Package obs is the observability substrate of the repository: a
+// lock-cheap metrics registry (atomic counters, gauges and fixed-bucket
+// histograms with percentile snapshots), a generic ring buffer for
+// trace retention, and a 1-in-N sampler. The ddc package builds its
+// public Telemetry surface on these primitives; nothing here depends on
+// the cube structures, so the package is reusable by any layer.
+//
+// Design constraints (DESIGN.md §8):
+//
+//   - Recording is wait-free: counters and histogram buckets are single
+//     atomic adds, so instrumented hot paths never contend on a lock.
+//   - The disabled path is the caller's concern — instrumentation sites
+//     gate on one atomic flag load and skip obs entirely when off.
+//   - Snapshots and the Prometheus text writer read with atomic loads
+//     and are safe to call while recording continues.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if n != 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter (tests and benchmark harnesses only —
+// Prometheus counters are meant to be monotonic).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts.
+// Bounds are inclusive upper bounds in ascending order; observations
+// beyond the last bound land in an implicit overflow bucket. Quantile
+// estimates report the upper bound of the bucket containing the rank,
+// so they are conservative to one bucket's resolution.
+type Histogram struct {
+	bounds  []uint64
+	buckets []atomic.Uint64 // len(bounds)+1, last = overflow
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending bounds.
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]uint64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n exponentially growing bounds start, 2*start,
+// 4*start, ... — the standard latency bucket shape.
+func ExpBuckets(start uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = start << uint(i)
+	}
+	return out
+}
+
+// LatencyBuckets is the default nanosecond bucket layout: 256 ns to
+// ~8.6 s in powers of two (26 buckets).
+func LatencyBuckets() []uint64 { return ExpBuckets(256, 26) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Reset zeroes the histogram (tests and benchmark harnesses only).
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// HistStats is a point-in-time histogram summary. Percentiles are
+// bucket-upper-bound estimates; see Histogram.
+type HistStats struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	P50   uint64 `json:"p50"`
+	P95   uint64 `json:"p95"`
+	P99   uint64 `json:"p99"`
+}
+
+// Snapshot returns a consistent-enough summary read with atomic loads;
+// safe while observations continue.
+func (h *Histogram) Snapshot() HistStats {
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistStats{Count: total, Sum: h.sum.Load()}
+	s.P50 = h.quantile(0.50, counts, total)
+	s.P95 = h.quantile(0.95, counts, total)
+	s.P99 = h.quantile(0.99, counts, total)
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding rank
+// ceil(q*total). The overflow bucket reports twice the last bound.
+func (h *Histogram) quantile(q float64, counts []uint64, total uint64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	return h.bounds[len(h.bounds)-1] * 2
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type entry struct {
+	name string // full name, may carry a {label="..."} suffix
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry names a set of metrics and renders them in the Prometheus
+// text exposition format. Registration takes a mutex; recording through
+// the returned metric pointers is lock-free. Registering an existing
+// name returns the existing metric, so construction is idempotent.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	index   map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]int{}}
+}
+
+func (r *Registry) lookup(name string, kind metricKind) (entry, bool) {
+	if i, ok := r.index[name]; ok {
+		e := r.entries[i]
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return e, true
+	}
+	return entry{}, false
+}
+
+func (r *Registry) add(e entry) {
+	r.index[e.name] = len(r.entries)
+	r.entries = append(r.entries, e)
+}
+
+// Counter registers (or returns) the named counter. The name may embed
+// a label set, e.g. `ddc_queries_total{op="prefix"}`.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindCounter); ok {
+		return e.c
+	}
+	c := &Counter{}
+	r.add(entry{name: name, help: help, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge registers (or returns) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindGauge); ok {
+		return e.g
+	}
+	g := &Gauge{}
+	r.add(entry{name: name, help: help, kind: kindGauge, g: g})
+	return g
+}
+
+// Histogram registers (or returns) the named histogram.
+func (r *Registry) Histogram(name, help string, bounds []uint64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindHistogram); ok {
+		return e.h
+	}
+	h := NewHistogram(bounds)
+	r.add(entry{name: name, help: help, kind: kindHistogram, h: h})
+	return h
+}
+
+// Reset zeroes every registered metric (tests and benchmark harnesses).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		switch e.kind {
+		case kindCounter:
+			e.c.Reset()
+		case kindGauge:
+			e.g.Reset()
+		case kindHistogram:
+			e.h.Reset()
+		}
+	}
+}
+
+// baseName strips a label suffix from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders every metric in the Prometheus text format
+// (counters and gauges as-is, histograms as summaries with p50/p95/p99
+// quantile estimates). Metrics sharing a base name — label variants —
+// emit one HELP/TYPE header.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]entry(nil), r.entries...)
+	r.mu.Unlock()
+	seen := map[string]bool{}
+	for _, e := range entries {
+		base := baseName(e.name)
+		if !seen[base] {
+			seen[base] = true
+			typ := "counter"
+			switch e.kind {
+			case kindGauge:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "summary"
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, e.help, base, typ); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value())
+		case kindHistogram:
+			s := e.h.Snapshot()
+			_, err = fmt.Fprintf(w,
+				"%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
+				e.name, s.P50, e.name, s.P95, e.name, s.P99, e.name, s.Sum, e.name, s.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Ring and Sampler
+
+// Ring is a fixed-capacity ring buffer retaining the most recent
+// entries; Add overwrites the oldest once full. A mutex guards it —
+// trace retention is off the hot path (sampled or slow entries only).
+type Ring[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding up to n entries.
+func NewRing[T any](n int) *Ring[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring[T]{buf: make([]T, n)}
+}
+
+// Add appends v, evicting the oldest entry when full.
+func (r *Ring[T]) Add(v T) {
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained entries, newest first.
+func (r *Ring[T]) Snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]T, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Reset discards all entries.
+func (r *Ring[T]) Reset() {
+	r.mu.Lock()
+	r.next = 0
+	r.full = false
+	r.mu.Unlock()
+}
+
+// Sampler admits one in every N events. Rate 0 (or negative) admits
+// none; rate 1 admits all. Safe for concurrent use.
+type Sampler struct {
+	n   atomic.Int64
+	seq atomic.Uint64
+}
+
+// SetRate sets the 1-in-N admission rate.
+func (s *Sampler) SetRate(n int) { s.n.Store(int64(n)) }
+
+// Rate returns the current 1-in-N rate.
+func (s *Sampler) Rate() int { return int(s.n.Load()) }
+
+// Sample reports whether this event is admitted.
+func (s *Sampler) Sample() bool {
+	n := s.n.Load()
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
+		return true
+	}
+	return s.seq.Add(1)%uint64(n) == 0
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "a counter"); again != c {
+		t.Fatal("re-registering a counter must return the same instance")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20, 40, 80})
+	// 100 observations: 50 in (0,10], 45 in (10,20], 5 in (20,40].
+	for i := 0; i < 50; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 45; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(30)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if want := uint64(50*5 + 45*15 + 5*30); s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+	if s.P50 != 10 {
+		t.Errorf("p50 = %d, want 10", s.P50)
+	}
+	if s.P95 != 20 {
+		t.Errorf("p95 = %d, want 20", s.P95)
+	}
+	if s.P99 != 40 {
+		t.Errorf("p99 = %d, want 40", s.P99)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20})
+	h.Observe(1000) // beyond the last bound
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 1000 {
+		t.Fatalf("count/sum = %d/%d, want 1/1000", s.Count, s.Sum)
+	}
+	if s.P50 != 40 { // overflow reports 2x last bound
+		t.Fatalf("p50 = %d, want 40", s.P50)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v, want zeros", s)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`q_total{op="prefix"}`, "queries by op").Add(3)
+	r.Counter(`q_total{op="rangesum"}`, "queries by op").Add(2)
+	r.Gauge("goroutines", "live goroutines").Set(8)
+	h := r.Histogram("lat_ns", "latency", []uint64{100, 200})
+	h.Observe(50)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE q_total counter",
+		`q_total{op="prefix"} 3`,
+		`q_total{op="rangesum"} 2`,
+		"# TYPE goroutines gauge",
+		"goroutines 8",
+		"# TYPE lat_ns summary",
+		`lat_ns{quantile="0.5"} 100`,
+		"lat_ns_sum 50",
+		"lat_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n---\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per base name, even with two label variants.
+	if n := strings.Count(out, "# TYPE q_total counter"); n != 1 {
+		t.Errorf("TYPE header for q_total emitted %d times, want 1", n)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing[int](3)
+	if got := r.Len(); got != 0 {
+		t.Fatalf("empty ring Len = %d", got)
+	}
+	for i := 1; i <= 5; i++ {
+		r.Add(i)
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("ring Len = %d, want 3", got)
+	}
+	snap := r.Snapshot()
+	want := []int{5, 4, 3} // newest first
+	for i, v := range want {
+		if snap[i] != v {
+			t.Fatalf("snapshot = %v, want %v", snap, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset ring not empty")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	var s Sampler
+	if s.Sample() {
+		t.Fatal("zero-rate sampler admitted an event")
+	}
+	s.SetRate(1)
+	for i := 0; i < 10; i++ {
+		if !s.Sample() {
+			t.Fatal("rate-1 sampler rejected an event")
+		}
+	}
+	s.SetRate(4)
+	admitted := 0
+	for i := 0; i < 400; i++ {
+		if s.Sample() {
+			admitted++
+		}
+	}
+	if admitted != 100 {
+		t.Fatalf("rate-4 sampler admitted %d of 400", admitted)
+	}
+}
+
+// TestConcurrentRegistryRecording exercises the lock-free recording
+// paths under the race detector.
+func TestConcurrentRegistryRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "counter")
+	h := r.Histogram("h_ns", "hist", LatencyBuckets())
+	ring := NewRing[int](16)
+	var s Sampler
+	s.SetRate(2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+				if s.Sample() {
+					ring.Add(i)
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Snapshot()
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+			_ = ring.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("hist count = %d, want 8000", s.Count)
+	}
+}

@@ -1,11 +1,21 @@
 #!/bin/sh
-# CI gate: static checks, build, the full test suite, and the -race
-# concurrency tier (see README "Testing" and DESIGN.md §7).
+# CI gate: static checks, build, the full test suite, the -race
+# concurrency tier (see README "Testing" and DESIGN.md §7), and the
+# telemetry-overhead benchmark (DESIGN.md §8: the disabled fast path
+# must stay within 2% of pre-telemetry ns/op).
 set -eux
 
 cd "$(dirname "$0")/.."
+
+fmt_diff=$(gofmt -l .)
+if [ -n "$fmt_diff" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt_diff" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race -run Concurrent ./...
+go test -run - -bench BenchmarkTelemetryOverhead -benchtime 0.5s .

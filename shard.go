@@ -5,6 +5,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ddc/internal/cube"
+	"ddc/internal/grid"
 )
 
 // ShardedCube partitions dimension 0 into independently locked Dynamic
@@ -213,8 +217,18 @@ func (s *ShardedCube) AddBatch(batch []PointDelta) error {
 			work = append(work, si)
 		}
 	}
+	tel := globalTelemetry
+	on := tel.on()
+	var start time.Time
+	var merged cube.OpCounter
+	if on {
+		start = time.Now()
+	}
 	var firstErr atomic.Value
 	parallelDo(len(work), func(wi int) {
+		if on {
+			tel.recordQueueWait(time.Since(start))
+		}
 		si := work[wi]
 		sh := &s.shards[si]
 		bp := getCoord(len(s.dims))
@@ -225,12 +239,27 @@ func (s *ShardedCube) AddBatch(batch []PointDelta) error {
 		for _, pd := range groups[si] {
 			copy(local, pd.Point)
 			local[0] = pd.Point[0] - si*s.span
+			if on {
+				// Count through the core so the whole batch lands as one
+				// logical update, not one "add" per delta.
+				ops, err := sh.c.t.AddOps(grid.Point(local), pd.Delta)
+				merged.AtomicAdd(ops)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				continue
+			}
 			if err := sh.c.Add(local, pd.Delta); err != nil {
 				firstErr.CompareAndSwap(nil, err)
 				return
 			}
 		}
 	})
+	if on {
+		tel.recordFanout(len(work))
+		tel.recordUpdate(uOpBatch, time.Since(start), merged)
+	}
 	if err, ok := firstErr.Load().(error); ok {
 		return err
 	}
@@ -285,8 +314,18 @@ func (s *ShardedCube) Prefix(p []int) int64 {
 		x = s.dims[0] - 1
 	}
 	last := x / s.span
+	tel := globalTelemetry
+	on := tel.on()
+	var start time.Time
+	var merged cube.OpCounter
+	if on {
+		start = time.Now()
+	}
 	var total int64
 	parallelDo(last+1, func(si int) {
+		if on {
+			tel.recordQueueWait(time.Since(start))
+		}
 		bp := getCoord(len(s.dims))
 		defer coordPool.Put(bp)
 		local := *bp
@@ -298,10 +337,32 @@ func (s *ShardedCube) Prefix(p []int) int64 {
 			local[0] = x - si*s.span
 		}
 		sh.mu.RLock()
-		v := sh.c.Prefix(local)
+		var v int64
+		if on {
+			// Query through the core so the fan-out lands as one logical
+			// query with merged counts, not one query per shard.
+			var ops cube.OpCounter
+			v, ops = sh.c.t.PrefixOps(grid.Point(local))
+			merged.AtomicAdd(ops)
+		} else {
+			v = sh.c.Prefix(local)
+		}
 		sh.mu.RUnlock()
 		atomic.AddInt64(&total, v)
 	})
+	if on {
+		d := time.Since(start)
+		tel.recordFanout(last + 1)
+		tel.recordQuery(qOpPrefix, d, merged)
+		if sampled, slow := tel.shouldTrace(d); sampled || slow {
+			tel.trace(QueryTrace{
+				Op: "prefix", Start: start, DurationNs: d.Nanoseconds(),
+				Point: cloneInts(p), Shards: last + 1,
+				NodeVisits: merged.NodeVisits, QueryCells: merged.QueryCells,
+				Contributions: contribMap(merged), Slow: slow,
+			})
+		}
+	}
 	return total
 }
 
@@ -320,9 +381,19 @@ func (s *ShardedCube) RangeSum(lo, hi []int) (int64, error) {
 		}
 	}
 	first, last := lo[0]/s.span, hi[0]/s.span
+	tel := globalTelemetry
+	on := tel.on()
+	var start time.Time
+	var merged cube.OpCounter
+	if on {
+		start = time.Now()
+	}
 	var total int64
 	var firstErr atomic.Value
 	parallelDo(last-first+1, func(i int) {
+		if on {
+			tel.recordQueueWait(time.Since(start))
+		}
 		si := first + i
 		sh := &s.shards[si]
 		lop := getCoord(len(s.dims))
@@ -342,7 +413,16 @@ func (s *ShardedCube) RangeSum(lo, hi []int) (int64, error) {
 		llo[0] -= slabLo
 		lhi[0] -= slabLo
 		sh.mu.RLock()
-		v, err := sh.c.RangeSum(llo, lhi)
+		var v int64
+		var err error
+		if on {
+			// One logical query: merge per-shard counts, count once.
+			var ops cube.OpCounter
+			v, ops, err = sh.c.t.RangeSumOps(grid.Point(llo), grid.Point(lhi))
+			merged.AtomicAdd(ops)
+		} else {
+			v, err = sh.c.RangeSum(llo, lhi)
+		}
 		sh.mu.RUnlock()
 		if err != nil {
 			firstErr.CompareAndSwap(nil, err)
@@ -350,6 +430,19 @@ func (s *ShardedCube) RangeSum(lo, hi []int) (int64, error) {
 		}
 		atomic.AddInt64(&total, v)
 	})
+	if on {
+		d := time.Since(start)
+		tel.recordFanout(last - first + 1)
+		tel.recordQuery(qOpRange, d, merged)
+		if sampled, slow := tel.shouldTrace(d); sampled || slow {
+			tel.trace(QueryTrace{
+				Op: "rangesum", Start: start, DurationNs: d.Nanoseconds(),
+				Lo: cloneInts(lo), Hi: cloneInts(hi), Shards: last - first + 1,
+				NodeVisits: merged.NodeVisits, QueryCells: merged.QueryCells,
+				Contributions: contribMap(merged), Slow: slow,
+			})
+		}
+	}
 	if err, ok := firstErr.Load().(error); ok {
 		return 0, err
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"ddc/internal/grid"
 )
@@ -34,6 +35,10 @@ type snapshotHeader struct {
 // cells are written in the tree's deterministic Z-order (Morton order
 // over internal coordinates).
 func (c *DynamicCube) Save(w io.Writer) error {
+	if tel := globalTelemetry; tel.on() {
+		start := time.Now()
+		defer func() { tel.recordSnapSave(time.Since(start)) }()
+	}
 	bw := bufio.NewWriter(w)
 	hdr := snapshotHeader{
 		Magic:  snapshotMagic,
@@ -86,6 +91,10 @@ func (c *DynamicCube) Save(w io.Writer) error {
 // SaveCompact (version 2) and reconstructs the cube, including its
 // growth history (bounds and origin round-trip exactly).
 func LoadDynamic(r io.Reader) (*DynamicCube, error) {
+	if tel := globalTelemetry; tel.on() {
+		start := time.Now()
+		defer func() { tel.recordSnapLoad(time.Since(start)) }()
+	}
 	br := bufio.NewReader(r)
 	var hdr snapshotHeader
 	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 )
 
 // snapshotMagic2 identifies version 2 of the snapshot format: identical
@@ -17,6 +18,10 @@ var snapshotMagic2 = [8]byte{'D', 'D', 'C', 'S', 'N', 'A', 'P', '2'}
 // Z-order — but each cell's coordinates are zigzag-varint
 // deltas from the previous cell and values are zigzag varints.
 func (c *DynamicCube) SaveCompact(w io.Writer) error {
+	if tel := globalTelemetry; tel.on() {
+		start := time.Now()
+		defer func() { tel.recordSnapSave(time.Since(start)) }()
+	}
 	bw := bufio.NewWriter(w)
 	hdr := snapshotHeader{
 		Magic:  snapshotMagic2,

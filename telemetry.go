@@ -1,0 +1,449 @@
+package ddc
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ddc/internal/core"
+	"ddc/internal/cube"
+	"ddc/internal/obs"
+)
+
+// Telemetry is the cube-wide observability surface: a lock-cheap
+// metrics registry (atomic counters and fixed-bucket latency histograms
+// with p50/p95/p99 snapshots) fed by the DynamicCube, ShardedCube, WAL
+// and snapshot hot paths, plus structured per-query tracing with a
+// sampling knob and a ring-buffer slow-query log.
+//
+// Telemetry is disabled by default; every instrumentation site gates on
+// a single atomic flag load, so the disabled fast path stays free of
+// locks and allocations (BenchmarkTelemetryOverhead guards the <2%
+// budget). Enable it process-wide with GlobalTelemetry().Enable() —
+// internal/cubeserver does so on construction and serves the registry
+// at GET /metrics and the trace ring at GET /v1/trace.
+//
+// All counters tally the paper's operation cost model: node visits and
+// cells touched per query/update (Theorems 1-2's O(log^d n) claims are
+// checked against these in telemetry_test.go), and per-kind
+// contribution counts using the Section 3.2 taxonomy (subtotal,
+// row sum, delegated, leaf).
+type Telemetry struct {
+	enabled atomic.Bool
+	reg     *obs.Registry
+
+	queries [numQueryOps]*obs.Counter
+	updates [numUpdateOps]*obs.Counter
+	contrib [cube.NumContribKinds]*obs.Counter
+
+	queryNodeVisits  *obs.Counter
+	queryCells       *obs.Counter
+	updateNodeVisits *obs.Counter
+	updateCells      *obs.Counter
+	slowQueries      *obs.Counter
+
+	queryLat  *obs.Histogram
+	updateLat *obs.Histogram
+
+	fanoutWidth *obs.Histogram
+	queueWait   *obs.Histogram
+
+	walAppends   *obs.Counter
+	walFlushes   *obs.Counter
+	walAppendLat *obs.Histogram
+	walFlushLat  *obs.Histogram
+
+	snapSaves   *obs.Counter
+	snapLoads   *obs.Counter
+	snapSaveLat *obs.Histogram
+	snapLoadLat *obs.Histogram
+
+	goroutines *obs.Gauge
+
+	sampler *obs.Sampler
+	slowNs  atomic.Int64
+	traces  *obs.Ring[QueryTrace]
+	seq     atomic.Uint64
+}
+
+// Query and update operation indices (and their metric labels).
+const (
+	qOpPrefix = iota
+	qOpRange
+	numQueryOps
+)
+
+const (
+	uOpAdd = iota
+	uOpSet
+	uOpBatch
+	numUpdateOps
+)
+
+var qOpNames = [numQueryOps]string{"prefix", "rangesum"}
+var uOpNames = [numUpdateOps]string{"add", "set", "batch"}
+
+// kindNames maps core.ContributionKind values to metric labels.
+var kindNames = [cube.NumContribKinds]string{"subtotal", "row_sum", "delegated", "leaf"}
+
+// traceRingCapacity bounds the slow-query/sampled-trace ring.
+const traceRingCapacity = 256
+
+// globalTelemetry is the process-wide instance every cube records into.
+var globalTelemetry = NewTelemetry()
+
+// GlobalTelemetry returns the process-wide Telemetry instance that all
+// DynamicCube, ShardedCube, WAL and snapshot instrumentation records
+// into when enabled.
+func GlobalTelemetry() *Telemetry { return globalTelemetry }
+
+// NewTelemetry returns a disabled Telemetry with a fresh registry.
+// Most callers want GlobalTelemetry — the cubes record only into the
+// global instance; standalone instances serve tests.
+func NewTelemetry() *Telemetry {
+	reg := obs.NewRegistry()
+	t := &Telemetry{
+		reg:     reg,
+		sampler: &obs.Sampler{},
+		traces:  obs.NewRing[QueryTrace](traceRingCapacity),
+	}
+	for i, op := range qOpNames {
+		t.queries[i] = reg.Counter(fmt.Sprintf("ddc_queries_total{op=%q}", op),
+			"queries served, by operation")
+	}
+	for i, op := range uOpNames {
+		t.updates[i] = reg.Counter(fmt.Sprintf("ddc_updates_total{op=%q}", op),
+			"updates applied, by operation")
+	}
+	for i, k := range kindNames {
+		t.contrib[i] = reg.Counter(fmt.Sprintf("ddc_query_contributions_total{kind=%q}", k),
+			"prefix-query contributions collected, by Section 3.2 kind")
+	}
+	t.queryNodeVisits = reg.Counter("ddc_query_node_visits_total",
+		"tree nodes visited by queries (the paper's O(log^d n) cost)")
+	t.queryCells = reg.Counter("ddc_query_cells_total",
+		"cells read by queries (subtotals, row sums, leaf cells)")
+	t.updateNodeVisits = reg.Counter("ddc_update_node_visits_total",
+		"tree nodes visited by updates")
+	t.updateCells = reg.Counter("ddc_update_cells_total",
+		"cells written by updates (subtotals, group stores, leaf cells)")
+	t.slowQueries = reg.Counter("ddc_slow_queries_total",
+		"queries at or above the slow-query threshold")
+	t.queryLat = reg.Histogram("ddc_query_latency_ns",
+		"query latency in nanoseconds", obs.LatencyBuckets())
+	t.updateLat = reg.Histogram("ddc_update_latency_ns",
+		"update latency in nanoseconds", obs.LatencyBuckets())
+	t.fanoutWidth = reg.Histogram("ddc_shard_fanout_width",
+		"shards touched per sharded operation", obs.ExpBuckets(1, 11))
+	t.queueWait = reg.Histogram("ddc_shard_queue_wait_ns",
+		"delay between fan-out start and per-shard task start", obs.LatencyBuckets())
+	t.walAppends = reg.Counter("ddc_wal_appends_total", "WAL records appended")
+	t.walFlushes = reg.Counter("ddc_wal_flushes_total", "WAL flushes")
+	t.walAppendLat = reg.Histogram("ddc_wal_append_latency_ns",
+		"WAL record append latency in nanoseconds", obs.LatencyBuckets())
+	t.walFlushLat = reg.Histogram("ddc_wal_flush_latency_ns",
+		"WAL flush latency in nanoseconds", obs.LatencyBuckets())
+	t.snapSaves = reg.Counter("ddc_snapshot_saves_total", "snapshots written")
+	t.snapLoads = reg.Counter("ddc_snapshot_loads_total", "snapshots loaded")
+	t.snapSaveLat = reg.Histogram("ddc_snapshot_save_latency_ns",
+		"snapshot save latency in nanoseconds", obs.LatencyBuckets())
+	t.snapLoadLat = reg.Histogram("ddc_snapshot_load_latency_ns",
+		"snapshot load latency in nanoseconds", obs.LatencyBuckets())
+	t.goroutines = reg.Gauge("ddc_goroutines", "live goroutines at scrape time")
+	return t
+}
+
+// Enable turns instrumentation on.
+func (t *Telemetry) Enable() { t.enabled.Store(true) }
+
+// Disable turns instrumentation off, restoring the zero-overhead fast
+// path. Accumulated metrics and traces are retained.
+func (t *Telemetry) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether instrumentation is on.
+func (t *Telemetry) Enabled() bool { return t.enabled.Load() }
+
+// on is the hot-path gate: one atomic load.
+func (t *Telemetry) on() bool { return t.enabled.Load() }
+
+// Reset zeroes every metric and discards retained traces; sampling and
+// threshold knobs are kept. For tests and benchmark harnesses.
+func (t *Telemetry) Reset() {
+	t.reg.Reset()
+	t.traces.Reset()
+}
+
+// SetTraceSampling makes 1 in n queries produce a full structured trace
+// (with the per-level contribution walk) into the trace ring; n <= 0
+// disables sampling. Sampled traces re-walk the query's descent, so
+// keep n large on hot servers.
+func (t *Telemetry) SetTraceSampling(n int) { t.sampler.SetRate(n) }
+
+// TraceSampling returns the current 1-in-N trace sampling rate.
+func (t *Telemetry) TraceSampling() int { return t.sampler.Rate() }
+
+// SetSlowQueryThreshold records every query with latency >= d into the
+// slow-query ring (and the ddc_slow_queries_total counter); d <= 0
+// disables the slow-query log.
+func (t *Telemetry) SetSlowQueryThreshold(d time.Duration) { t.slowNs.Store(d.Nanoseconds()) }
+
+// SlowQueryThreshold returns the current slow-query threshold.
+func (t *Telemetry) SlowQueryThreshold() time.Duration {
+	return time.Duration(t.slowNs.Load())
+}
+
+// Traces returns the retained traces (sampled and slow queries),
+// newest first.
+func (t *Telemetry) Traces() []QueryTrace { return t.traces.Snapshot() }
+
+// WritePrometheus renders every metric in the Prometheus text format
+// (histograms as summaries with p50/p95/p99); safe to call while
+// recording continues.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	t.goroutines.Set(int64(runtime.NumGoroutine()))
+	return t.reg.WritePrometheus(w)
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+
+// DistStats summarises one histogram: count, sum and bucket-resolution
+// percentile estimates, in the metric's unit (nanoseconds for latency
+// histograms, shards for fan-out width).
+type DistStats struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	P50   uint64 `json:"p50"`
+	P95   uint64 `json:"p95"`
+	P99   uint64 `json:"p99"`
+}
+
+func distFrom(s obs.HistStats) DistStats {
+	return DistStats{Count: s.Count, Sum: s.Sum, P50: s.P50, P95: s.P95, P99: s.P99}
+}
+
+// TelemetrySnapshot is a point-in-time copy of every telemetry metric,
+// JSON-ready (cmd/ddcbench embeds it in its -json reports so BENCH
+// files carry visit counts alongside ns/op).
+type TelemetrySnapshot struct {
+	Enabled bool `json:"enabled"`
+
+	Queries       map[string]uint64 `json:"queries"`
+	Updates       map[string]uint64 `json:"updates"`
+	Contributions map[string]uint64 `json:"contributions"`
+
+	QueryNodeVisits  uint64 `json:"query_node_visits"`
+	QueryCells       uint64 `json:"query_cells"`
+	UpdateNodeVisits uint64 `json:"update_node_visits"`
+	UpdateCells      uint64 `json:"update_cells"`
+	SlowQueries      uint64 `json:"slow_queries"`
+
+	QueryLatencyNs   DistStats `json:"query_latency_ns"`
+	UpdateLatencyNs  DistStats `json:"update_latency_ns"`
+	ShardFanoutWidth DistStats `json:"shard_fanout_width"`
+	ShardQueueWaitNs DistStats `json:"shard_queue_wait_ns"`
+
+	WALAppends     uint64    `json:"wal_appends"`
+	WALFlushes     uint64    `json:"wal_flushes"`
+	WALAppendNs    DistStats `json:"wal_append_ns"`
+	WALFlushNs     DistStats `json:"wal_flush_ns"`
+	SnapshotSaves  uint64    `json:"snapshot_saves"`
+	SnapshotLoads  uint64    `json:"snapshot_loads"`
+	SnapshotSaveNs DistStats `json:"snapshot_save_ns"`
+	SnapshotLoadNs DistStats `json:"snapshot_load_ns"`
+}
+
+// Snapshot returns a consistent-enough copy of all metrics, read with
+// atomic loads while recording continues.
+func (t *Telemetry) Snapshot() TelemetrySnapshot {
+	s := TelemetrySnapshot{
+		Enabled:       t.Enabled(),
+		Queries:       map[string]uint64{},
+		Updates:       map[string]uint64{},
+		Contributions: map[string]uint64{},
+	}
+	for i, op := range qOpNames {
+		s.Queries[op] = t.queries[i].Value()
+	}
+	for i, op := range uOpNames {
+		s.Updates[op] = t.updates[i].Value()
+	}
+	for i, k := range kindNames {
+		s.Contributions[k] = t.contrib[i].Value()
+	}
+	s.QueryNodeVisits = t.queryNodeVisits.Value()
+	s.QueryCells = t.queryCells.Value()
+	s.UpdateNodeVisits = t.updateNodeVisits.Value()
+	s.UpdateCells = t.updateCells.Value()
+	s.SlowQueries = t.slowQueries.Value()
+	s.QueryLatencyNs = distFrom(t.queryLat.Snapshot())
+	s.UpdateLatencyNs = distFrom(t.updateLat.Snapshot())
+	s.ShardFanoutWidth = distFrom(t.fanoutWidth.Snapshot())
+	s.ShardQueueWaitNs = distFrom(t.queueWait.Snapshot())
+	s.WALAppends = t.walAppends.Value()
+	s.WALFlushes = t.walFlushes.Value()
+	s.WALAppendNs = distFrom(t.walAppendLat.Snapshot())
+	s.WALFlushNs = distFrom(t.walFlushLat.Snapshot())
+	s.SnapshotSaves = t.snapSaves.Value()
+	s.SnapshotLoads = t.snapLoads.Value()
+	s.SnapshotSaveNs = distFrom(t.snapSaveLat.Snapshot())
+	s.SnapshotLoadNs = distFrom(t.snapLoadLat.Snapshot())
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Tracing
+
+// QueryTrace is one structured per-query trace: the query box, the
+// operation counts the call actually performed, optional per-level
+// contribution statistics (sampled traces re-walk the descent the way
+// ExplainPrefix does), and the measured duration. Traces land in a
+// fixed-capacity ring readable via Telemetry.Traces and the server's
+// GET /v1/trace.
+type QueryTrace struct {
+	Seq        uint64    `json:"seq"`
+	Op         string    `json:"op"`
+	Start      time.Time `json:"start"`
+	DurationNs int64     `json:"duration_ns"`
+
+	// Point is set for prefix queries; Lo/Hi for range sums.
+	Point []int `json:"point,omitempty"`
+	Lo    []int `json:"lo,omitempty"`
+	Hi    []int `json:"hi,omitempty"`
+
+	// Shards is the fan-out width for sharded queries (0 otherwise).
+	Shards int `json:"shards,omitempty"`
+
+	NodeVisits    uint64            `json:"node_visits"`
+	QueryCells    uint64            `json:"query_cells"`
+	Contributions map[string]uint64 `json:"contributions,omitempty"`
+
+	// Levels is the per-level contribution walk (sampled traces only).
+	Levels []TraceLevel `json:"levels,omitempty"`
+
+	// Slow marks traces admitted by the slow-query threshold; the rest
+	// were admitted by sampling.
+	Slow bool `json:"slow"`
+}
+
+// TraceLevel aggregates one tree level of a sampled trace's descent.
+type TraceLevel struct {
+	Level         int            `json:"level"`
+	Contributions int            `json:"contributions"`
+	Value         int64          `json:"value"`
+	Kinds         map[string]int `json:"kinds,omitempty"`
+}
+
+// contribMap converts per-kind counts to a labelled map, omitting
+// zeroes.
+func contribMap(ops cube.OpCounter) map[string]uint64 {
+	var m map[string]uint64
+	for i, n := range ops.Contribs {
+		if n != 0 {
+			if m == nil {
+				m = map[string]uint64{}
+			}
+			m[kindNames[i]] += n
+		}
+	}
+	return m
+}
+
+// traceLevels folds ExplainPrefix contributions into per-level stats.
+func traceLevels(parts []core.Contribution) []TraceLevel {
+	if len(parts) == 0 {
+		return nil
+	}
+	maxLevel := 0
+	for _, p := range parts {
+		if p.Level > maxLevel {
+			maxLevel = p.Level
+		}
+	}
+	levels := make([]TraceLevel, maxLevel+1)
+	for i := range levels {
+		levels[i].Level = i
+	}
+	for _, p := range parts {
+		lv := &levels[p.Level]
+		lv.Contributions++
+		lv.Value += p.Value
+		if lv.Kinds == nil {
+			lv.Kinds = map[string]int{}
+		}
+		lv.Kinds[p.Kind.String()]++
+	}
+	return levels
+}
+
+// shouldTrace decides whether a query of duration d produces a trace:
+// sampled traces carry the deep per-level walk, slow traces always
+// land in the ring.
+func (t *Telemetry) shouldTrace(d time.Duration) (sampled, slow bool) {
+	sampled = t.sampler.Sample()
+	if ns := t.slowNs.Load(); ns > 0 && d.Nanoseconds() >= ns {
+		slow = true
+	}
+	return sampled, slow
+}
+
+// trace retains tr in the ring, stamping its sequence number.
+func (t *Telemetry) trace(tr QueryTrace) {
+	tr.Seq = t.seq.Add(1)
+	if tr.Slow {
+		t.slowQueries.Inc()
+	}
+	t.traces.Add(tr)
+}
+
+// ---------------------------------------------------------------------
+// Recording helpers (called only when enabled)
+
+func (t *Telemetry) recordQuery(op int, d time.Duration, ops cube.OpCounter) {
+	t.queries[op].Inc()
+	t.queryLat.Observe(uint64(d.Nanoseconds()))
+	t.queryNodeVisits.Add(ops.NodeVisits)
+	t.queryCells.Add(ops.QueryCells)
+	for i, n := range ops.Contribs {
+		t.contrib[i].Add(n)
+	}
+}
+
+func (t *Telemetry) recordUpdate(op int, d time.Duration, ops cube.OpCounter) {
+	t.updates[op].Inc()
+	t.updateLat.Observe(uint64(d.Nanoseconds()))
+	t.updateNodeVisits.Add(ops.NodeVisits)
+	t.updateCells.Add(ops.UpdateCells)
+}
+
+func (t *Telemetry) recordFanout(width int) {
+	t.fanoutWidth.Observe(uint64(width))
+}
+
+func (t *Telemetry) recordQueueWait(d time.Duration) {
+	t.queueWait.Observe(uint64(d.Nanoseconds()))
+}
+
+func (t *Telemetry) recordWALAppend(d time.Duration) {
+	t.walAppends.Inc()
+	t.walAppendLat.Observe(uint64(d.Nanoseconds()))
+}
+
+func (t *Telemetry) recordWALFlush(d time.Duration) {
+	t.walFlushes.Inc()
+	t.walFlushLat.Observe(uint64(d.Nanoseconds()))
+}
+
+func (t *Telemetry) recordSnapSave(d time.Duration) {
+	t.snapSaves.Inc()
+	t.snapSaveLat.Observe(uint64(d.Nanoseconds()))
+}
+
+func (t *Telemetry) recordSnapLoad(d time.Duration) {
+	t.snapLoads.Inc()
+	t.snapLoadLat.Observe(uint64(d.Nanoseconds()))
+}
+
+func cloneInts(p []int) []int { return append([]int(nil), p...) }

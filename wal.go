@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // The write-ahead log makes the paper's dynamic-update story durable: a
@@ -59,13 +60,25 @@ func (l *WAL) Flush() error {
 	if l.err != nil {
 		return l.err
 	}
-	return l.w.Flush()
+	tel := globalTelemetry
+	if !tel.on() {
+		return l.w.Flush()
+	}
+	start := time.Now()
+	err := l.w.Flush()
+	tel.recordWALFlush(time.Since(start))
+	return err
 }
 
 // append writes one record.
 func (l *WAL) append(op uint8, p []int, v int64) error {
 	if l.err != nil {
 		return l.err
+	}
+	tel := globalTelemetry
+	if tel.on() {
+		start := time.Now()
+		defer func() { tel.recordWALAppend(time.Since(start)) }()
 	}
 	if len(p) != l.d {
 		return fmt.Errorf("%w: point has %d dims, log has %d", ErrBadWAL, len(p), l.d)
