@@ -1,0 +1,145 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ddc"
+	"ddc/internal/store"
+	"ddc/internal/workload"
+)
+
+// The durability section of the -json perf suite prices the write-ahead
+// log and the checkpoint pipeline: framed+checksummed appends with no
+// I/O (pure encoding cost), appends committed through fsync (the per-
+// request durability tax the server pays), and full checkpoint/rotate
+// cycles on a loaded store.
+
+const durabilityBatch = 64
+
+// measureRaw is measure without a sharded cube: timing plus the global
+// telemetry snapshot for the run.
+func measureRaw(name string, params map[string]int, fn func(b *testing.B)) benchResult {
+	tel := ddc.GlobalTelemetry()
+	tel.Reset()
+	res := testing.Benchmark(fn)
+	return benchResult{
+		Name:      name,
+		Params:    params,
+		NsPerOp:   float64(res.T.Nanoseconds()) / float64(res.N),
+		Iters:     res.N,
+		Telemetry: tel.Snapshot(),
+	}
+}
+
+// durabilityPoints returns a deterministic mutation stream.
+func durabilityPoints(n int) [][]int {
+	r := workload.NewRNG(107)
+	pts := make([][]int, n)
+	for i := range pts {
+		pts[i] = []int{r.Intn(perfDim0), r.Intn(perfDim1)}
+	}
+	return pts
+}
+
+// durabilityResults measures wal/append, wal/commit and
+// store/checkpoint. Each benchmark op is one batch of durabilityBatch
+// mutations so the numbers are comparable to the ingest section.
+func durabilityResults() ([]benchResult, error) {
+	pts := durabilityPoints(durabilityBatch)
+	var out []benchResult
+
+	// wal/append: encoding + CRC only, records discarded.
+	cube, err := ddc.NewDynamic(perfDims())
+	if err != nil {
+		return nil, err
+	}
+	wal, err := ddc.NewWAL(cube, io.Discard)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, measureRaw("wal/append",
+		map[string]int{"batch": durabilityBatch},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range pts {
+					if err := wal.Add(p, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}))
+
+	// wal/commit: the same batch appended to a real file and made
+	// durable with Flush (bufio flush + fsync) — one commit point per op.
+	dir, err := os.MkdirTemp("", "ddcbench-wal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	f, err := os.Create(filepath.Join(dir, "bench.wal"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cube2, err := ddc.NewDynamic(perfDims())
+	if err != nil {
+		return nil, err
+	}
+	fwal, err := ddc.NewWAL(cube2, f)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, measureRaw("wal/commit",
+		map[string]int{"batch": durabilityBatch},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range pts {
+					if err := fwal.Add(p, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := fwal.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+	// store/checkpoint: snapshot + fsync + rename + segment rotation on
+	// a store preloaded with the perf workload.
+	sdir, err := os.MkdirTemp("", "ddcbench-store")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(sdir)
+	st, err := store.Open(sdir, store.Options{
+		Dims:                  perfDims(),
+		DisableAutoCheckpoint: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	r := workload.NewRNG(109)
+	for i := 0; i < perfPreload; i++ {
+		p := []int{r.Intn(perfDim0), r.Intn(perfDim1)}
+		if err := st.Add(p, 1+r.Int63n(50)); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.Flush(); err != nil {
+		return nil, err
+	}
+	out = append(out, measureRaw("store/checkpoint",
+		map[string]int{"preload": perfPreload},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := st.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	return out, nil
+}

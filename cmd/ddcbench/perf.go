@@ -189,6 +189,13 @@ func runPerfSuite(path string) error {
 			}))
 	}
 
+	// Durability: WAL append/commit cost and checkpoint latency.
+	durable, err := durabilityResults()
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, durable...)
+
 	levels, err := queryLevelProfile()
 	if err != nil {
 		return err

@@ -3,74 +3,219 @@
 // interactive, continuously-updated data cube Section 1 of the paper
 // argues for.
 //
-//	ddcserver -dims 100,366 -addr :8080 [-cube snap] [-wal log] [-autogrow]
+//	ddcserver -data DIR -dims 100,366 -addr :8080 [-autogrow]
 //	          [-pprof] [-trace-sample N] [-slow-query 50ms]
+//	ddcserver -dims 100,366 [-cube snap] [-wal log]   (legacy single-file mode)
 //
-// Endpoints: POST /v1/add, POST /v1/set, POST /v1/batch, GET /v1/get,
-// GET /v1/sum, GET /v1/scan, GET /v1/explain, GET /v1/stats,
-// GET /v1/trace, GET /v1/snapshot, GET /metrics (Prometheus text), and
-// GET /debug/pprof/ with -pprof. See internal/cubeserver.
+// With -data the server runs on a durable store directory: recovery
+// from the latest checkpoint plus WAL tail replay at startup,
+// checksummed fsync'd commits per mutation, and checkpoint/rotate via
+// POST /v1/checkpoint or automatic thresholds. -data conflicts with
+// -cube/-wal.
+//
+// Endpoints: POST /v1/add, POST /v1/set, POST /v1/batch,
+// POST /v1/checkpoint, GET /v1/get, GET /v1/sum, GET /v1/scan,
+// GET /v1/explain, GET /v1/stats, GET /v1/trace, GET /v1/snapshot,
+// GET /metrics (Prometheus text), and GET /debug/pprof/ with -pprof.
+// See internal/cubeserver.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ddc"
 	"ddc/internal/cubecli"
 	"ddc/internal/cubeserver"
+	"ddc/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "", "durable store directory (checkpoints + WAL segments); conflicts with -cube/-wal")
 	dimsFlag := flag.String("dims", "", "dimension sizes for a fresh cube, e.g. 100,366")
-	cubePath := flag.String("cube", "", "snapshot to load instead of a fresh cube")
-	walPath := flag.String("wal", "", "append mutations to this write-ahead log (replayed at startup if it exists)")
+	cubePath := flag.String("cube", "", "snapshot to load instead of a fresh cube (legacy mode)")
+	walPath := flag.String("wal", "", "append mutations to this write-ahead log, replayed at startup (legacy mode)")
 	autogrow := flag.Bool("autogrow", false, "grow the cube for out-of-range updates")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	traceSample := flag.Int("trace-sample", 0, "record a structured trace for 1 in N queries (0 = off)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at or above this duration to /v1/trace (0 = off)")
 	flag.Parse()
 
-	cube, err := openCube(*dimsFlag, *cubePath, *autogrow)
-	if err != nil {
-		log.Fatal("ddcserver: ", err)
-	}
-	var wal *ddc.WAL
-	if *walPath != "" {
-		// Recover: replay any existing log into the cube, then rotate it
-		// aside (<path>.old) so the fresh log starts from the recovered
-		// state without losing the previous records on disk.
-		if f, err := os.Open(*walPath); err == nil {
-			n, rerr := ddc.ReplayWAL(f, cube)
-			f.Close()
-			if rerr != nil {
-				log.Fatalf("ddcserver: replaying %s: %v", *walPath, rerr)
-			}
-			log.Printf("replayed %d records from %s", n, *walPath)
-			if err := os.Rename(*walPath, *walPath+".old"); err != nil {
-				log.Fatal("ddcserver: rotating log: ", err)
-			}
-		}
-		f, err := os.Create(*walPath)
-		if err != nil {
-			log.Fatal("ddcserver: ", err)
-		}
-		defer f.Close()
-		if wal, err = ddc.NewWAL(cube, f); err != nil {
-			log.Fatal("ddcserver: ", err)
-		}
-	}
-	srv := cubeserver.NewWithOptions(cube, wal, cubeserver.Options{
+	opts := cubeserver.Options{
 		Pprof:       *pprofFlag,
 		TraceSample: *traceSample,
 		SlowQuery:   *slowQuery,
-	})
-	log.Printf("serving cube dims=%v on %s", cube.Dims(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	}
+
+	var handler http.Handler
+	var dims []int
+	shutdown := func() error { return nil }
+
+	switch {
+	case *dataDir != "":
+		if *cubePath != "" || *walPath != "" {
+			log.Fatal("ddcserver: -data conflicts with -cube/-wal")
+		}
+		if *dimsFlag != "" {
+			var err error
+			if dims, err = cubecli.ParsePoint(*dimsFlag); err != nil {
+				log.Fatal("ddcserver: -dims: ", err)
+			}
+		}
+		// Server construction enables telemetry, but recovery happens
+		// first — turn it on now so the startup recovery and checkpoint
+		// land in /metrics.
+		ddc.GlobalTelemetry().Enable()
+		st, err := store.Open(*dataDir, store.Options{
+			Dims: dims,
+			Cube: ddc.Options{AutoGrow: *autogrow},
+		})
+		if err != nil {
+			log.Fatal("ddcserver: opening store: ", err)
+		}
+		rec := st.Recovery()
+		log.Printf("store %s: recovered snapshot seq %d + %d segments (%d records%s)",
+			st.Dir(), rec.SnapshotSeq, rec.Segments, rec.Records,
+			map[bool]string{true: ", torn tail dropped", false: ""}[rec.TornTail])
+		handler = cubeserver.NewWithPersistence(st.Cube(), st, opts)
+		dims = st.Cube().Dims()
+		shutdown = st.Close
+	default:
+		// A previous run may have checkpointed recovered WAL state to
+		// <wal>.ckpt; pick it up when no explicit snapshot is given.
+		base := *cubePath
+		if base == "" && *walPath != "" {
+			if _, err := os.Stat(*walPath + ".ckpt"); err == nil {
+				base = *walPath + ".ckpt"
+				log.Printf("loading checkpoint %s", base)
+			}
+		}
+		cube, err := openCube(*dimsFlag, base, *autogrow)
+		if err != nil {
+			log.Fatal("ddcserver: ", err)
+		}
+		var wal *ddc.WAL
+		if *walPath != "" {
+			var f *os.File
+			if wal, f, err = openLegacyWAL(cube, *walPath); err != nil {
+				log.Fatal("ddcserver: ", err)
+			}
+			shutdown = func() error {
+				return errors.Join(wal.Flush(), f.Close())
+			}
+		}
+		handler = cubeserver.NewWithOptions(cube, wal, opts)
+		dims = cube.Dims()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serving cube dims=%v on %s", dims, *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal("ddcserver: ", err)
+	case <-ctx.Done():
+		stop()
+		log.Print("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Print("ddcserver: shutdown: ", err)
+		}
+		// Persist every acknowledged mutation before exiting: flush and
+		// sync the WAL (legacy mode) or checkpoint and close the store.
+		if err := shutdown(); err != nil {
+			log.Fatal("ddcserver: closing persistence: ", err)
+		}
+	}
+}
+
+// openLegacyWAL recovers a single-file WAL: replay the existing log,
+// save a snapshot of the recovered state to <path>.ckpt, and only then
+// rotate the log aside (<path>.old) and start a fresh one.
+// Snapshotting before the rotation means a crash right after startup
+// cannot lose the replayed records — previously they lived only in
+// memory and in a .old file the next boot ignored.
+func openLegacyWAL(cube *ddc.DynamicCube, walPath string) (*ddc.WAL, *os.File, error) {
+	if f, err := os.Open(walPath); err == nil {
+		// A log shorter than its 12-byte header is the signature of a
+		// crash between creating the file and flushing the header — no
+		// record in it was ever acknowledged. Treat it as empty.
+		var n uint64
+		if fi, serr := f.Stat(); serr == nil && fi.Size() < 12 {
+			log.Printf("ignoring header-less log %s (%d bytes, crash during creation)", walPath, fi.Size())
+		} else {
+			var rerr error
+			n, rerr = ddc.ReplayWAL(f, cube)
+			if rerr != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("replaying %s: %v", walPath, rerr)
+			}
+			log.Printf("replayed %d records from %s", n, walPath)
+		}
+		f.Close()
+		snapPath := walPath + ".ckpt"
+		if err := saveSnapshot(cube, snapPath); err != nil {
+			return nil, nil, fmt.Errorf("checkpointing recovered state: %v", err)
+		}
+		log.Printf("checkpointed recovered state to %s", snapPath)
+		if err := os.Rename(walPath, walPath+".old"); err != nil {
+			return nil, nil, fmt.Errorf("rotating log: %v", err)
+		}
+	}
+	f, err := os.Create(walPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	wal, err := ddc.NewWAL(cube, f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Commit the header immediately so a crash before the first mutation
+	// leaves a well-formed empty log rather than an empty file.
+	if err := wal.Flush(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return wal, f, nil
+}
+
+// saveSnapshot writes the cube atomically: temp file next to the
+// target (so the rename stays on one filesystem), fsync, rename.
+func saveSnapshot(cube *ddc.DynamicCube, path string) error {
+	tmp, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if err := cube.SaveCompact(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(path+".tmp", path)
 }
 
 func openCube(dims, cubePath string, autogrow bool) (*ddc.DynamicCube, error) {

@@ -73,6 +73,17 @@ func FuzzReplayWAL(f *testing.F) {
 	f.Add(valid[:len(valid)-3])
 	f.Add([]byte{})
 	f.Add([]byte("DDCWAL01"))
+	f.Add([]byte("DDCWAL02"))
+	// A hand-built version-1 stream (one add record) keeps the legacy
+	// replay path in the corpus.
+	v1 := append([]byte("DDCWAL01"), 2, 0, 0, 0)
+	v1 = append(v1, 1)                      // opcode add
+	v1 = append(v1, make([]byte, 16)...)    // point (0,0)
+	v1 = append(v1, 3, 0, 0, 0, 0, 0, 0, 0) // value 3
+	f.Add(v1)
+	flippedWAL := append([]byte(nil), valid...)
+	flippedWAL[len(flippedWAL)-2] ^= 0x40
+	f.Add(flippedWAL)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := NewDynamicWithOptions([]int{8, 8}, Options{AutoGrow: true})

@@ -6,9 +6,10 @@
 //
 // API (all JSON unless noted):
 //
-//	POST /v1/add      {"point":[45,341],"delta":250}
-//	POST /v1/set      {"point":[45,341],"value":250}
-//	POST /v1/batch    {"ops":[{"op":"add","point":[45,341],"value":250},...]}
+//	POST /v1/add        {"point":[45,341],"delta":250}
+//	POST /v1/set        {"point":[45,341],"value":250}
+//	POST /v1/batch      {"ops":[{"op":"add","point":[45,341],"value":250},...]}
+//	POST /v1/checkpoint (persist a snapshot and rotate the log)
 //	GET  /v1/get?point=45,341
 //	GET  /v1/sum?range=27,220:45,251
 //	GET  /v1/scan?range=27,220:45,251&limit=100
@@ -22,6 +23,7 @@ package cubeserver
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -33,15 +35,40 @@ import (
 	"ddc/internal/cubecli"
 )
 
+// Persistence is the durability surface the server drives: mutations
+// are applied through it, Flush is called before each mutation response
+// (the commit point — a 200 means the mutation is durable), and
+// Checkpoint backs POST /v1/checkpoint. internal/store.Store implements
+// it; a bare *ddc.WAL is adapted by New.
+type Persistence interface {
+	Add(p []int, delta int64) error
+	Set(p []int, value int64) error
+	Flush() error
+	Checkpoint() error
+}
+
+// ErrCheckpointUnsupported is returned by Persistence implementations
+// that cannot checkpoint (a bare WAL has nowhere to put a snapshot);
+// the server maps it to 501 Not Implemented.
+var ErrCheckpointUnsupported = errors.New("cubeserver: persistence does not support checkpoints")
+
+// walPersistence adapts a bare write-ahead log to Persistence.
+type walPersistence struct{ w *ddc.WAL }
+
+func (p walPersistence) Add(pt []int, delta int64) error { return p.w.Add(pt, delta) }
+func (p walPersistence) Set(pt []int, value int64) error { return p.w.Set(pt, value) }
+func (p walPersistence) Flush() error                    { return p.w.Flush() }
+func (p walPersistence) Checkpoint() error               { return ErrCheckpointUnsupported }
+
 // Server serves one cube. Mutations are serialized by an internal
 // RWMutex; reads take the shared lock, so any number of queries are
 // answered in parallel (DynamicCube's read paths are concurrency-safe:
 // per-call pooled scratch, atomically merged counters).
 type Server struct {
-	mu  sync.RWMutex
-	c   *ddc.DynamicCube
-	wal *ddc.WAL // optional; when set, mutations go through it
-	mux *http.ServeMux
+	mu      sync.RWMutex
+	c       *ddc.DynamicCube
+	persist Persistence // optional; when set, mutations go through it
+	mux     *http.ServeMux
 
 	// version counts successful mutations; the derived-stats cache below
 	// is recomputed only when it moves (NonZeroCells/StorageCells/Total
@@ -79,10 +106,22 @@ func New(c *ddc.DynamicCube, wal *ddc.WAL) *Server {
 	return NewWithOptions(c, wal, Options{})
 }
 
-// NewWithOptions is New with observability knobs. Construction enables
-// the process-wide telemetry registry (served at GET /metrics) and
-// applies the trace sampling and slow-query thresholds.
+// NewWithOptions is New with observability knobs.
 func NewWithOptions(c *ddc.DynamicCube, wal *ddc.WAL, opts Options) *Server {
+	var p Persistence
+	if wal != nil {
+		p = walPersistence{wal}
+	}
+	return NewWithPersistence(c, p, opts)
+}
+
+// NewWithPersistence serves a cube backed by a full persistence engine
+// (typically internal/store.Store): mutations are applied and flushed
+// through it, and POST /v1/checkpoint snapshots and rotates the log.
+// Construction enables the process-wide telemetry registry (served at
+// GET /metrics) and applies the trace sampling and slow-query
+// thresholds.
+func NewWithPersistence(c *ddc.DynamicCube, p Persistence, opts Options) *Server {
 	tel := ddc.GlobalTelemetry()
 	tel.Enable()
 	if opts.TraceSample > 0 {
@@ -91,10 +130,11 @@ func NewWithOptions(c *ddc.DynamicCube, wal *ddc.WAL, opts Options) *Server {
 	if opts.SlowQuery > 0 {
 		tel.SetSlowQueryThreshold(opts.SlowQuery)
 	}
-	s := &Server{c: c, wal: wal, mux: http.NewServeMux()}
+	s := &Server{c: c, persist: p, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/add", s.handleAdd)
 	s.mux.HandleFunc("/v1/set", s.handleSet)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/v1/get", s.handleGet)
 	s.mux.HandleFunc("/v1/sum", s.handleSum)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -152,8 +192,9 @@ func (s *Server) decodeMutation(w http.ResponseWriter, r *http.Request) (*mutati
 	return &m, true
 }
 
-// mutate applies one logged (if a WAL is attached) mutation, bumping the
-// stats-cache version on success.
+// mutate applies one persisted (if persistence is attached) mutation,
+// bumping the stats-cache version on success. The Flush is the commit
+// point: a non-error response means the mutation is durable.
 func (s *Server) mutate(fn func() error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -163,10 +204,35 @@ func (s *Server) mutate(fn func() error) error {
 	if err := fn(); err != nil {
 		return err
 	}
-	if s.wal != nil {
-		return s.wal.Flush()
+	if s.persist != nil {
+		return s.persist.Flush()
 	}
 	return nil
+}
+
+// handleCheckpoint persists a snapshot and rotates the log (POST). With
+// no persistence configured it is a 412; with a checkpoint-less WAL it
+// is a 501.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.persist == nil {
+		writeErr(w, http.StatusPreconditionFailed, "no persistence configured")
+		return
+	}
+	s.mu.Lock()
+	err := s.persist.Checkpoint()
+	s.mu.Unlock()
+	switch {
+	case errors.Is(err, ErrCheckpointUnsupported):
+		writeErr(w, http.StatusNotImplemented, "%v", err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "checkpoint: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]bool{"checkpointed": true})
+	}
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
@@ -179,8 +245,8 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	err := s.mutate(func() error {
-		if s.wal != nil {
-			return s.wal.Add(m.Point, *m.Delta)
+		if s.persist != nil {
+			return s.persist.Add(m.Point, *m.Delta)
 		}
 		return s.c.Add(m.Point, *m.Delta)
 	})
@@ -204,8 +270,8 @@ func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	err := s.mutate(func() error {
-		if s.wal != nil {
-			return s.wal.Set(m.Point, *m.Value)
+		if s.persist != nil {
+			return s.persist.Set(m.Point, *m.Value)
 		}
 		return s.c.Set(m.Point, *m.Value)
 	})
@@ -250,14 +316,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			var err error
 			switch op.Op {
 			case "add":
-				if s.wal != nil {
-					err = s.wal.Add(op.Point, op.Value)
+				if s.persist != nil {
+					err = s.persist.Add(op.Point, op.Value)
 				} else {
 					err = s.c.Add(op.Point, op.Value)
 				}
 			case "set":
-				if s.wal != nil {
-					err = s.wal.Set(op.Point, op.Value)
+				if s.persist != nil {
+					err = s.persist.Set(op.Point, op.Value)
 				} else {
 					err = s.c.Set(op.Point, op.Value)
 				}

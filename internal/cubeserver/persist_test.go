@@ -1,0 +1,110 @@
+package cubeserver
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ddc"
+	"ddc/internal/store"
+)
+
+// Tests for the persistence wiring: a store-backed server makes every
+// acknowledged mutation durable, and POST /v1/checkpoint rotates the
+// data directory.
+
+func newStoreServer(t *testing.T, dir string) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{Dims: []int{8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := httptest.NewServer(NewWithPersistence(st.Cube(), st, Options{}))
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+func TestStoreBackedDurability(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := newStoreServer(t, dir)
+	if resp, _ := post(t, srv.URL+"/v1/add", `{"point":[1,1],"delta":5}`); resp.StatusCode != 200 {
+		t.Fatalf("add status = %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, srv.URL+"/v1/set", `{"point":[2,2],"value":3}`); resp.StatusCode != 200 {
+		t.Fatalf("set status = %d", resp.StatusCode)
+	}
+	if resp, out := post(t, srv.URL+"/v1/batch",
+		`{"ops":[{"op":"add","point":[3,3],"value":2},{"op":"add","point":[1,1],"value":1}]}`); resp.StatusCode != 200 {
+		t.Fatalf("batch status = %d: %v", resp.StatusCode, out)
+	}
+	// A rejected mutation must not poison the log (the server keeps
+	// running on the same directory).
+	if resp, _ := post(t, srv.URL+"/v1/add", `{"point":[99,99],"delta":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-bounds add status = %d, want 400", resp.StatusCode)
+	}
+	srv.Close() // "crash": no flush beyond the per-request commits
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c := st2.Cube()
+	if got := c.Get([]int{1, 1}); got != 6 {
+		t.Fatalf("cell (1,1) = %d, want 6", got)
+	}
+	if got := c.Get([]int{2, 2}); got != 3 {
+		t.Fatalf("cell (2,2) = %d, want 3", got)
+	}
+	if got := c.Total(); got != 11 {
+		t.Fatalf("recovered total = %d, want 11", got)
+	}
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv, st := newStoreServer(t, dir)
+	_, _ = post(t, srv.URL+"/v1/add", `{"point":[1,1],"delta":5}`)
+	before := st.Stats()
+	resp, out := post(t, srv.URL+"/v1/checkpoint", `{}`)
+	if resp.StatusCode != 200 || out["checkpointed"] != true {
+		t.Fatalf("checkpoint: status %d, body %v", resp.StatusCode, out)
+	}
+	after := st.Stats()
+	if after.Segment != before.Segment+1 || after.Checkpoints != before.Checkpoints+1 {
+		t.Fatalf("stats went %+v -> %+v, want one rotation", before, after)
+	}
+	// GET is rejected.
+	gresp, err := http.Get(srv.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/checkpoint = %d, want 405", gresp.StatusCode)
+	}
+}
+
+func TestCheckpointWithoutPersistence(t *testing.T) {
+	srv := newTestServer(t, nil, mustCube(t, []int{8, 8}, ddc.Options{}))
+	resp, _ := post(t, srv.URL+"/v1/checkpoint", `{}`)
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("status = %d, want 412", resp.StatusCode)
+	}
+}
+
+func TestCheckpointUnsupportedByBareWAL(t *testing.T) {
+	cube := mustCube(t, []int{8, 8}, ddc.Options{})
+	var log bytes.Buffer
+	wal, err := ddc.NewWAL(cube, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, wal, cube)
+	resp, _ := post(t, srv.URL+"/v1/checkpoint", `{}`)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+}

@@ -1,0 +1,572 @@
+// Package store is the durable persistence engine for a dynamic data
+// cube: a data directory holding one checksummed checkpoint snapshot
+// plus a tail of rotated write-ahead-log segments.
+//
+// Layout of a data directory:
+//
+//	snap-00000007.ckpt   checkpoint covering segments 1..7 (DDCCKPT1)
+//	wal-00000008.log     active segment (DDCWAL02), mutations since
+//
+// Invariants:
+//
+//   - A checkpoint named snap-S contains every mutation from segments
+//     with sequence <= S, so recovery loads the highest checkpoint and
+//     replays only segments with sequence > S. Stale files left behind
+//     by a crash mid-checkpoint (an old segment, a *.tmp snapshot) are
+//     therefore ignored or garbage-collected, never double-applied.
+//   - Every acknowledged mutation — one whose Flush returned nil —
+//     survives any crash: Flush fsyncs the active segment, checkpoints
+//     write to a temp file, fsync, atomically rename, then fsync the
+//     directory before old segments are truncated away.
+//   - Corruption is a typed error (ddc.ErrBadWAL / ddc.ErrBadSnapshot),
+//     never silently applied: WAL records carry CRC32C checksums, and
+//     checkpoints wrap the snapshot in a length+CRC32C container. A
+//     torn record is tolerated only at the tail of the final segment
+//     (the crash signature); anywhere else it is corruption.
+//
+// Store is safe for concurrent mutation/checkpoint calls (an internal
+// mutex serializes them), but reads of the underlying cube must not
+// run concurrently with mutations — callers such as
+// internal/cubeserver provide that read/write locking.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"ddc"
+)
+
+// ckptMagic identifies the checkpoint container: an 8-byte magic, a
+// uint64 payload length, a uint32 CRC32C of the payload, then the
+// payload (a complete DDCSNAP2 snapshot stream).
+var ckptMagic = [8]byte{'D', 'D', 'C', 'C', 'K', 'P', 'T', '1'}
+
+// ckptHeaderSize is magic(8) + length(8) + crc(4).
+const ckptHeaderSize = 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Default auto-checkpoint triggers: rotate the active segment once it
+// holds this many records or bytes, whichever comes first.
+const (
+	DefaultCheckpointRecords = 1 << 16
+	DefaultCheckpointBytes   = 16 << 20
+)
+
+// ErrClosed is returned by mutations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// ErrNoGeometry is returned by Open for an empty data directory when
+// Options.Dims is not set — there is nothing to recover and no shape
+// for a fresh cube.
+var ErrNoGeometry = errors.New("store: empty data directory and no dims configured")
+
+// Options configures Open.
+type Options struct {
+	// Dims is the shape of a fresh cube when the directory is empty.
+	// Ignored when a checkpoint exists (the checkpoint's geometry wins).
+	Dims []int
+	// Cube holds cube construction options (tile, fanout, autogrow) for
+	// a fresh cube; like Dims, a checkpoint overrides it.
+	Cube ddc.Options
+	// CheckpointRecords rotates the active segment after this many
+	// records; 0 means DefaultCheckpointRecords.
+	CheckpointRecords uint64
+	// CheckpointBytes rotates the active segment after this many bytes;
+	// 0 means DefaultCheckpointBytes.
+	CheckpointBytes uint64
+	// DisableAutoCheckpoint leaves rotation entirely to explicit
+	// Checkpoint calls.
+	DisableAutoCheckpoint bool
+	// NoSync skips every fsync (file and directory). Only for tests and
+	// benchmarks: acknowledged mutations then survive process crashes
+	// but not power loss.
+	NoSync bool
+}
+
+// RecoveryInfo describes what Open found and replayed.
+type RecoveryInfo struct {
+	// SnapshotSeq is the sequence of the checkpoint that was loaded (0
+	// when the directory was empty).
+	SnapshotSeq uint64
+	// Segments is the number of WAL segments replayed on top of it.
+	Segments int
+	// Records is the number of log records replayed.
+	Records uint64
+	// TornTail reports that the final segment ended in a partial
+	// record, which was dropped (the crash-during-append signature).
+	TornTail bool
+}
+
+// Stats is a point-in-time view of the active segment.
+type Stats struct {
+	// Segment is the active segment's sequence number.
+	Segment uint64
+	// Records and Bytes measure the active segment (bytes include the
+	// stream header).
+	Records uint64
+	Bytes   uint64
+	// Checkpoints counts checkpoints written by this Store instance,
+	// including the one Open performs after recovery.
+	Checkpoints uint64
+}
+
+// Store is a dynamic cube bound to a data directory: mutations are
+// applied to the in-memory cube and appended to the active WAL segment,
+// Flush is the commit point, and Checkpoint (manual or size-triggered)
+// persists a snapshot and truncates the log.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	cube *ddc.DynamicCube
+	wal  *ddc.WAL
+	f    *os.File // active segment
+	seg  uint64   // active segment sequence
+
+	recovery    RecoveryInfo
+	checkpoints uint64
+	closed      bool
+}
+
+// Open recovers a store from dir (creating it if needed): load the
+// highest checkpoint, replay the contiguous run of newer WAL segments
+// (tolerating a torn record only at the very tail), then write a fresh
+// checkpoint so the recovered state is durable before any new mutation
+// is accepted — records can never be stranded in rotated-away logs.
+func Open(dir string, opts Options) (*Store, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+	if s.opts.CheckpointRecords == 0 {
+		s.opts.CheckpointRecords = DefaultCheckpointRecords
+	}
+	if s.opts.CheckpointBytes == 0 {
+		s.opts.CheckpointBytes = DefaultCheckpointBytes
+	}
+	snaps, segs, err := s.scan()
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) == 0 {
+		if len(segs) > 0 {
+			return nil, fmt.Errorf("%w: %d wal segment(s) but no checkpoint in %s", ddc.ErrBadWAL, len(segs), dir)
+		}
+		if len(opts.Dims) == 0 {
+			return nil, ErrNoGeometry
+		}
+		cube, err := ddc.NewDynamicWithOptions(opts.Dims, opts.Cube)
+		if err != nil {
+			return nil, err
+		}
+		s.cube = cube
+		s.seg = 0
+	} else {
+		S := snaps[len(snaps)-1]
+		cube, err := s.loadCheckpoint(S)
+		if err != nil {
+			return nil, err
+		}
+		s.cube = cube
+		s.seg = S
+		s.recovery.SnapshotSeq = S
+		var tail []uint64
+		for _, q := range segs {
+			if q > S {
+				tail = append(tail, q)
+			}
+		}
+		for i, q := range tail {
+			if q != S+uint64(i)+1 {
+				return nil, fmt.Errorf("%w: missing wal segment %d (found %d)", ddc.ErrBadWAL, S+uint64(i)+1, q)
+			}
+			st, err := s.replaySegment(q, cube)
+			if err != nil {
+				return nil, err
+			}
+			if st.Torn && i != len(tail)-1 {
+				return nil, fmt.Errorf("%w: torn record inside non-final segment %s", ddc.ErrBadWAL, s.segName(q))
+			}
+			s.recovery.Records += st.Applied
+			s.recovery.TornTail = s.recovery.TornTail || st.Torn
+			s.seg = q
+		}
+		s.recovery.Segments = len(tail)
+	}
+	// One checkpoint makes the recovered state durable, opens a fresh
+	// active segment, and garbage-collects every older file (including
+	// stale segments a mid-checkpoint crash left behind).
+	if err := s.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	ddc.GlobalTelemetry().RecordStoreRecovery(time.Since(start))
+	return s, nil
+}
+
+// Cube exposes the recovered cube for queries. Reads must not run
+// concurrently with Add/Set/Checkpoint — the caller provides locking.
+func (s *Store) Cube() *ddc.DynamicCube { return s.cube }
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Recovery reports what Open found and replayed.
+func (s *Store) Recovery() RecoveryInfo { return s.recovery }
+
+// Stats returns the active segment's position.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Segment: s.seg, Checkpoints: s.checkpoints}
+	if s.wal != nil {
+		st.Records = s.wal.Records()
+		st.Bytes = s.wal.Bytes()
+	}
+	return st
+}
+
+// Add applies a delta and appends it to the active segment. It is not
+// durable until Flush returns nil.
+func (s *Store) Add(p []int, delta int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.wal.Add(p, delta)
+}
+
+// Set writes a cell value and appends it to the active segment. It is
+// not durable until Flush returns nil.
+func (s *Store) Set(p []int, value int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.wal.Set(p, value)
+}
+
+// Flush is the commit point: buffered records are flushed and fsynced;
+// when it returns nil every prior mutation survives a crash. If the
+// active segment has outgrown the checkpoint triggers, the segment is
+// rotated through a checkpoint.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.wal.Flush(); err != nil {
+		return err
+	}
+	if !s.opts.DisableAutoCheckpoint &&
+		(s.wal.Records() >= s.opts.CheckpointRecords || s.wal.Bytes() >= s.opts.CheckpointBytes) {
+		return s.checkpointLocked()
+	}
+	return nil
+}
+
+// Checkpoint persists a snapshot of the current state, rotates to a
+// fresh WAL segment, and truncates the old ones.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.checkpointLocked()
+}
+
+// Close flushes and fsyncs the active segment and releases it. The
+// store cannot be used afterwards; reopen the directory instead.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.wal.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// checkpointLocked writes snap-S for the current state (S = active
+// segment sequence, so the snapshot covers every segment up to and
+// including it), rotates to segment S+1, then garbage-collects older
+// snapshots and covered segments. Callers hold s.mu.
+func (s *Store) checkpointLocked() error {
+	start := time.Now()
+	if s.wal != nil {
+		if err := s.wal.Flush(); err != nil {
+			return err
+		}
+	}
+	S := s.seg
+	if err := s.writeCheckpoint(S); err != nil {
+		return err
+	}
+	if err := s.openSegment(S + 1); err != nil {
+		return err
+	}
+	s.gc(S)
+	s.checkpoints++
+	ddc.GlobalTelemetry().RecordStoreCheckpoint(time.Since(start))
+	return nil
+}
+
+// writeCheckpoint streams the snapshot into snap-S.ckpt.tmp (computing
+// the container CRC on the way), fsyncs it, atomically renames it into
+// place, and fsyncs the directory.
+func (s *Store) writeCheckpoint(S uint64) error {
+	final := filepath.Join(s.dir, s.snapName(S))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	err = func() error {
+		// Placeholder header; length and CRC are patched in once the
+		// payload is on disk.
+		var hdr [ckptHeaderSize]byte
+		copy(hdr[:8], ckptMagic[:])
+		if _, err := f.Write(hdr[:]); err != nil {
+			return err
+		}
+		cw := &crcWriter{w: f}
+		if err := s.cube.SaveCompact(cw); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(hdr[8:16], uint64(cw.n))
+		binary.LittleEndian.PutUint32(hdr[16:20], cw.crc)
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			return err
+		}
+		if !s.opts.NoSync {
+			return f.Sync()
+		}
+		return nil
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return s.syncDir()
+}
+
+// loadCheckpoint opens snap-S and reconstructs the cube, verifying the
+// container length and CRC32C so a flipped or truncated byte is a
+// typed error, never a silently divergent cube.
+func (s *Store) loadCheckpoint(S uint64) (*ddc.DynamicCube, error) {
+	name := s.snapName(S)
+	f, err := os.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [ckptHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %s: truncated header", ddc.ErrBadSnapshot, name)
+	}
+	if [8]byte(hdr[:8]) != ckptMagic {
+		return nil, fmt.Errorf("%w: %s: bad checkpoint magic", ddc.ErrBadSnapshot, name)
+	}
+	plen := binary.LittleEndian.Uint64(hdr[8:16])
+	want := binary.LittleEndian.Uint32(hdr[16:20])
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(fi.Size()) != ckptHeaderSize+plen {
+		return nil, fmt.Errorf("%w: %s: %d payload bytes on disk, header says %d",
+			ddc.ErrBadSnapshot, name, fi.Size()-ckptHeaderSize, plen)
+	}
+	cr := &crcReader{r: io.LimitReader(f, int64(plen))}
+	cube, lerr := ddc.LoadDynamic(cr)
+	// Drain whatever the snapshot reader did not consume so the CRC
+	// covers the whole payload, then verify before trusting the cube.
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		return nil, err
+	}
+	if cr.crc != want {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch (got %08x, want %08x)",
+			ddc.ErrBadSnapshot, name, cr.crc, want)
+	}
+	if lerr != nil {
+		return nil, fmt.Errorf("%s: %w", name, lerr)
+	}
+	return cube, nil
+}
+
+// openSegment creates the next active segment, writes and fsyncs its
+// stream header (so a well-formed empty segment is on disk before any
+// record is acknowledged), and swaps it in.
+func (s *Store) openSegment(q uint64) error {
+	path := filepath.Join(s.dir, s.segName(q))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	if s.opts.NoSync {
+		w = noSyncWriter{f}
+	}
+	wal, err := ddc.NewWAL(s.cube, w)
+	if err == nil {
+		err = wal.Flush()
+	}
+	if err == nil {
+		err = s.syncDir()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if s.f != nil {
+		s.f.Close()
+	}
+	s.f = f
+	s.wal = wal
+	s.seg = q
+	return nil
+}
+
+// gc removes snapshots older than S and segments covered by snap-S.
+// Failures are ignored — leftovers are redundant by construction and
+// will be collected by the next checkpoint or recovery.
+func (s *Store) gc(S uint64) {
+	snaps, segs, err := s.scan()
+	if err != nil {
+		return
+	}
+	for _, q := range snaps {
+		if q < S {
+			os.Remove(filepath.Join(s.dir, s.snapName(q)))
+		}
+	}
+	for _, q := range segs {
+		if q <= S {
+			os.Remove(filepath.Join(s.dir, s.segName(q)))
+		}
+	}
+	s.syncDir()
+}
+
+// scan lists checkpoint and segment sequences (each sorted ascending),
+// removing stale *.tmp leftovers from interrupted checkpoints.
+func (s *Store) scan() (snaps, segs []uint64, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) == ".tmp" {
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		var q uint64
+		if n, err := fmt.Sscanf(name, "snap-%d.ckpt", &q); err == nil && n == 1 {
+			snaps = append(snaps, q)
+		} else if n, err := fmt.Sscanf(name, "wal-%d.log", &q); err == nil && n == 1 {
+			segs = append(segs, q)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return snaps, segs, nil
+}
+
+func (s *Store) snapName(q uint64) string { return fmt.Sprintf("snap-%08d.ckpt", q) }
+func (s *Store) segName(q uint64) string  { return fmt.Sprintf("wal-%08d.log", q) }
+
+// walStreamHeaderSize is the magic + dimensionality prefix of a WAL
+// stream (docs/FORMATS.md). A segment shorter than this never held an
+// acknowledged record — openSegment fsyncs the header before the first
+// append — so it is a create-crash signature, not corruption.
+const walStreamHeaderSize = 12
+
+// replaySegment applies one segment's records to the cube. A segment
+// shorter than its header is reported as a torn, empty segment; Open
+// tolerates that only in the final position, like any torn tail.
+func (s *Store) replaySegment(q uint64, cube *ddc.DynamicCube) (ddc.WALReplayStats, error) {
+	f, err := os.Open(filepath.Join(s.dir, s.segName(q)))
+	if err != nil {
+		return ddc.WALReplayStats{}, err
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil && fi.Size() < walStreamHeaderSize {
+		return ddc.WALReplayStats{Torn: true}, nil
+	}
+	st, err := ddc.ReplayWALStats(f, cube)
+	if err != nil {
+		return st, fmt.Errorf("%s: %w", s.segName(q), err)
+	}
+	return st, nil
+}
+
+// syncDir fsyncs the data directory so renames and unlinks are durable.
+func (s *Store) syncDir() error {
+	if s.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// crcWriter counts bytes and folds them into a CRC32C on the way to w.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// crcReader folds everything read into a CRC32C.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// noSyncWriter hides an *os.File's Sync method from the WAL's
+// commit-point hook (Options.NoSync).
+type noSyncWriter struct{ io.Writer }

@@ -1,8 +1,10 @@
 #!/bin/sh
 # CI gate: static checks, build, the full test suite, the -race
-# concurrency tier (see README "Testing" and DESIGN.md §7), and the
-# telemetry-overhead benchmark (DESIGN.md §8: the disabled fast path
-# must stay within 2% of pre-telemetry ns/op).
+# concurrency tier (see README "Testing" and DESIGN.md §7), the
+# fault-injection durability tier (DESIGN.md §9: crash/corruption
+# matrices over the WAL and the store), and the telemetry-overhead
+# benchmark (DESIGN.md §8: the disabled fast path must stay within 2%
+# of pre-telemetry ns/op).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -18,4 +20,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race -run Concurrent ./...
+# Fault injection: every truncation offset and byte flip of a WAL, every
+# store commit point and checkpoint stage, with verbose failure output.
+go test -run 'WAL|Replay|Crash|Corrupt|Torn' -count=1 . ./internal/store
 go test -run - -bench BenchmarkTelemetryOverhead -benchtime 0.5s .

@@ -50,10 +50,17 @@ type Telemetry struct {
 	fanoutWidth *obs.Histogram
 	queueWait   *obs.Histogram
 
-	walAppends   *obs.Counter
-	walFlushes   *obs.Counter
-	walAppendLat *obs.Histogram
-	walFlushLat  *obs.Histogram
+	walAppends    *obs.Counter
+	walFlushes    *obs.Counter
+	walAppendLat  *obs.Histogram
+	walFlushLat   *obs.Histogram
+	walTornDrops  *obs.Counter
+	walCRCRejects *obs.Counter
+
+	storeRecoveries    *obs.Counter
+	storeCheckpoints   *obs.Counter
+	storeRecoveryLat   *obs.Histogram
+	storeCheckpointLat *obs.Histogram
 
 	snapSaves   *obs.Counter
 	snapLoads   *obs.Counter
@@ -145,6 +152,18 @@ func NewTelemetry() *Telemetry {
 		"WAL record append latency in nanoseconds", obs.LatencyBuckets())
 	t.walFlushLat = reg.Histogram("ddc_wal_flush_latency_ns",
 		"WAL flush latency in nanoseconds", obs.LatencyBuckets())
+	t.walTornDrops = reg.Counter("ddc_wal_torn_tail_drops_total",
+		"partial trailing records dropped during WAL replay (crash signature)")
+	t.walCRCRejects = reg.Counter("ddc_wal_checksum_rejects_total",
+		"WAL records rejected for a CRC32C mismatch")
+	t.storeRecoveries = reg.Counter("ddc_store_recoveries_total",
+		"data-directory recoveries (store opens)")
+	t.storeCheckpoints = reg.Counter("ddc_store_checkpoints_total",
+		"checkpoints written (snapshot + segment rotation)")
+	t.storeRecoveryLat = reg.Histogram("ddc_store_recovery_latency_ns",
+		"data-directory recovery latency in nanoseconds", obs.LatencyBuckets())
+	t.storeCheckpointLat = reg.Histogram("ddc_store_checkpoint_latency_ns",
+		"checkpoint latency in nanoseconds", obs.LatencyBuckets())
 	t.snapSaves = reg.Counter("ddc_snapshot_saves_total", "snapshots written")
 	t.snapLoads = reg.Counter("ddc_snapshot_loads_total", "snapshots loaded")
 	t.snapSaveLat = reg.Histogram("ddc_snapshot_save_latency_ns",
@@ -253,6 +272,13 @@ type TelemetrySnapshot struct {
 	SnapshotLoads  uint64    `json:"snapshot_loads"`
 	SnapshotSaveNs DistStats `json:"snapshot_save_ns"`
 	SnapshotLoadNs DistStats `json:"snapshot_load_ns"`
+
+	WALTornTailDrops   uint64    `json:"wal_torn_tail_drops"`
+	WALChecksumRejects uint64    `json:"wal_checksum_rejects"`
+	StoreRecoveries    uint64    `json:"store_recoveries"`
+	StoreCheckpoints   uint64    `json:"store_checkpoints"`
+	StoreRecoveryNs    DistStats `json:"store_recovery_ns"`
+	StoreCheckpointNs  DistStats `json:"store_checkpoint_ns"`
 }
 
 // Snapshot returns a consistent-enough copy of all metrics, read with
@@ -290,6 +316,12 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	s.SnapshotLoads = t.snapLoads.Value()
 	s.SnapshotSaveNs = distFrom(t.snapSaveLat.Snapshot())
 	s.SnapshotLoadNs = distFrom(t.snapLoadLat.Snapshot())
+	s.WALTornTailDrops = t.walTornDrops.Value()
+	s.WALChecksumRejects = t.walCRCRejects.Value()
+	s.StoreRecoveries = t.storeRecoveries.Value()
+	s.StoreCheckpoints = t.storeCheckpoints.Value()
+	s.StoreRecoveryNs = distFrom(t.storeRecoveryLat.Snapshot())
+	s.StoreCheckpointNs = distFrom(t.storeCheckpointLat.Snapshot())
 	return s
 }
 
@@ -444,6 +476,31 @@ func (t *Telemetry) recordSnapSave(d time.Duration) {
 func (t *Telemetry) recordSnapLoad(d time.Duration) {
 	t.snapLoads.Inc()
 	t.snapLoadLat.Observe(uint64(d.Nanoseconds()))
+}
+
+func (t *Telemetry) recordWALTornDrop()       { t.walTornDrops.Inc() }
+func (t *Telemetry) recordWALChecksumReject() { t.walCRCRejects.Inc() }
+
+// RecordStoreRecovery counts one data-directory recovery and its
+// latency. It is the instrumentation hook for internal/store (which,
+// living outside this package, cannot reach the unexported recorders);
+// it is a no-op while telemetry is disabled.
+func (t *Telemetry) RecordStoreRecovery(d time.Duration) {
+	if !t.on() {
+		return
+	}
+	t.storeRecoveries.Inc()
+	t.storeRecoveryLat.Observe(uint64(d.Nanoseconds()))
+}
+
+// RecordStoreCheckpoint counts one checkpoint (snapshot + segment
+// rotation) and its latency; see RecordStoreRecovery.
+func (t *Telemetry) RecordStoreCheckpoint(d time.Duration) {
+	if !t.on() {
+		return
+	}
+	t.storeCheckpoints.Inc()
+	t.storeCheckpointLat.Observe(uint64(d.Nanoseconds()))
 }
 
 func cloneInts(p []int) []int { return append([]int(nil), p...) }

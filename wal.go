@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 )
@@ -13,10 +14,23 @@ import (
 // stream of point mutations is appended to a log as it is applied, and
 // can be replayed into a fresh (or snapshotted) cube after a restart.
 // Combine with Save/LoadDynamic for the usual checkpoint + tail-replay
-// recovery scheme.
+// recovery scheme, or use internal/store for the full data-directory
+// engine (segment rotation, checkpoints, crash recovery).
 
-// walMagic opens a log stream (version 1).
+// walMagic opens a version-1 log stream (unframed records, no
+// checksums). Replay still reads it; new logs are written as version 2.
 var walMagic = [8]byte{'D', 'D', 'C', 'W', 'A', 'L', '0', '1'}
+
+// walMagic2 opens a version-2 log stream: every record is framed by a
+// length prefix and a CRC32C (Castagnoli) checksum of its payload, so
+// torn tails are distinguishable from corruption.
+var walMagic2 = [8]byte{'D', 'D', 'C', 'W', 'A', 'L', '0', '2'}
+
+// walHeaderSize is the stream header: 8-byte magic + uint32 dims.
+const walHeaderSize = 12
+
+// castagnoli is the CRC32C table used by the v2 record framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Log record opcodes.
 const (
@@ -27,50 +41,97 @@ const (
 // ErrBadWAL is returned for malformed log streams.
 var ErrBadWAL = errors.New("ddc: bad write-ahead log")
 
+// walSyncer is the optional commit-point durability hook: if the writer
+// handed to NewWAL implements it (*os.File does), Flush calls Sync after
+// flushing so acknowledged mutations survive power loss, not just
+// process death.
+type walSyncer interface{ Sync() error }
+
 // WAL appends cube mutations to an io.Writer as they are applied to an
-// underlying Cube. It is not safe for concurrent use; wrap the WAL (not
-// the inner cube) in Synchronized if needed.
+// underlying Cube, in the version-2 checksummed format. It is not safe
+// for concurrent use; wrap the WAL (not the inner cube) in Synchronized
+// if needed.
+//
+// Mutations are validated by applying them to the inner cube first and
+// appended to the log only on success, so a rejected (e.g.
+// out-of-bounds) mutation can never poison the log: every record in a
+// WAL stream replays cleanly into an equivalent cube. If the log write
+// itself fails after the cube accepted the mutation, the error is
+// returned, the WAL poisons itself (every later mutation fails fast),
+// and the in-memory cube is ahead of the log — the caller must treat
+// the store as failed and recover from disk.
 type WAL struct {
-	c   Cube
-	w   *bufio.Writer
-	d   int
-	n   uint64 // records written
-	err error  // first write error; subsequent mutations fail fast
+	c     Cube
+	w     *bufio.Writer
+	sync  walSyncer // optional fsync hook, detected from the writer
+	d     int
+	n     uint64 // records written
+	bytes uint64 // bytes appended, including the stream header
+	buf   []byte // record payload scratch
+	err   error  // first write/sync error; subsequent mutations fail fast
 }
 
-// NewWAL wraps c so every Add/Set is logged to w before being applied.
-// It writes the stream header immediately.
+// NewWAL wraps c so every accepted Add/Set is logged to w (version-2
+// format). It writes the stream header immediately. If w implements
+// `Sync() error` (as *os.File does), Flush becomes a true commit point:
+// buffered records are flushed and fsynced.
 func NewWAL(c Cube, w io.Writer) (*WAL, error) {
 	l := &WAL{c: c, w: bufio.NewWriter(w), d: len(c.Dims())}
-	if _, err := l.w.Write(walMagic[:]); err != nil {
+	if s, ok := w.(walSyncer); ok {
+		l.sync = s
+	}
+	if _, err := l.w.Write(walMagic2[:]); err != nil {
 		return nil, err
 	}
 	if err := binary.Write(l.w, binary.LittleEndian, uint32(l.d)); err != nil {
 		return nil, err
 	}
+	l.bytes = walHeaderSize
 	return l, nil
 }
 
 // Records returns the number of mutation records written.
 func (l *WAL) Records() uint64 { return l.n }
 
-// Flush flushes buffered log records to the underlying writer. Call it
-// at commit points; mutations are not durable until flushed.
+// Bytes returns the number of log bytes appended so far (stream header
+// included), counting buffered bytes not yet flushed.
+func (l *WAL) Bytes() uint64 { return l.bytes }
+
+// Flush flushes buffered log records to the underlying writer and, if
+// the writer has a Sync hook, fsyncs them. Call it at commit points;
+// mutations are not durable until Flush returns nil.
 func (l *WAL) Flush() error {
 	if l.err != nil {
 		return l.err
 	}
 	tel := globalTelemetry
 	if !tel.on() {
-		return l.w.Flush()
+		return l.flush()
 	}
 	start := time.Now()
-	err := l.w.Flush()
+	err := l.flush()
 	tel.recordWALFlush(time.Since(start))
 	return err
 }
 
-// append writes one record.
+func (l *WAL) flush() error {
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return err
+	}
+	if l.sync != nil {
+		if err := l.sync.Sync(); err != nil {
+			// A failed fsync leaves the kernel's view of the file
+			// unknowable; poison the log rather than retry.
+			l.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// append frames and writes one record: uint32 payload length, uint32
+// CRC32C of the payload, then the payload (op, point, value).
 func (l *WAL) append(op uint8, p []int, v int64) error {
 	if l.err != nil {
 		return l.err
@@ -80,41 +141,54 @@ func (l *WAL) append(op uint8, p []int, v int64) error {
 		start := time.Now()
 		defer func() { tel.recordWALAppend(time.Since(start)) }()
 	}
-	if len(p) != l.d {
-		return fmt.Errorf("%w: point has %d dims, log has %d", ErrBadWAL, len(p), l.d)
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, op)
+	for _, x := range p {
+		l.buf = binary.LittleEndian.AppendUint64(l.buf, uint64(int64(x)))
 	}
-	if err := l.w.WriteByte(op); err != nil {
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, uint64(v))
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(l.buf)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(l.buf, castagnoli))
+	if _, err := l.w.Write(frame[:]); err != nil {
 		l.err = err
 		return err
 	}
-	for _, x := range p {
-		if err := binary.Write(l.w, binary.LittleEndian, int64(x)); err != nil {
-			l.err = err
-			return err
-		}
-	}
-	if err := binary.Write(l.w, binary.LittleEndian, v); err != nil {
+	if _, err := l.w.Write(l.buf); err != nil {
 		l.err = err
 		return err
 	}
 	l.n++
+	l.bytes += uint64(len(frame) + len(l.buf))
 	return nil
 }
 
-// Add implements Cube: log, then apply.
+// Add implements Cube: apply (validating bounds), then log.
 func (l *WAL) Add(p []int, delta int64) error {
-	if err := l.append(walOpAdd, p, delta); err != nil {
+	if l.err != nil {
+		return l.err
+	}
+	if len(p) != l.d {
+		return fmt.Errorf("%w: point has %d dims, log has %d", ErrBadWAL, len(p), l.d)
+	}
+	if err := l.c.Add(p, delta); err != nil {
 		return err
 	}
-	return l.c.Add(p, delta)
+	return l.append(walOpAdd, p, delta)
 }
 
-// Set implements Cube: log, then apply.
+// Set implements Cube: apply (validating bounds), then log.
 func (l *WAL) Set(p []int, value int64) error {
-	if err := l.append(walOpSet, p, value); err != nil {
+	if l.err != nil {
+		return l.err
+	}
+	if len(p) != l.d {
+		return fmt.Errorf("%w: point has %d dims, log has %d", ErrBadWAL, len(p), l.d)
+	}
+	if err := l.c.Set(p, value); err != nil {
 		return err
 	}
-	return l.c.Set(p, value)
+	return l.append(walOpSet, p, value)
 }
 
 // Read-only methods delegate to the inner cube.
@@ -143,63 +217,183 @@ func (l *WAL) ResetOps() { l.c.ResetOps() }
 // Unwrap returns the inner cube.
 func (l *WAL) Unwrap() Cube { return l.c }
 
-// ReplayWAL applies every record in a log stream to c and returns the
-// number of records applied. A cleanly truncated tail (mid-record EOF,
-// as after a crash) stops the replay without error; corrupt headers or
-// opcodes return ErrBadWAL.
+// WALReplayStats reports what a replay consumed.
+type WALReplayStats struct {
+	// Applied is the number of records applied to the cube.
+	Applied uint64
+	// Version is the stream's format version (1 or 2).
+	Version int
+	// Torn reports that the stream ended inside a record — the clean
+	// truncation signature of a crash mid-append. The complete prefix
+	// was applied; the partial record was dropped.
+	Torn bool
+}
+
+// ReplayWAL applies every record in a log stream (either format
+// version) to c and returns the number of records applied. A cleanly
+// truncated tail (mid-record EOF, as after a crash) stops the replay
+// without error; corrupt headers, opcodes, checksum mismatches, or
+// records the cube rejects return ErrBadWAL, and underlying reader
+// failures are returned as-is — a disk I/O error is never mistaken for
+// a successful recovery.
 func ReplayWAL(r io.Reader, c Cube) (applied uint64, err error) {
+	st, err := ReplayWALStats(r, c)
+	return st.Applied, err
+}
+
+// ReplayWALStats is ReplayWAL with a full report: format version and
+// whether the stream ended in a torn record (so callers like
+// internal/store can reject torn tails anywhere but the final segment).
+func ReplayWALStats(r io.Reader, c Cube) (WALReplayStats, error) {
+	var st WALReplayStats
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return 0, fmt.Errorf("%w: missing header: %v", ErrBadWAL, err)
-	}
-	if magic != walMagic {
-		return 0, fmt.Errorf("%w: bad magic", ErrBadWAL)
+		return st, fmt.Errorf("%w: missing header: %v", ErrBadWAL, err)
 	}
 	var d32 uint32
 	if err := binary.Read(br, binary.LittleEndian, &d32); err != nil {
-		return 0, fmt.Errorf("%w: truncated header", ErrBadWAL)
+		return st, fmt.Errorf("%w: truncated header", ErrBadWAL)
 	}
 	d := int(d32)
 	if d != len(c.Dims()) {
-		return 0, fmt.Errorf("%w: log is %d-dimensional, cube is %d", ErrBadWAL, d, len(c.Dims()))
+		return st, fmt.Errorf("%w: log is %d-dimensional, cube is %d", ErrBadWAL, d, len(c.Dims()))
 	}
+	switch magic {
+	case walMagic:
+		st.Version = 1
+		err := replayV1(br, c, d, &st)
+		return st, err
+	case walMagic2:
+		st.Version = 2
+		err := replayV2(br, c, d, &st)
+		return st, err
+	}
+	return st, fmt.Errorf("%w: bad magic", ErrBadWAL)
+}
+
+// torn marks the replay as ending in a partial record and counts the
+// drop.
+func (st *WALReplayStats) torn() {
+	st.Torn = true
+	if tel := globalTelemetry; tel.on() {
+		tel.recordWALTornDrop()
+	}
+}
+
+// applyRecord applies one decoded record; cube rejections are format
+// errors (the writer never logs a rejected mutation).
+func applyRecord(c Cube, op uint8, p []int, v int64, rec uint64) error {
+	var err error
+	if op == walOpAdd {
+		err = c.Add(p, v)
+	} else {
+		err = c.Set(p, v)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: record %d: %v", ErrBadWAL, rec, err)
+	}
+	return nil
+}
+
+// replayV1 reads the version-1 unframed record stream. Only a clean
+// end-of-stream (EOF at a record boundary or mid-record, the torn-tail
+// crash signature) stops without error; any other reader failure is
+// returned to the caller.
+func replayV1(br *bufio.Reader, c Cube, d int, st *WALReplayStats) error {
 	p := make([]int, d)
+	var field [8]byte
+	readInt64 := func() (int64, error) {
+		if _, err := io.ReadFull(br, field[:]); err != nil {
+			return 0, err
+		}
+		return int64(binary.LittleEndian.Uint64(field[:])), nil
+	}
 	for {
 		op, err := br.ReadByte()
 		if err == io.EOF {
-			return applied, nil
+			return nil
 		}
 		if err != nil {
-			return applied, err
+			return err
 		}
 		if op != walOpAdd && op != walOpSet {
-			return applied, fmt.Errorf("%w: unknown opcode %d at record %d", ErrBadWAL, op, applied)
+			return fmt.Errorf("%w: unknown opcode %d at record %d", ErrBadWAL, op, st.Applied)
 		}
-		ok := true
 		for j := 0; j < d; j++ {
-			var x int64
-			if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
-				ok = false
-				break
+			x, err := readInt64()
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				st.torn()
+				return nil
+			}
+			if err != nil {
+				return err
 			}
 			p[j] = int(x)
 		}
-		if !ok {
-			return applied, nil // torn tail record: stop cleanly
-		}
-		var v int64
-		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-			return applied, nil // torn tail record
-		}
-		if op == walOpAdd {
-			err = c.Add(p, v)
-		} else {
-			err = c.Set(p, v)
+		v, err := readInt64()
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			st.torn()
+			return nil
 		}
 		if err != nil {
-			return applied, fmt.Errorf("%w: record %d: %v", ErrBadWAL, applied, err)
+			return err
 		}
-		applied++
+		if err := applyRecord(c, op, p, v, st.Applied); err != nil {
+			return err
+		}
+		st.Applied++
+	}
+}
+
+// replayV2 reads the version-2 framed record stream: length, CRC32C,
+// payload. A record cut anywhere is a torn tail; a full-length record
+// whose checksum or framing disagrees is corruption.
+func replayV2(br *bufio.Reader, c Cube, d int, st *WALReplayStats) error {
+	wantLen := 1 + 8*d + 8 // op + point + value
+	p := make([]int, d)
+	var frame [8]byte
+	payload := make([]byte, wantLen)
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err == io.EOF {
+				return nil // clean end at a record boundary
+			}
+			if err == io.ErrUnexpectedEOF {
+				st.torn()
+				return nil
+			}
+			return err
+		}
+		length := int(binary.LittleEndian.Uint32(frame[0:4]))
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if length != wantLen {
+			return fmt.Errorf("%w: record %d: bad length %d (want %d)", ErrBadWAL, st.Applied, length, wantLen)
+		}
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				st.torn()
+				return nil
+			}
+			return err
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			if tel := globalTelemetry; tel.on() {
+				tel.recordWALChecksumReject()
+			}
+			return fmt.Errorf("%w: record %d: checksum mismatch (got %08x, want %08x)", ErrBadWAL, st.Applied, got, want)
+		}
+		op := payload[0]
+		if op != walOpAdd && op != walOpSet {
+			return fmt.Errorf("%w: unknown opcode %d at record %d", ErrBadWAL, op, st.Applied)
+		}
+		for j := 0; j < d; j++ {
+			p[j] = int(int64(binary.LittleEndian.Uint64(payload[1+8*j:])))
+		}
+		v := int64(binary.LittleEndian.Uint64(payload[1+8*d:]))
+		if err := applyRecord(c, op, p, v, st.Applied); err != nil {
+			return err
+		}
+		st.Applied++
 	}
 }

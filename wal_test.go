@@ -105,8 +105,8 @@ func TestWALTornTailStopsCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := log.Bytes()
-	// Cut mid-record (each record is 1 + 2*8 + 8 = 25 bytes after the
-	// 12-byte header): drop the last 7 bytes.
+	// Cut mid-record (each v2 record is 4+4 framing + 1 + 2*8 + 8 = 33
+	// bytes after the 12-byte header): drop the last 7 bytes.
 	torn := full[:len(full)-7]
 	fresh := mustNewDynamic(t, []int{8, 8})
 	applied, err := ReplayWAL(bytes.NewReader(torn), fresh)
@@ -134,9 +134,16 @@ func TestWALCorruption(t *testing.T) {
 			t.Fatalf("error = %v", err)
 		}
 	})
-	t.Run("bad opcode", func(t *testing.T) {
+	t.Run("bad length", func(t *testing.T) {
 		bad := append([]byte(nil), full...)
-		bad[12] = 99
+		bad[12] = 99 // first byte of the record's length prefix
+		if _, err := ReplayWAL(bytes.NewReader(bad), mustNewDynamic(t, []int{8, 8})); !errors.Is(err, ErrBadWAL) {
+			t.Fatalf("error = %v", err)
+		}
+	})
+	t.Run("checksum mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		bad[len(bad)-1] ^= 0xFF // flip a payload byte; the CRC must catch it
 		if _, err := ReplayWAL(bytes.NewReader(bad), mustNewDynamic(t, []int{8, 8})); !errors.Is(err, ErrBadWAL) {
 			t.Fatalf("error = %v", err)
 		}

@@ -1,0 +1,471 @@
+package ddc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// This file is the WAL fault-injection harness: failing and
+// short-writing sinks, torn tails, and the crash/corruption matrix
+// (truncate at every offset, flip every byte) that proves recovery is
+// always either a clean prefix or a typed error — never silent wrong
+// data.
+
+type walRec struct {
+	op uint8
+	p  []int
+	v  int64
+}
+
+// buildV1Log hand-writes a version-1 (unframed, checksum-free) stream,
+// which NewWAL no longer produces, to pin backward-compatible replay.
+func buildV1Log(d int, recs []walRec) []byte {
+	var b bytes.Buffer
+	b.Write(walMagic[:])
+	_ = binary.Write(&b, binary.LittleEndian, uint32(d))
+	for _, r := range recs {
+		b.WriteByte(r.op)
+		for _, x := range r.p {
+			_ = binary.Write(&b, binary.LittleEndian, int64(x))
+		}
+		_ = binary.Write(&b, binary.LittleEndian, r.v)
+	}
+	return b.Bytes()
+}
+
+// buildV2Log writes a stream through the real writer.
+func buildV2Log(t *testing.T, dims []int, recs []walRec) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	w, err := NewWAL(mustNewDynamic(t, dims), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.op == walOpAdd {
+			err = w.Add(r.p, r.v)
+		} else {
+			err = w.Set(r.p, r.v)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// testRecs is a deterministic mutation stream for the matrix tests.
+func testRecs(n int) []walRec {
+	recs := make([]walRec, n)
+	for i := range recs {
+		op := walOpAdd
+		if i%3 == 2 {
+			op = walOpSet
+		}
+		recs[i] = walRec{op: op, p: []int{i % 8, (i * 3) % 8}, v: int64(i + 1)}
+	}
+	return recs
+}
+
+// prefixCube applies the first k records to a fresh cube.
+func prefixCube(t *testing.T, dims []int, recs []walRec, k int) *DynamicCube {
+	t.Helper()
+	c := mustNewDynamic(t, dims)
+	for _, r := range recs[:k] {
+		var err error
+		if r.op == walOpAdd {
+			err = c.Add(r.p, r.v)
+		} else {
+			err = c.Set(r.p, r.v)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func cubesEqual(a, b *DynamicCube, dims []int) bool {
+	if a.Total() != b.Total() {
+		return false
+	}
+	p := make([]int, 2)
+	for x := 0; x < dims[0]; x++ {
+		for y := 0; y < dims[1]; y++ {
+			p[0], p[1] = x, y
+			if a.Get(p) != b.Get(p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestReplayWALV1Compatible(t *testing.T) {
+	dims := []int{8, 8}
+	recs := testRecs(9)
+	stream := buildV1Log(2, recs)
+	c := mustNewDynamic(t, dims)
+	st, err := ReplayWALStats(bytes.NewReader(stream), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 1 || st.Applied != 9 || st.Torn {
+		t.Fatalf("stats = %+v, want version 1, 9 applied, no torn tail", st)
+	}
+	if !cubesEqual(c, prefixCube(t, dims, recs, 9), dims) {
+		t.Fatal("v1 replay diverged from direct application")
+	}
+	// Torn v1 tail still stops cleanly.
+	c2 := mustNewDynamic(t, dims)
+	st, err = ReplayWALStats(bytes.NewReader(stream[:len(stream)-5]), c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 8 || !st.Torn {
+		t.Fatalf("torn v1 stats = %+v, want 8 applied, torn", st)
+	}
+}
+
+// faultReader yields its data and then a (non-EOF) error, the signature
+// of a failing disk mid-replay.
+type faultReader struct {
+	data []byte
+	err  error
+	off  int
+}
+
+func (r *faultReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, r.err
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestReplayWALPropagatesIOError is the regression test for the bug
+// where any mid-record read failure was misreported as a clean torn
+// tail: a real I/O error must surface, for both format versions.
+func TestReplayWALPropagatesIOError(t *testing.T) {
+	dims := []int{8, 8}
+	recs := testRecs(6)
+	errDisk := errors.New("simulated disk failure")
+	streams := map[string][]byte{
+		"v1": buildV1Log(2, recs),
+		"v2": buildV2Log(t, dims, recs),
+	}
+	for name, stream := range streams {
+		t.Run(name, func(t *testing.T) {
+			// Fail inside the final record's payload.
+			r := &faultReader{data: stream[:len(stream)-5], err: errDisk}
+			_, err := ReplayWAL(r, mustNewDynamic(t, dims))
+			if !errors.Is(err, errDisk) {
+				t.Fatalf("error = %v, want the injected disk error", err)
+			}
+			// Fail at a record boundary: also an I/O error, not EOF.
+			r = &faultReader{data: stream, err: errDisk}
+			_, err = ReplayWAL(r, mustNewDynamic(t, dims))
+			if !errors.Is(err, errDisk) {
+				t.Fatalf("boundary error = %v, want the injected disk error", err)
+			}
+		})
+	}
+}
+
+// TestWALRejectsMutationBeforeLogging is the regression test for the
+// poisoned-log bug: an out-of-bounds mutation must be rejected before
+// anything is appended, so the log always replays cleanly.
+func TestWALRejectsMutationBeforeLogging(t *testing.T) {
+	dims := []int{8, 8}
+	var log bytes.Buffer
+	w, err := NewWAL(mustNewDynamic(t, dims), &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]int{2, 2}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]int{50, 50}, 1); err == nil {
+		t.Fatal("out-of-bounds Add accepted")
+	}
+	if err := w.Set([]int{-1, 0}, 1); err == nil {
+		t.Fatal("out-of-bounds Set accepted")
+	}
+	if w.Records() != 1 {
+		t.Fatalf("Records = %d after rejected mutations, want 1", w.Records())
+	}
+	// The log is not poisoned: later mutations append and the whole
+	// stream replays without ErrBadWAL.
+	if err := w.Add([]int{3, 3}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustNewDynamic(t, dims)
+	applied, err := ReplayWAL(bytes.NewReader(log.Bytes()), fresh)
+	if err != nil {
+		t.Fatalf("replay of log that saw rejected mutations: %v", err)
+	}
+	if applied != 2 {
+		t.Fatalf("applied = %d, want 2", applied)
+	}
+	if fresh.Get([]int{2, 2}) != 5 || fresh.Get([]int{3, 3}) != 7 {
+		t.Fatal("replayed state diverged")
+	}
+}
+
+// failAfterWriter accepts n bytes, then fails every write.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) <= w.n {
+		w.n -= len(p)
+		return len(p), nil
+	}
+	k := w.n
+	w.n = 0
+	return k, w.err
+}
+
+// shortWriter reports fewer bytes written than asked, with no error —
+// bufio must turn that into io.ErrShortWrite rather than lose data.
+type shortWriter struct{}
+
+func (shortWriter) Write(p []byte) (int, error) {
+	if len(p) > 1 {
+		return len(p) - 1, nil
+	}
+	return len(p), nil
+}
+
+func TestWALFailingWriterPoisonsLog(t *testing.T) {
+	errDisk := errors.New("simulated full disk")
+	w, err := NewWAL(mustNewDynamic(t, []int{8, 8}), &failAfterWriter{n: 20, err: errDisk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]int{1, 1}, 1); err != nil {
+		t.Fatal(err) // buffered; not yet on "disk"
+	}
+	if err := w.Flush(); !errors.Is(err, errDisk) {
+		t.Fatalf("Flush error = %v, want disk error", err)
+	}
+	// Poisoned: every later mutation and flush fails fast.
+	if err := w.Add([]int{1, 1}, 1); !errors.Is(err, errDisk) {
+		t.Fatalf("Add after failure = %v, want disk error", err)
+	}
+	if err := w.Flush(); !errors.Is(err, errDisk) {
+		t.Fatalf("second Flush = %v, want disk error", err)
+	}
+}
+
+func TestWALShortWriter(t *testing.T) {
+	w, err := NewWAL(mustNewDynamic(t, []int{8, 8}), shortWriter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]int{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Flush error = %v, want io.ErrShortWrite", err)
+	}
+}
+
+// syncBuffer is an in-memory writer with a Sync hook, standing in for
+// *os.File in commit-point tests.
+type syncBuffer struct {
+	bytes.Buffer
+	syncs   int
+	syncErr error
+}
+
+func (s *syncBuffer) Sync() error {
+	if s.syncErr != nil {
+		return s.syncErr
+	}
+	s.syncs++
+	return nil
+}
+
+func TestWALFlushInvokesSync(t *testing.T) {
+	var sink syncBuffer
+	w, err := NewWAL(mustNewDynamic(t, []int{8, 8}), &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]int{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sink.syncs != 0 {
+		t.Fatalf("synced %d times before Flush", sink.syncs)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.syncs != 1 {
+		t.Fatalf("syncs = %d after Flush, want 1", sink.syncs)
+	}
+	if err := w.Flush(); err != nil || sink.syncs != 2 {
+		t.Fatalf("second Flush: err=%v syncs=%d, want nil/2", err, sink.syncs)
+	}
+}
+
+func TestWALSyncFailurePoisonsLog(t *testing.T) {
+	errSync := errors.New("simulated fsync failure")
+	sink := &syncBuffer{syncErr: errSync}
+	w, err := NewWAL(mustNewDynamic(t, []int{8, 8}), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]int{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); !errors.Is(err, errSync) {
+		t.Fatalf("Flush error = %v, want sync error", err)
+	}
+	if err := w.Add([]int{1, 1}, 1); !errors.Is(err, errSync) {
+		t.Fatalf("Add after failed fsync = %v, want sync error", err)
+	}
+}
+
+// TestWALUnknownOpcodeWithValidChecksum crafts a correctly-framed
+// record carrying a bogus opcode: the checksum passes, the opcode check
+// must still reject it.
+func TestWALUnknownOpcodeWithValidChecksum(t *testing.T) {
+	var b bytes.Buffer
+	b.Write(walMagic2[:])
+	_ = binary.Write(&b, binary.LittleEndian, uint32(2))
+	payload := make([]byte, 1+16+8)
+	payload[0] = 99
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	b.Write(frame[:])
+	b.Write(payload)
+	if _, err := ReplayWAL(bytes.NewReader(b.Bytes()), mustNewDynamic(t, []int{8, 8})); !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("error = %v, want ErrBadWAL", err)
+	}
+}
+
+// TestConcurrentWALCrashCorruptionMatrix truncates a valid stream at
+// every byte offset and flips every byte, asserting the recovery
+// invariant: the outcome is a clean prefix of the acknowledged
+// mutations or a typed ErrBadWAL — never silently divergent data. The
+// offsets are sharded over goroutines so the -race concurrent tier
+// exercises the replay path in parallel.
+func TestConcurrentWALCrashCorruptionMatrix(t *testing.T) {
+	dims := []int{8, 8}
+	nrec := 10
+	recs := testRecs(nrec)
+	stream := buildV2Log(t, dims, recs)
+	recSize := 8 + 1 + 16 + 8 // frame + op + point + value
+	if want := walHeaderSize + nrec*recSize; len(stream) != want {
+		t.Fatalf("stream is %d bytes, want %d", len(stream), want)
+	}
+	prefixes := make([]*DynamicCube, nrec+1)
+	for k := 0; k <= nrec; k++ {
+		prefixes[k] = prefixCube(t, dims, recs, k)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	run := func(t *testing.T, n int, check func(i int) error) {
+		t.Helper()
+		var wg sync.WaitGroup
+		errc := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					if err := check(i); err != nil {
+						select {
+						case errc <- err:
+						default:
+						}
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errc)
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("truncate", func(t *testing.T) {
+		run(t, len(stream), func(i int) error {
+			c, err := NewDynamic(dims)
+			if err != nil {
+				return err
+			}
+			st, err := ReplayWALStats(bytes.NewReader(stream[:i]), c)
+			if i < walHeaderSize {
+				if !errors.Is(err, ErrBadWAL) {
+					return fmt.Errorf("truncate %d: err = %v, want ErrBadWAL", i, err)
+				}
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("truncate %d: unexpected error %v", i, err)
+			}
+			k := (i - walHeaderSize) / recSize
+			if st.Applied != uint64(k) {
+				return fmt.Errorf("truncate %d: applied %d, want %d", i, st.Applied, k)
+			}
+			wantTorn := (i-walHeaderSize)%recSize != 0
+			if st.Torn != wantTorn {
+				return fmt.Errorf("truncate %d: torn = %v, want %v", i, st.Torn, wantTorn)
+			}
+			if !cubesEqual(c, prefixes[k], dims) {
+				return fmt.Errorf("truncate %d: recovered cube is not the %d-record prefix", i, k)
+			}
+			return nil
+		})
+	})
+
+	t.Run("byteflip", func(t *testing.T) {
+		run(t, len(stream), func(i int) error {
+			bad := append([]byte(nil), stream...)
+			bad[i] ^= 0xA5
+			c, err := NewDynamic(dims)
+			if err != nil {
+				return err
+			}
+			st, rerr := ReplayWALStats(bytes.NewReader(bad), c)
+			if rerr != nil {
+				if !errors.Is(rerr, ErrBadWAL) {
+					return fmt.Errorf("flip %d: err = %v, want ErrBadWAL", i, rerr)
+				}
+				return nil
+			}
+			// A flip the replay accepted must have been applied exactly
+			// as written — with CRC framing this cannot happen, but the
+			// invariant we defend is "never wrong data".
+			if !cubesEqual(c, prefixes[nrec], dims) || st.Applied != uint64(nrec) {
+				return fmt.Errorf("flip %d: corruption silently applied (applied=%d)", i, st.Applied)
+			}
+			return nil
+		})
+	})
+}
