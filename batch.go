@@ -1,0 +1,119 @@
+package ddc
+
+import (
+	"fmt"
+	"time"
+
+	"ddc/internal/core"
+	"ddc/internal/grid"
+)
+
+// RangeQuery is one inclusive range-sum box inside a batch.
+type RangeQuery struct {
+	Lo, Hi []int
+}
+
+// BatchStats reports how much work a batched range-sum execution shared
+// (see DynamicCube.RangeSumBatchStats). A sequential loop would have
+// paid one tree descent per corner term; the batched engine pays one
+// per distinct corner, minus the cache hits.
+type BatchStats struct {
+	// Queries is the number of logical range sums answered.
+	Queries int
+	// CornerTerms counts non-empty signed corner terms before
+	// deduplication (at most Queries * 2^d).
+	CornerTerms int
+	// SkippedCorners counts corner terms short-circuited as empty
+	// regions (a coordinate below the domain's lower bound).
+	SkippedCorners int
+	// DistinctCorners is the number of distinct corner prefixes after
+	// batch-wide deduplication.
+	DistinctCorners int
+	// CacheHits / CacheMisses split DistinctCorners into corners served
+	// from the versioned prefix cache and corners that descended the
+	// tree. For sharded cubes the statistics are summed across shards.
+	CacheHits   int
+	CacheMisses int
+}
+
+func (s *BatchStats) merge(o core.BatchStats) {
+	s.CornerTerms += o.CornerTerms
+	s.SkippedCorners += o.SkippedCorners
+	s.DistinctCorners += o.DistinctCorners
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+}
+
+// sequentialRangeSumBatch answers a batch with one RangeSum per query —
+// the fallback for cube implementations without a batched engine. The
+// first failing query aborts the batch.
+func sequentialRangeSumBatch(c Cube, queries []RangeQuery) ([]int64, error) {
+	out := make([]int64, len(queries))
+	for i, q := range queries {
+		v, err := c.RangeSum(q.Lo, q.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// RangeSumBatch implements Cube: the batch is planned as a whole —
+// every query expands to its signed corner prefix terms, identical
+// corners are deduplicated across the batch so each distinct prefix
+// descends the tree exactly once, hot corners are served from a
+// versioned cache that any mutation invalidates with one atomic epoch
+// bump, and the remaining descents run over the lock-free read path
+// with a bounded fan-out. Results are identical to calling RangeSum in
+// a loop; operation counts reflect only the deduplicated work.
+//
+// Like the other read methods it is safe for any number of concurrent
+// callers, provided no mutation runs at the same time.
+func (c *DynamicCube) RangeSumBatch(queries []RangeQuery) ([]int64, error) {
+	sums, _, err := c.rangeSumBatch(queries)
+	return sums, err
+}
+
+// RangeSumBatchStats is RangeSumBatch returning, in addition, the
+// batch's sharing statistics (dedup ratio, cache hits).
+func (c *DynamicCube) RangeSumBatchStats(queries []RangeQuery) ([]int64, BatchStats, error) {
+	return c.rangeSumBatch(queries)
+}
+
+// InvalidatePrefixCache drops every cached corner prefix value by
+// bumping the cube's mutation epoch. Mutations, growth and compaction
+// invalidate automatically; this explicit hook serves benchmarks and
+// tests that need a cold cache on an otherwise unchanged cube.
+func (c *DynamicCube) InvalidatePrefixCache() { c.t.InvalidatePrefixCache() }
+
+func (c *DynamicCube) rangeSumBatch(queries []RangeQuery) ([]int64, BatchStats, error) {
+	boxes := make([]core.Box, len(queries))
+	for i, q := range queries {
+		boxes[i] = core.Box{Lo: grid.Point(q.Lo), Hi: grid.Point(q.Hi)}
+	}
+	stats := BatchStats{Queries: len(queries)}
+	tel := globalTelemetry
+	if !tel.on() {
+		sums, _, st, err := c.t.RangeSumBatchOps(boxes)
+		stats.merge(st)
+		return sums, stats, err
+	}
+	start := time.Now()
+	sums, ops, st, err := c.t.RangeSumBatchOps(boxes)
+	stats.merge(st)
+	d := time.Since(start)
+	if err != nil {
+		return nil, stats, err
+	}
+	tel.recordBatch(len(queries), d, ops, stats)
+	if sampled, slow := tel.shouldTrace(d); sampled || slow {
+		tel.trace(QueryTrace{
+			Op: "rangesum_batch", Start: start, DurationNs: d.Nanoseconds(),
+			Batch: len(queries), NodeVisits: ops.NodeVisits,
+			QueryCells: ops.QueryCells, Contributions: contribMap(ops),
+			Slow: slow,
+		})
+	}
+	return sums, stats, nil
+}

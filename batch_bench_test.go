@@ -1,0 +1,110 @@
+package ddc
+
+import (
+	"testing"
+
+	"ddc/internal/workload"
+)
+
+// benchLoadedCube builds the standard preloaded 1024x256 cube the batch
+// benchmarks share.
+func benchLoadedCube(b *testing.B) *DynamicCube {
+	b.Helper()
+	dims := []int{1024, 256}
+	vals := make([]int64, dims[0]*dims[1])
+	r := workload.NewRNG(101)
+	for i := 0; i < 4096; i++ {
+		vals[r.Intn(len(vals))] += 1 + r.Int63n(50)
+	}
+	c, err := BuildDynamic(dims, vals, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// benchWindowQueries is the dashboard fleet: 64 sliding windows cycling
+// over 15 stride-aligned positions, so corners collapse onto a small
+// lattice.
+func benchWindowQueries() []RangeQuery {
+	qs := workload.Windows([]int{1024, 256}, 64, 0, 128, 64, []int{16}, []int{239})
+	out := make([]RangeQuery, len(qs))
+	for i, q := range qs {
+		out[i] = RangeQuery{Lo: []int(q.Lo), Hi: []int(q.Hi)}
+	}
+	return out
+}
+
+// BenchmarkGet pins the point-query allocation fix: the lookup runs on
+// pooled scratch (0 allocs/op).
+func BenchmarkGet(b *testing.B) {
+	c := benchLoadedCube(b)
+	p := []int{511, 128}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += c.Get(p)
+	}
+	_ = sink
+}
+
+// BenchmarkRangeSumLoop is the sequential baseline the batch engine is
+// measured against: one RangeSum per window.
+func BenchmarkRangeSumLoop(b *testing.B) {
+	c := benchLoadedCube(b)
+	queries := benchWindowQueries()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			v, err := c.RangeSum(q.Lo, q.Hi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += v
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkRangeSumBatchCold measures one planned batch with an
+// invalidated prefix cache: corner dedup alone.
+func BenchmarkRangeSumBatchCold(b *testing.B) {
+	c := benchLoadedCube(b)
+	queries := benchWindowQueries()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		c.InvalidatePrefixCache()
+		sums, err := c.RangeSumBatch(queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += sums[0]
+	}
+	_ = sink
+}
+
+// BenchmarkRangeSumBatchWarm measures the steady state on a quiescent
+// cube: every distinct corner served from the versioned cache.
+func BenchmarkRangeSumBatchWarm(b *testing.B) {
+	c := benchLoadedCube(b)
+	queries := benchWindowQueries()
+	if _, err := c.RangeSumBatch(queries); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sums, err := c.RangeSumBatch(queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += sums[0]
+	}
+	_ = sink
+}

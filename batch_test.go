@@ -1,0 +1,424 @@
+package ddc
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ddc/internal/workload"
+)
+
+// randomBoxes returns count random valid boxes inside [lo, hi] (global
+// inclusive bounds).
+func randomBoxes(r *workload.RNG, lo, hi []int, count int) []RangeQuery {
+	out := make([]RangeQuery, count)
+	for i := range out {
+		qlo := make([]int, len(lo))
+		qhi := make([]int, len(lo))
+		for j := range lo {
+			span := hi[j] - lo[j] + 1
+			a := lo[j] + r.Intn(span)
+			b := lo[j] + r.Intn(span)
+			if a > b {
+				a, b = b, a
+			}
+			qlo[j], qhi[j] = a, b
+		}
+		out[i] = RangeQuery{Lo: qlo, Hi: qhi}
+	}
+	return out
+}
+
+// checkBatchEquivalence asserts RangeSumBatch(queries) equals the
+// sequential RangeSum loop on c.
+func checkBatchEquivalence(t *testing.T, c Cube, queries []RangeQuery) {
+	t.Helper()
+	got, err := c.RangeSumBatch(queries)
+	if err != nil {
+		t.Fatalf("RangeSumBatch: %v", err)
+	}
+	if len(got) != len(queries) {
+		t.Fatalf("RangeSumBatch returned %d sums for %d queries", len(got), len(queries))
+	}
+	for i, q := range queries {
+		want, err := c.RangeSum(q.Lo, q.Hi)
+		if err != nil {
+			t.Fatalf("RangeSum(%v, %v): %v", q.Lo, q.Hi, err)
+		}
+		if got[i] != want {
+			t.Fatalf("query %d %v..%v: batch %d, sequential %d", i, q.Lo, q.Hi, got[i], want)
+		}
+	}
+}
+
+// TestRangeSumBatchEquivalence is the core property: a planned batch
+// answers exactly what a RangeSum loop answers, on every Cube
+// implementation, across random workloads and interleaved mutations
+// (each mutation bumps the epoch, so this also exercises invalidation).
+func TestRangeSumBatchEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dims []int
+	}{
+		{"d1", []int{64}},
+		{"d2", []int{32, 16}},
+		{"d3", []int{16, 8, 8}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := workload.NewRNG(42)
+			c, err := NewDynamic(tc.dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hi := make([]int, len(tc.dims))
+			for j, n := range tc.dims {
+				hi[j] = n - 1
+			}
+			lo := make([]int, len(tc.dims))
+			for round := 0; round < 4; round++ {
+				for _, u := range workload.Uniform(r, tc.dims, 100, 50) {
+					if err := c.Add([]int(u.Point), u.Value); err != nil {
+						t.Fatal(err)
+					}
+				}
+				checkBatchEquivalence(t, c, randomBoxes(r, lo, hi, 40))
+				// Re-run the same shape: the second pass hits the cache.
+				checkBatchEquivalence(t, c, randomBoxes(r, lo, hi, 40))
+			}
+		})
+	}
+}
+
+// TestRangeSumBatchGrownDomain runs the property on an AutoGrow cube
+// whose domain extends into negative coordinates — the clamping and
+// below-origin short-circuit paths.
+func TestRangeSumBatchGrownDomain(t *testing.T) {
+	c, err := NewDynamicWithOptions([]int{8, 8}, Options{AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workload.NewRNG(7)
+	for i := 0; i < 200; i++ {
+		p := []int{r.Intn(64) - 24, r.Intn(64) - 24}
+		if err := c.Add(p, 1+r.Int63n(9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	incl := func() (lo, hi []int) { // Bounds' high corner is exclusive
+		lo, hi = c.Bounds()
+		for i := range hi {
+			hi[i]--
+		}
+		return lo, hi
+	}
+	lo, hi := incl()
+	checkBatchEquivalence(t, c, randomBoxes(r, lo, hi, 60))
+	// Grow again between batches: the epoch bump must drop the cache.
+	if err := c.Add([]int{hi[0] + 40, hi[1] + 40}, 5); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi = incl()
+	checkBatchEquivalence(t, c, randomBoxes(r, lo, hi, 60))
+}
+
+// TestRangeSumBatchSharded runs the property on a sharded cube, where
+// sub-batches split at slab boundaries and partial sums are gathered.
+func TestRangeSumBatchSharded(t *testing.T) {
+	dims := []int{64, 16}
+	s, err := NewSharded(dims, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workload.NewRNG(13)
+	for _, u := range workload.Uniform(r, dims, 400, 20) {
+		if err := s.Add([]int(u.Point), u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hi := []int{dims[0] - 1, dims[1] - 1}
+	checkBatchEquivalence(t, s, randomBoxes(r, []int{0, 0}, hi, 80))
+
+	// Stats must aggregate across shards and report every logical query.
+	_, stats, err := s.RangeSumBatchStats(randomBoxes(r, []int{0, 0}, hi, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != 80 {
+		t.Fatalf("sharded stats.Queries = %d, want 80", stats.Queries)
+	}
+	if stats.DistinctCorners == 0 || stats.CornerTerms < stats.DistinctCorners {
+		t.Fatalf("implausible sharded stats: %+v", stats)
+	}
+}
+
+// TestRangeSumBatchFallbacks runs the property on every non-concurrent
+// implementation's sequential fallback and on the wrappers.
+func TestRangeSumBatchFallbacks(t *testing.T) {
+	dims := []int{16, 8}
+	build := map[string]func() (Cube, error){
+		"naive":   func() (Cube, error) { return NewNaive(dims) },
+		"ps":      func() (Cube, error) { return NewPrefixSum(dims) },
+		"rps":     func() (Cube, error) { return NewRelativePrefixSum(dims) },
+		"fenwick": func() (Cube, error) { return NewFenwick(dims) },
+		"basic":   func() (Cube, error) { return NewBasicDynamic(dims, 4) },
+		"sync": func() (Cube, error) {
+			c, err := NewDynamic(dims)
+			if err != nil {
+				return nil, err
+			}
+			return NewSynchronized(c), nil
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			c, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := workload.NewRNG(3)
+			for _, u := range workload.Uniform(r, dims, 150, 30) {
+				if err := c.Add([]int(u.Point), u.Value); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkBatchEquivalence(t, c, randomBoxes(r, []int{0, 0}, []int{15, 7}, 30))
+		})
+	}
+}
+
+// TestRangeSumBatchErrors pins the error contract: a bad query rejects
+// the whole batch and names its index; the empty batch is a no-op.
+func TestRangeSumBatchErrors(t *testing.T) {
+	c, err := NewDynamic([]int{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSharded([]int{16, 16}, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cu := range []Cube{c, s} {
+		sums, err := cu.RangeSumBatch(nil)
+		if err != nil || len(sums) != 0 {
+			t.Fatalf("empty batch: sums=%v err=%v", sums, err)
+		}
+		bad := []RangeQuery{
+			{Lo: []int{0, 0}, Hi: []int{3, 3}},
+			{Lo: []int{0, 0}, Hi: []int{3, 3}},
+			{Lo: []int{5, 5}, Hi: []int{2, 8}}, // empty range at index 2
+		}
+		if _, err := cu.RangeSumBatch(bad); err == nil {
+			t.Fatal("bad batch accepted")
+		} else if !strings.Contains(err.Error(), "query 2") {
+			t.Fatalf("error does not name the failing query: %v", err)
+		}
+		oob := []RangeQuery{{Lo: []int{0, 0}, Hi: []int{99, 3}}}
+		if _, err := cu.RangeSumBatch(oob); err == nil {
+			t.Fatal("out-of-bounds batch accepted")
+		}
+	}
+}
+
+// TestRangeSumBatchStats pins the planner's sharing accounting on a
+// deterministic window fleet, and that a repeat batch on a quiescent
+// cube is served entirely from the cache.
+func TestRangeSumBatchStats(t *testing.T) {
+	dims := []int{64, 16}
+	c, err := NewDynamic(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workload.NewRNG(5)
+	for _, u := range workload.Uniform(r, dims, 200, 10) {
+		if err := c.Add([]int(u.Point), u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 16 windows cycling over 7 aligned positions: heavy corner sharing.
+	qs := workload.Windows(dims, 16, 0, 16, 8, []int{2}, []int{13})
+	queries := make([]RangeQuery, len(qs))
+	for i, q := range qs {
+		queries[i] = RangeQuery{Lo: []int(q.Lo), Hi: []int(q.Hi)}
+	}
+	c.InvalidatePrefixCache()
+	_, st, err := c.RangeSumBatchStats(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 16 {
+		t.Fatalf("Queries = %d, want 16", st.Queries)
+	}
+	if st.CornerTerms+st.SkippedCorners != 16*4 {
+		t.Fatalf("terms %d + skipped %d != 64", st.CornerTerms, st.SkippedCorners)
+	}
+	if st.DistinctCorners >= st.CornerTerms {
+		t.Fatalf("no dedup: %d distinct of %d terms", st.DistinctCorners, st.CornerTerms)
+	}
+	if st.CacheHits != 0 || st.CacheMisses != st.DistinctCorners {
+		t.Fatalf("cold batch: hits=%d misses=%d distinct=%d", st.CacheHits, st.CacheMisses, st.DistinctCorners)
+	}
+	// Same batch again, no mutation: all corners come from the cache.
+	_, st2, err := c.RangeSumBatchStats(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CacheHits != st.DistinctCorners || st2.CacheMisses != 0 {
+		t.Fatalf("warm batch: hits=%d misses=%d want hits=%d misses=0", st2.CacheHits, st2.CacheMisses, st.DistinctCorners)
+	}
+	// Any mutation invalidates: the next batch misses again.
+	if err := c.Add([]int{3, 3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, st3, err := c.RangeSumBatchStats(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.CacheHits != 0 || st3.CacheMisses != st.DistinctCorners {
+		t.Fatalf("post-mutation batch: hits=%d misses=%d", st3.CacheHits, st3.CacheMisses)
+	}
+}
+
+// TestBatchTelemetryMergeSemantics pins the attribution contract: the
+// batch op counter reports every logical query, while node-visit and
+// cell counters reflect only the deduplicated physical work (identical
+// to the cube's own operation counters for the same run).
+func TestBatchTelemetryMergeSemantics(t *testing.T) {
+	tel := GlobalTelemetry()
+	tel.Enable()
+	defer func() {
+		tel.Disable()
+		tel.Reset()
+	}()
+	dims := []int{64, 16}
+	c, err := NewDynamic(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workload.NewRNG(9)
+	for _, u := range workload.Uniform(r, dims, 200, 10) {
+		if err := c.Add([]int(u.Point), u.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := workload.Windows(dims, 16, 0, 16, 8, []int{2}, []int{13})
+	queries := make([]RangeQuery, len(qs))
+	for i, q := range qs {
+		queries[i] = RangeQuery{Lo: []int(q.Lo), Hi: []int(q.Hi)}
+	}
+	c.InvalidatePrefixCache()
+	tel.Reset()
+	c.ResetOps()
+	_, st, err := c.RangeSumBatchStats(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Snapshot()
+	if snap.Queries["rangesum_batch"] != 16 {
+		t.Fatalf("rangesum_batch queries = %d, want 16", snap.Queries["rangesum_batch"])
+	}
+	if snap.BatchQueries != 16 {
+		t.Fatalf("BatchQueries = %d, want 16", snap.BatchQueries)
+	}
+	if snap.BatchCornerTerms != uint64(st.CornerTerms) ||
+		snap.BatchDistinctCorners != uint64(st.DistinctCorners) ||
+		snap.BatchCacheHits != uint64(st.CacheHits) ||
+		snap.BatchCacheMisses != uint64(st.CacheMisses) {
+		t.Fatalf("batch counters %+v disagree with stats %+v", snap, st)
+	}
+	// Physical work is counted once: telemetry's node visits equal the
+	// cube's own (deduplicated) counter delta for this batch.
+	ops := c.Ops()
+	if snap.QueryNodeVisits != ops.NodeVisits {
+		t.Fatalf("telemetry visits %d != cube visits %d (dedup'd work must be counted once)",
+			snap.QueryNodeVisits, ops.NodeVisits)
+	}
+	if snap.BatchSize.Count != 1 {
+		t.Fatalf("batch size histogram count = %d, want 1", snap.BatchSize.Count)
+	}
+}
+
+// TestConcurrentBatchEpochInvalidation interleaves batched readers with
+// writers under -race and proves the versioned cache never serves stale
+// values: writers only add positive deltas, so every batch's total over
+// the whole domain must be monotonically non-decreasing — a stale
+// cached corner would make a later batch report a smaller sum.
+func TestConcurrentBatchEpochInvalidation(t *testing.T) {
+	ensureParallelism(t, 4)
+	dims := []int{32, 16}
+	inner, err := NewDynamic(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSynchronized(inner)
+
+	const (
+		writers = 2
+		readers = 3
+		writes  = 400
+	)
+	queries := []RangeQuery{
+		{Lo: []int{0, 0}, Hi: []int{31, 15}}, // whole domain
+		{Lo: []int{0, 0}, Hi: []int{15, 15}},
+		{Lo: []int{16, 0}, Hi: []int{31, 15}},
+		{Lo: []int{8, 4}, Hi: []int{23, 11}},
+	}
+	var stop atomic.Bool
+	var wgW, wgR sync.WaitGroup
+	var applied int64
+	for w := 0; w < writers; w++ {
+		wgW.Add(1)
+		go func(seed uint64) {
+			defer wgW.Done()
+			r := workload.NewRNG(seed)
+			for i := 0; i < writes; i++ {
+				p := []int{r.Intn(dims[0]), r.Intn(dims[1])}
+				d := 1 + r.Int63n(5)
+				if err := c.Add(p, d); err != nil {
+					t.Error(err)
+					return
+				}
+				atomic.AddInt64(&applied, d)
+			}
+		}(uint64(w + 1))
+	}
+	for g := 0; g < readers; g++ {
+		wgR.Add(1)
+		go func() {
+			defer wgR.Done()
+			var lastTotal int64
+			for !stop.Load() {
+				sums, err := c.RangeSumBatch(queries)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if sums[0] < lastTotal {
+					t.Errorf("stale batch: domain total went %d -> %d", lastTotal, sums[0])
+					return
+				}
+				lastTotal = sums[0]
+				// The two halves must always add up to the whole — all
+				// three values come from one consistent epoch.
+				if sums[1]+sums[2] != sums[0] {
+					t.Errorf("inconsistent batch: %d + %d != %d", sums[1], sums[2], sums[0])
+					return
+				}
+			}
+		}()
+	}
+	// Readers run for as long as the writers do, then one final pass.
+	wgW.Wait()
+	stop.Store(true)
+	wgR.Wait()
+
+	// Exact final check: with all writers done, a fresh batch must see
+	// every applied delta.
+	sums, err := c.RangeSumBatch(queries[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0] != atomic.LoadInt64(&applied) {
+		t.Fatalf("final total %d != applied %d", sums[0], atomic.LoadInt64(&applied))
+	}
+}

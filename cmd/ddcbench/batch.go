@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"ddc"
+	"ddc/internal/workload"
+)
+
+// The batch section measures the batched range-sum engine against the
+// equivalent sequential RangeSum loop on the dashboard shape it was
+// built for: a fleet of overlapping sliding windows whose corners meet
+// on a small aligned lattice. Three modes per dimensionality:
+//
+//	batch/sequential  one RangeSum call per window (the baseline)
+//	batch/cold        one RangeSumBatch per iteration, prefix cache
+//	                  invalidated first — measures planning + corner
+//	                  dedup alone
+//	batch/warm        one RangeSumBatch per iteration on a warm cache —
+//	                  adds the versioned-cache win on a quiescent cube
+
+// batchSummary condenses the section for trend tracking: speedup is
+// sequential ns/op divided by batched ns/op.
+type batchSummary struct {
+	// QueriesD2 / QueriesD3 are the batch sizes measured.
+	QueriesD2 int `json:"queries_d2"`
+	QueriesD3 int `json:"queries_d3"`
+	// ColdSpeedupD2 is sequential/cold at d=2 — the dedup win.
+	ColdSpeedupD2 float64 `json:"cold_speedup_d2"`
+	// WarmSpeedupD2 is sequential/warm at d=2 — dedup plus cache.
+	WarmSpeedupD2 float64 `json:"warm_speedup_d2"`
+	ColdSpeedupD3 float64 `json:"cold_speedup_d3"`
+	WarmSpeedupD3 float64 `json:"warm_speedup_d3"`
+}
+
+// batchCase is one dimensionality's workload.
+type batchCase struct {
+	label   string
+	dims    []int
+	queries []ddc.RangeQuery
+}
+
+// batchCases builds the d=2 and d=3 window fleets. The windows slide
+// along dimension 0 with stride = width/2 over stride-aligned start
+// positions, so consecutive windows share corner planes and the batch's
+// corner terms collapse onto a small lattice.
+func batchCases(smoke bool) []batchCase {
+	// The 64-window fleet cycles over 15 stride-aligned start positions,
+	// so its ~240 corner terms collapse onto a ~32-corner lattice — the
+	// same shape at either suite size (smoke keeps it, it is already
+	// fast).
+	nq := 64
+	_ = smoke
+	cases := []batchCase{}
+	{
+		dims := []int{1024, 256}
+		qs := workload.Windows(dims, nq, 0, 128, 64, []int{16}, []int{239})
+		cases = append(cases, batchCase{label: "d2", dims: dims, queries: toRangeQueries(qs)})
+	}
+	{
+		dims := []int{128, 64, 64}
+		qs := workload.Windows(dims, nq, 0, 32, 16, []int{8, 8}, []int{55, 55})
+		cases = append(cases, batchCase{label: "d3", dims: dims, queries: toRangeQueries(qs)})
+	}
+	return cases
+}
+
+func toRangeQueries(qs []workload.Query) []ddc.RangeQuery {
+	out := make([]ddc.RangeQuery, len(qs))
+	for i, q := range qs {
+		out[i] = ddc.RangeQuery{Lo: []int(q.Lo), Hi: []int(q.Hi)}
+	}
+	return out
+}
+
+// loadedDynamic builds an unsharded cube preloaded with perfPreload
+// uniform deltas over dims.
+func loadedDynamic(dims []int) (*ddc.DynamicCube, error) {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	vals := make([]int64, n)
+	r := workload.NewRNG(101)
+	for i := 0; i < perfPreload; i++ {
+		vals[r.Intn(n)] += 1 + r.Int63n(50)
+	}
+	return ddc.BuildDynamic(dims, vals, ddc.Options{})
+}
+
+// batchResults measures the three modes for each case and returns the
+// results plus the condensed summary.
+func batchResults(smoke bool) ([]benchResult, *batchSummary, error) {
+	var results []benchResult
+	summary := &batchSummary{}
+	for _, bc := range batchCases(smoke) {
+		c, err := loadedDynamic(bc.dims)
+		if err != nil {
+			return nil, nil, err
+		}
+		queries := bc.queries
+		params := map[string]int{"queries": len(queries), "d": len(bc.dims)}
+
+		// Sanity: batched and sequential answers must agree before any
+		// timing is trusted.
+		want := make([]int64, len(queries))
+		for i, q := range queries {
+			v, err := c.RangeSum(q.Lo, q.Hi)
+			if err != nil {
+				return nil, nil, err
+			}
+			want[i] = v
+		}
+		got, err := c.RangeSumBatch(queries)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return nil, nil, fmt.Errorf("batch %s: query %d: batched %d != sequential %d", bc.label, i, got[i], want[i])
+			}
+		}
+
+		seq := measure("batch/sequential/"+bc.label, params, c, func(b *testing.B) {
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					v, err := c.RangeSum(q.Lo, q.Hi)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink += v
+				}
+			}
+			_ = sink
+		})
+		cold := measure("batch/cold/"+bc.label, params, c, func(b *testing.B) {
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				c.InvalidatePrefixCache()
+				sums, err := c.RangeSumBatch(queries)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += sums[0]
+			}
+			_ = sink
+		})
+		c.RangeSumBatch(queries) // warm the cache outside the timer
+		warm := measure("batch/warm/"+bc.label, params, c, func(b *testing.B) {
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				sums, err := c.RangeSumBatch(queries)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += sums[0]
+			}
+			_ = sink
+		})
+		results = append(results, seq, cold, warm)
+
+		coldSpeedup := seq.NsPerOp / cold.NsPerOp
+		warmSpeedup := seq.NsPerOp / warm.NsPerOp
+		switch bc.label {
+		case "d2":
+			summary.QueriesD2 = len(queries)
+			summary.ColdSpeedupD2 = coldSpeedup
+			summary.WarmSpeedupD2 = warmSpeedup
+		case "d3":
+			summary.QueriesD3 = len(queries)
+			summary.ColdSpeedupD3 = coldSpeedup
+			summary.WarmSpeedupD3 = warmSpeedup
+		}
+	}
+	return results, summary, nil
+}

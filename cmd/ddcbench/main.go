@@ -21,6 +21,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV series instead of tables (figure1 only)")
 	jsonOut := flag.String("json", "", "run the concurrency perf suite and write JSON results to `file`")
+	smoke := flag.Bool("smoke", false, "with -json, run only the fast batched-query section (CI smoke)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ddcbench [-list] <experiment-id>... | all\n\nexperiments:\n")
 		for _, e := range experiments.All() {
@@ -29,7 +30,7 @@ func main() {
 	}
 	flag.Parse()
 	if *jsonOut != "" {
-		if err := runPerfSuite(*jsonOut); err != nil {
+		if err := runPerfSuite(*jsonOut, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "ddcbench:", err)
 			os.Exit(1)
 		}

@@ -41,6 +41,10 @@ type perfReport struct {
 	GoMaxProcs int           `json:"go_max_procs"`
 	GoVersion  string        `json:"go_version"`
 	Results    []benchResult `json:"results"`
+	// Batch summarises the batched range-sum engine measurements: the
+	// speedups of one planned batch over the equivalent sequential
+	// RangeSum loop, with a cold and a warm prefix cache.
+	Batch *batchSummary `json:"batch,omitempty"`
 	// QueryLevels profiles one worst-case prefix query's descent: the
 	// contribution count and value collected at each tree level.
 	QueryLevels []ddc.TraceLevel `json:"query_levels,omitempty"`
@@ -68,7 +72,7 @@ func loadedSharded(shards int) (*ddc.ShardedCube, error) {
 
 // measure runs fn under the standard benchmark harness and pairs the
 // timing with the cube's operation counters for the timed run.
-func measure(name string, params map[string]int, c *ddc.ShardedCube, fn func(b *testing.B)) benchResult {
+func measure(name string, params map[string]int, c ddc.Cube, fn func(b *testing.B)) benchResult {
 	tel := ddc.GlobalTelemetry()
 	c.ResetOps()
 	tel.Reset()
@@ -111,8 +115,9 @@ func queryLevelProfile() ([]ddc.TraceLevel, error) {
 }
 
 // runPerfSuite measures the concurrency engine and writes the JSON
-// report to path.
-func runPerfSuite(path string) error {
+// report to path. With smoke set, only the (fast) batched range-sum
+// section runs — the CI-friendly subset.
+func runPerfSuite(path string, smoke bool) error {
 	tel := ddc.GlobalTelemetry()
 	tel.Enable()
 	defer func() {
@@ -124,6 +129,17 @@ func runPerfSuite(path string) error {
 	report.Suite = "concurrency"
 	report.GoMaxProcs = runtime.GOMAXPROCS(0)
 	report.GoVersion = runtime.Version()
+
+	if smoke {
+		report.Suite = "batch-smoke"
+		batch, summary, err := batchResults(true)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, batch...)
+		report.Batch = summary
+		return writeReport(path, &report)
+	}
 
 	// Ingest: one Add per delta vs one AddBatch for the whole batch.
 	r := workload.NewRNG(103)
@@ -189,6 +205,15 @@ func runPerfSuite(path string) error {
 			}))
 	}
 
+	// Batched range-sum engine: batch-of-N vs N sequential RangeSums,
+	// cold vs warm prefix cache, at d=2 and d=3.
+	batchRes, summary, err := batchResults(false)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, batchRes...)
+	report.Batch = summary
+
 	// Durability: WAL append/commit cost and checkpoint latency.
 	durable, err := durabilityResults()
 	if err != nil {
@@ -202,7 +227,12 @@ func runPerfSuite(path string) error {
 	}
 	report.QueryLevels = levels
 
-	out, err := json.MarshalIndent(&report, "", "  ")
+	return writeReport(path, &report)
+}
+
+// writeReport marshals and writes the perf report.
+func writeReport(path string, report *perfReport) error {
+	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}

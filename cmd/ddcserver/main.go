@@ -14,7 +14,8 @@
 // -cube/-wal.
 //
 // Endpoints: POST /v1/add, POST /v1/set, POST /v1/batch,
-// POST /v1/checkpoint, GET /v1/get, GET /v1/sum, GET /v1/scan,
+// POST /v1/checkpoint, GET /v1/get, GET /v1/sum, POST /v1/sum/batch,
+// GET /v1/scan,
 // GET /v1/explain, GET /v1/stats, GET /v1/trace, GET /v1/snapshot,
 // GET /metrics (Prometheus text), and GET /debug/pprof/ with -pprof.
 // See internal/cubeserver.

@@ -29,6 +29,13 @@ type Cube interface {
 	Prefix(p []int) int64
 	// RangeSum returns the sum over the inclusive box [lo, hi].
 	RangeSum(lo, hi []int) (int64, error)
+	// RangeSumBatch answers len(queries) range sums in one call,
+	// returning one value per query in order. DynamicCube and
+	// ShardedCube plan the batch as a whole (corner deduplication, a
+	// versioned prefix cache, parallel execution — see batch.go); the
+	// operation-counting baselines fall back to a sequential loop of
+	// RangeSum. The first invalid query fails the whole batch.
+	RangeSumBatch(queries []RangeQuery) ([]int64, error)
 	// Total returns the sum of every cell.
 	Total() int64
 	// Ops returns deterministic operation counts (cells/nodes touched)
@@ -115,6 +122,13 @@ func (c *NaiveCube) RangeSum(lo, hi []int) (int64, error) {
 	return c.a.RangeSum(grid.Point(lo), grid.Point(hi))
 }
 
+// RangeSumBatch implements Cube (sequential fallback: reads on this
+// implementation mutate operation counters, so queries cannot share
+// work or run in parallel).
+func (c *NaiveCube) RangeSumBatch(queries []RangeQuery) ([]int64, error) {
+	return sequentialRangeSumBatch(c, queries)
+}
+
 // Total implements Cube.
 func (c *NaiveCube) Total() int64 { return c.a.Total() }
 
@@ -163,6 +177,13 @@ func (c *PrefixSumCube) Prefix(p []int) int64 { return c.ps.Prefix(grid.Point(p)
 // RangeSum implements Cube.
 func (c *PrefixSumCube) RangeSum(lo, hi []int) (int64, error) {
 	return c.ps.RangeSum(grid.Point(lo), grid.Point(hi))
+}
+
+// RangeSumBatch implements Cube (sequential fallback: reads on this
+// implementation mutate operation counters, so queries cannot share
+// work or run in parallel).
+func (c *PrefixSumCube) RangeSumBatch(queries []RangeQuery) ([]int64, error) {
+	return sequentialRangeSumBatch(c, queries)
 }
 
 // Total implements Cube.
@@ -228,6 +249,13 @@ func (c *RelativePrefixSumCube) RangeSum(lo, hi []int) (int64, error) {
 	return c.r.RangeSum(grid.Point(lo), grid.Point(hi))
 }
 
+// RangeSumBatch implements Cube (sequential fallback: reads on this
+// implementation mutate operation counters, so queries cannot share
+// work or run in parallel).
+func (c *RelativePrefixSumCube) RangeSumBatch(queries []RangeQuery) ([]int64, error) {
+	return sequentialRangeSumBatch(c, queries)
+}
+
 // Total implements Cube.
 func (c *RelativePrefixSumCube) Total() int64 {
 	hi := c.r.Dims()
@@ -276,6 +304,13 @@ func (c *FenwickCube) Prefix(p []int) int64 { return c.f.Prefix(grid.Point(p)) }
 // RangeSum implements Cube.
 func (c *FenwickCube) RangeSum(lo, hi []int) (int64, error) {
 	return c.f.RangeSum(grid.Point(lo), grid.Point(hi))
+}
+
+// RangeSumBatch implements Cube (sequential fallback: reads on this
+// implementation mutate operation counters, so queries cannot share
+// work or run in parallel).
+func (c *FenwickCube) RangeSumBatch(queries []RangeQuery) ([]int64, error) {
+	return sequentialRangeSumBatch(c, queries)
 }
 
 // Total implements Cube.
@@ -328,6 +363,13 @@ func (c *BasicDynamicCube) Prefix(p []int) int64 { return c.t.Prefix(grid.Point(
 // RangeSum implements Cube.
 func (c *BasicDynamicCube) RangeSum(lo, hi []int) (int64, error) {
 	return c.t.RangeSum(grid.Point(lo), grid.Point(hi))
+}
+
+// RangeSumBatch implements Cube (sequential fallback: reads on this
+// implementation mutate operation counters, so queries cannot share
+// work or run in parallel).
+func (c *BasicDynamicCube) RangeSumBatch(queries []RangeQuery) ([]int64, error) {
+	return sequentialRangeSumBatch(c, queries)
 }
 
 // Total implements Cube.

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ddc/internal/cube"
+	"ddc/internal/grid"
+)
+
+// Batched range-sum execution. Every range sum reduces to at most 2^d
+// signed corner prefix queries (Figure 4); a batch of N queries shares
+// corners aggressively — adjacent drill-down tiles and overlapping
+// dashboard windows meet on common corner planes — so the engine plans
+// the whole batch at once:
+//
+//  1. expand each box into its signed corner terms, short-circuiting
+//     corners below the logical origin (empty regions) and clamping
+//     coordinates beyond the padded domain to its high edge, so terms
+//     that denote the same prefix canonicalize to the same point;
+//  2. deduplicate the canonical corners across the entire batch, so
+//     each distinct prefix descends the tree exactly once;
+//  3. serve corners from the epoch-versioned prefix cache when the tree
+//     has not mutated since they were last computed, and execute the
+//     remaining distinct corners over the lock-free read path with a
+//     bounded worker fan-out (each descent draws its scratch from the
+//     shared query pool);
+//  4. gather the signed terms back into per-query results.
+//
+// Operation counts reflect the deduplicated work: a corner descended
+// once is counted once no matter how many queries consume it, and a
+// cache hit costs nothing. The caller attributes the batch to its
+// logical queries (see the ddc package's telemetry recording).
+
+// Box is one inclusive logical range-sum query inside a batch.
+type Box struct {
+	Lo, Hi grid.Point
+}
+
+// BatchStats describes how much work a batched execution shared.
+type BatchStats struct {
+	// Queries is the number of logical range sums answered.
+	Queries int
+	// CornerTerms counts the signed corner terms denoting non-empty
+	// regions, before deduplication (at most Queries * 2^d).
+	CornerTerms int
+	// SkippedCorners counts corner terms short-circuited as empty
+	// (a coordinate below the logical origin).
+	SkippedCorners int
+	// DistinctCorners is the number of distinct canonical corners the
+	// batch needed — the descents a sequential loop would have paid
+	// CornerTerms for.
+	DistinctCorners int
+	// CacheHits / CacheMisses split DistinctCorners into corners served
+	// from the versioned prefix cache and corners that descended.
+	CacheHits   int
+	CacheMisses int
+}
+
+// prefixCacheCap bounds the versioned prefix cache: small enough to
+// stay resident, large enough for a dashboard's worth of hot corners.
+const prefixCacheCap = 4096
+
+// prefixCache memoises corner prefix values between batches. All
+// entries belong to one mutation epoch; a lookup under a newer epoch
+// drops everything, so a single atomic epoch bump on any mutation is
+// the entire invalidation protocol. The mutex only coordinates batches
+// with each other — mutations never touch the cache.
+type prefixCache struct {
+	mu    sync.Mutex
+	epoch uint64
+	m     map[string]int64
+}
+
+// sync moves the cache to epoch, dropping stale entries, and returns
+// the map for use under the held lock. The map is cleared in place, not
+// reallocated: frequent invalidation (a mutation-heavy stream) must not
+// turn into allocation churn.
+func (c *prefixCache) sync(epoch uint64) map[string]int64 {
+	if c.m == nil {
+		c.m = make(map[string]int64, 64)
+	} else if c.epoch != epoch {
+		clear(c.m)
+	}
+	c.epoch = epoch
+	return c.m
+}
+
+// cornerKey encodes a canonical corner as a map key, appending to dst
+// to avoid a second allocation.
+func cornerKey(dst []byte, p grid.Point) []byte {
+	for _, v := range p {
+		u := uint64(v)
+		dst = append(dst, byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	}
+	return dst
+}
+
+// signedTerm references one distinct corner with its inclusion/
+// exclusion sign.
+type signedTerm struct {
+	corner int32
+	neg    bool
+}
+
+// batchScratch holds a batch execution's planning state, pooled so a
+// steady stream of batches plans allocation-free (the per-query result
+// slice and the cache's interned keys are the only per-call garbage).
+type batchScratch struct {
+	index    map[string]int32 // corner key -> index into distinct
+	distinct []grid.Point     // canonical corners; points are reused
+	terms    []signedTerm     // all queries' terms, flattened
+	qoff     []int32          // terms[qoff[i]:qoff[i+1]] belongs to query i
+	values   []int64          // one resolved value per distinct corner
+	work     []int32          // distinct indices missing from the cache
+	corner   grid.Point
+	hiBound  grid.Point
+	keyBuf   []byte
+}
+
+var batchScratchPool = sync.Pool{New: func() interface{} {
+	return &batchScratch{index: make(map[string]int32, 64)}
+}}
+
+// reset prepares the scratch for a d-dimensional batch of nq queries.
+func (s *batchScratch) reset(d, nq int) {
+	clear(s.index)
+	s.distinct = s.distinct[:0]
+	s.terms = s.terms[:0]
+	s.work = s.work[:0]
+	if cap(s.qoff) < nq+1 {
+		s.qoff = make([]int32, 0, nq+1)
+	}
+	s.qoff = s.qoff[:0]
+	if cap(s.corner) < d {
+		s.corner = make(grid.Point, d)
+		s.hiBound = make(grid.Point, d)
+	}
+	s.corner = s.corner[:d]
+	s.hiBound = s.hiBound[:d]
+}
+
+// addDistinct records a new canonical corner, reusing a pooled point
+// when one is available.
+func (s *batchScratch) addDistinct(p grid.Point) int32 {
+	ci := len(s.distinct)
+	if ci < cap(s.distinct) {
+		s.distinct = s.distinct[:ci+1]
+		if cap(s.distinct[ci]) >= len(p) {
+			s.distinct[ci] = s.distinct[ci][:len(p)]
+			copy(s.distinct[ci], p)
+			return int32(ci)
+		}
+	} else {
+		s.distinct = append(s.distinct, nil)
+	}
+	s.distinct[ci] = p.Clone()
+	return int32(ci)
+}
+
+// RangeSumBatch answers len(queries) range sums in one planned
+// execution; see the package comment above for the pipeline. It returns
+// one value per query, in order. Like RangeSum it is safe for any
+// number of concurrent callers (no mutation may run at the same time).
+func (t *Tree) RangeSumBatch(queries []Box) ([]int64, error) {
+	v, _, _, err := t.RangeSumBatchOps(queries)
+	return v, err
+}
+
+// RangeSumBatchOps is RangeSumBatch returning, in addition, the
+// operation counts of the deduplicated work this batch actually
+// performed (merged into the shared counter exactly once) and the
+// sharing statistics.
+func (t *Tree) RangeSumBatchOps(queries []Box) ([]int64, cube.OpCounter, BatchStats, error) {
+	stats := BatchStats{Queries: len(queries)}
+	if len(queries) == 0 {
+		return nil, cube.OpCounter{}, stats, nil
+	}
+	for i := range queries {
+		if err := t.checkRange(queries[i].Lo, queries[i].Hi); err != nil {
+			return nil, cube.OpCounter{}, stats, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+
+	// Plan: expand, canonicalize, deduplicate. The planning state comes
+	// from a pool so steady batch streams plan allocation-free.
+	d := t.d
+	masks := 1 << uint(d)
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.reset(d, len(queries))
+	corner, hiBound := sc.corner, sc.hiBound
+	for i := 0; i < d; i++ {
+		hiBound[i] = t.origin[i] + t.n - 1
+	}
+	keyBuf := sc.keyBuf
+	for qi := range queries {
+		lo, hi := queries[qi].Lo, queries[qi].Hi
+		sc.qoff = append(sc.qoff, int32(len(sc.terms)))
+		for mask := 0; mask < masks; mask++ {
+			parity := false
+			empty := false
+			for i := 0; i < d; i++ {
+				v := hi[i]
+				if mask&(1<<uint(i)) != 0 {
+					v = lo[i] - 1
+					parity = !parity
+				}
+				if v < t.origin[i] {
+					empty = true
+					break
+				}
+				if v > hiBound[i] {
+					v = hiBound[i]
+				}
+				corner[i] = v
+			}
+			if empty {
+				stats.SkippedCorners++
+				continue
+			}
+			stats.CornerTerms++
+			keyBuf = cornerKey(keyBuf[:0], corner)
+			ci, ok := sc.index[string(keyBuf)]
+			if !ok {
+				ci = sc.addDistinct(corner)
+				sc.index[string(keyBuf)] = ci
+			}
+			sc.terms = append(sc.terms, signedTerm{corner: ci, neg: parity})
+		}
+	}
+	sc.qoff = append(sc.qoff, int32(len(sc.terms)))
+	distinct := sc.distinct
+	stats.DistinctCorners = len(distinct)
+
+	// Serve what the versioned cache already knows. The epoch is stable
+	// for the whole batch: mutations require exclusive access, so none
+	// can run between this load and the stores below.
+	epoch := t.epoch.Load()
+	if cap(sc.values) < len(distinct) {
+		sc.values = make([]int64, len(distinct))
+	}
+	values := sc.values[:len(distinct)]
+	work := sc.work // cache misses to descend
+	t.pcache.mu.Lock()
+	cm := t.pcache.sync(epoch)
+	for ci, p := range distinct {
+		keyBuf = cornerKey(keyBuf[:0], p)
+		if v, ok := cm[string(keyBuf)]; ok {
+			values[ci] = v
+			stats.CacheHits++
+		} else {
+			work = append(work, int32(ci))
+		}
+	}
+	t.pcache.mu.Unlock()
+	stats.CacheMisses = len(work)
+
+	// Execute the distinct, uncached prefixes over the lock-free read
+	// path with a bounded fan-out; each worker merges its counts once.
+	var merged cube.OpCounter
+	batchParallel(len(work), func(wi int) {
+		ci := work[wi]
+		var ops cube.OpCounter
+		values[ci] = t.prefixWithOps(distinct[ci], &ops)
+		merged.AtomicAdd(ops)
+	})
+
+	// Install the freshly computed corners, bounded by the cache
+	// capacity (arbitrary eviction: hot dashboards re-warm in one
+	// batch, and correctness never depends on residency).
+	if len(work) > 0 {
+		t.pcache.mu.Lock()
+		cm = t.pcache.sync(epoch)
+		for _, ci := range work {
+			if len(cm) >= prefixCacheCap {
+				for k := range cm {
+					delete(cm, k)
+					break
+				}
+			}
+			keyBuf = cornerKey(keyBuf[:0], distinct[ci])
+			cm[string(keyBuf)] = values[ci]
+		}
+		t.pcache.mu.Unlock()
+	}
+
+	// Gather the signed terms back into per-query results.
+	out := make([]int64, len(queries))
+	for qi := range out {
+		var sum int64
+		for _, tm := range sc.terms[sc.qoff[qi]:sc.qoff[qi+1]] {
+			if tm.neg {
+				sum -= values[tm.corner]
+			} else {
+				sum += values[tm.corner]
+			}
+		}
+		out[qi] = sum
+	}
+
+	sc.keyBuf, sc.work = keyBuf, work
+	batchScratchPool.Put(sc)
+	snap := merged.AtomicSnapshot()
+	t.ops.AtomicAdd(snap)
+	return out, snap, stats, nil
+}
+
+// batchParallel runs fn(0..n-1) across up to GOMAXPROCS goroutines —
+// the bounded fan-out for distinct corner descents. Small batches (or a
+// single-processor box) stay on the calling goroutine.
+func batchParallel(n int, fn func(i int)) {
+	workers := n
+	if m := runtime.GOMAXPROCS(0); workers > m {
+		workers = m
+	}
+	if workers <= 1 || n < 4 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -22,6 +22,7 @@ func (t *Tree) Grow(before []bool) error {
 	if t.n*2 > maxSide {
 		return fmt.Errorf("%w: side %d would exceed %d", ErrTooLarge, t.n*2, maxSide)
 	}
+	t.bumpEpoch()
 	ci := 0
 	for i, bf := range before {
 		if bf {
@@ -76,6 +77,7 @@ func (t *Tree) GrowToInclude(p grid.Point) error {
 // query cost for ranges that cut through grown regions. Cost is
 // proportional to the number of nonzero cells below delegating boxes.
 func (t *Tree) Materialize() {
+	t.bumpEpoch()
 	var ops cube.OpCounter
 	t.materializeRec(&ops, t.root, make(grid.Point, t.d), t.n)
 	t.ops.AtomicAdd(ops)

@@ -199,6 +199,13 @@ type prefixOracle struct {
 
 func (o prefixOracle) Prefix(p grid.Point) int64 { return o.t.prefixWithOps(p, o.ops) }
 
+// LowerBound implements grid.LowerBounded: a corner with any coordinate
+// below the tree's logical origin dominates an empty region, so the
+// corner reduction skips it without paying for a scratch checkout and a
+// clamp pass. The origin is only written by Grow, which requires
+// exclusive access, so returning it without copying is safe here.
+func (o prefixOracle) LowerBound() grid.Point { return o.t.origin }
+
 // RangeSum returns the sum over the inclusive logical box [lo, hi] via
 // the corner reduction of Figure 4 (at most 2^d prefix queries). Like
 // Prefix, it is safe for any number of concurrent callers.
@@ -237,13 +244,21 @@ func (t *Tree) checkRange(lo, hi grid.Point) error {
 }
 
 // Get returns the raw value of cell p (0 outside the current bounds) by
-// descending to its leaf tile in O(log n). It reads no shared scratch
-// and counts no operations, so it is safe for concurrent callers.
+// descending to its leaf tile in O(log n). Per-call state comes from the
+// pooled query scratch and no operations are counted, so it is safe for
+// concurrent callers and allocation-free.
 func (t *Tree) Get(p grid.Point) int64 {
 	if len(p) != t.d || t.root == nil {
 		return 0
 	}
-	q := make(grid.Point, t.d)
+	s := getQueryScratch(t.d)
+	v := t.getWithScratch(s, p)
+	putQueryScratch(s)
+	return v
+}
+
+func (t *Tree) getWithScratch(s *queryScratch, p grid.Point) int64 {
+	q := s.q
 	for i, v := range p {
 		v -= t.origin[i]
 		if v < 0 || v >= t.n {
@@ -252,7 +267,10 @@ func (t *Tree) Get(p grid.Point) int64 {
 		q[i] = v
 	}
 	nd := t.root
-	anchor := make(grid.Point, t.d)
+	anchor := s.frame(0, t.d).boxAnchor
+	for i := range anchor {
+		anchor[i] = 0
+	}
 	ext := t.n
 	for ext > t.cfg.Tile {
 		if nd == nil || nd.children == nil {

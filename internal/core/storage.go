@@ -152,6 +152,7 @@ func statsRec(nd *node, s *Stats) {
 // later zeroed) call this at quiet moments; bounds and configuration
 // are preserved and every query answers identically afterwards.
 func (t *Tree) Compact() {
+	t.bumpEpoch()
 	old := t.root
 	oldN := t.n
 	t.root = nil

@@ -24,6 +24,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ddc/internal/bctree"
 	"ddc/internal/cube"
@@ -106,7 +107,34 @@ type Tree struct {
 	scr  scratch
 	zero grid.Point // all-zero root anchor, never written
 	pbuf grid.Point // internalized update point buffer (Add/Set)
+
+	// epoch counts mutations (Add/Set, Grow, Materialize, Compact); the
+	// batched query engine's prefix cache is versioned by it, so one
+	// atomic bump invalidates every cached corner value (see batch.go).
+	// Nested group trees carry their own epoch, which is never read.
+	epoch atomic.Uint64
+
+	// pcache memoises corner prefix values for the batched query engine
+	// (outer trees only; see batch.go).
+	pcache prefixCache
 }
+
+// Epoch returns the tree's mutation epoch: it moves on every Add/Set,
+// Grow, Materialize and Compact. Readers use it to version derived
+// values (the batched engine's prefix cache); safe to call concurrently
+// with queries.
+func (t *Tree) Epoch() uint64 { return t.epoch.Load() }
+
+// bumpEpoch records that a mutation (or an explicit invalidation)
+// happened; cached corner prefix values versioned by an older epoch are
+// dead from here on.
+func (t *Tree) bumpEpoch() { t.epoch.Add(1) }
+
+// InvalidatePrefixCache drops every cached corner prefix value by
+// bumping the mutation epoch. Mutations invalidate automatically; this
+// hook serves benchmarks and tests that need a cold cache on an
+// unchanged tree.
+func (t *Tree) InvalidatePrefixCache() { t.bumpEpoch() }
 
 // node is one tree node; a nil node (or child) is an all-zero region.
 type node struct {

@@ -24,6 +24,9 @@ func (t *Tree) Add(p grid.Point, delta int64) error {
 // B_c/nested-cube work). The counts are still merged into the shared
 // counter; the copy feeds the telemetry layer's per-update attribution.
 func (t *Tree) AddOps(p grid.Point, delta int64) (cube.OpCounter, error) {
+	// Bump before applying: even a failed or zero-delta update
+	// conservatively invalidates cached corner prefix values.
+	t.bumpEpoch()
 	var ops cube.OpCounter
 	if err := t.addWithOps(p, delta, &ops); err != nil {
 		return ops, err

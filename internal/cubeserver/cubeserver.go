@@ -12,6 +12,7 @@
 //	POST /v1/checkpoint (persist a snapshot and rotate the log)
 //	GET  /v1/get?point=45,341
 //	GET  /v1/sum?range=27,220:45,251
+//	POST /v1/sum/batch  {"queries":[{"lo":[27,220],"hi":[45,251]},...]}
 //	GET  /v1/scan?range=27,220:45,251&limit=100
 //	GET  /v1/explain?point=45,341
 //	GET  /v1/stats
@@ -137,6 +138,7 @@ func NewWithPersistence(c *ddc.DynamicCube, p Persistence, opts Options) *Server
 	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/v1/get", s.handleGet)
 	s.mux.HandleFunc("/v1/sum", s.handleSum)
+	s.mux.HandleFunc("/v1/sum/batch", s.handleSumBatch)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/scan", s.handleScan)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
@@ -373,6 +375,57 @@ func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int64{"sum": sum})
+}
+
+// maxBatchQueries caps POST /v1/sum/batch so a single request cannot
+// monopolise the read path.
+const maxBatchQueries = 4096
+
+func (s *Server) handleSumBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Queries []struct {
+			Lo []int `json:"lo"`
+			Hi []int `json:"hi"`
+		} `json:"queries"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "queries required")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeErr(w, http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	queries := make([]ddc.RangeQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = ddc.RangeQuery{Lo: q.Lo, Hi: q.Hi}
+	}
+	s.mu.RLock()
+	sums, stats, err := s.c.RangeSumBatchStats(queries)
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"sums": sums,
+		"batch": map[string]int{
+			"queries":          stats.Queries,
+			"corner_terms":     stats.CornerTerms,
+			"skipped_corners":  stats.SkippedCorners,
+			"distinct_corners": stats.DistinctCorners,
+			"cache_hits":       stats.CacheHits,
+			"cache_misses":     stats.CacheMisses,
+		},
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

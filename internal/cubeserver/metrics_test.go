@@ -233,3 +233,111 @@ func TestPprofGated(t *testing.T) {
 		t.Errorf("pprof index status %d, want 200", resp.StatusCode)
 	}
 }
+
+// TestSumBatchEndpoint exercises POST /v1/sum/batch end to end: the
+// batched sums must match the sequential endpoint, the response carries
+// the planner's sharing stats, and telemetry attributes every logical
+// query while counting the deduplicated work once — visible through
+// both /metrics and /v1/stats.
+func TestSumBatchEndpoint(t *testing.T) {
+	resetTelemetry(t)
+	srv := newTestServer(t, nil, mustCube(t, []int{64, 32}, ddc.Options{}))
+
+	for i := 0; i < 40; i++ {
+		post(t, srv.URL+"/v1/add", fmt.Sprintf(`{"point":[%d,%d],"delta":%d}`, (i*13)%64, (i*7)%32, 1+i%5))
+	}
+
+	// Overlapping windows: heavy corner sharing across the batch.
+	body := `{"queries":[
+		{"lo":[0,4],"hi":[15,27]},
+		{"lo":[8,4],"hi":[23,27]},
+		{"lo":[16,4],"hi":[31,27]},
+		{"lo":[0,4],"hi":[15,27]}
+	]}`
+	resp, out := post(t, srv.URL+"/v1/sum/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	sums, ok := out["sums"].([]interface{})
+	if !ok || len(sums) != 4 {
+		t.Fatalf("sums = %v, want 4 values", out["sums"])
+	}
+	ranges := []string{"0,4:15,27", "8,4:23,27", "16,4:31,27", "0,4:15,27"}
+	for i, rg := range ranges {
+		_, one := get(t, srv.URL+"/v1/sum?range="+rg)
+		if sums[i].(float64) != one["sum"].(float64) {
+			t.Errorf("query %d: batch %v != sequential %v", i, sums[i], one["sum"])
+		}
+	}
+	batch, ok := out["batch"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("no batch stats in response: %v", out)
+	}
+	if batch["queries"].(float64) != 4 {
+		t.Errorf("batch.queries = %v, want 4", batch["queries"])
+	}
+	terms := batch["corner_terms"].(float64)
+	distinct := batch["distinct_corners"].(float64)
+	if distinct <= 0 || distinct >= terms {
+		t.Errorf("no dedup visible: %v distinct of %v terms", distinct, terms)
+	}
+
+	// Telemetry: 4 logical queries attributed, physical work once.
+	m := scrapeMetrics(t, srv.URL)
+	if got := m[`ddc_queries_total{op="rangesum_batch"}`]; got != 4 {
+		t.Errorf(`ddc_queries_total{op="rangesum_batch"} = %v, want 4`, got)
+	}
+	if got := m["ddc_batch_queries_total"]; got != 4 {
+		t.Errorf("ddc_batch_queries_total = %v, want 4", got)
+	}
+	if got := m["ddc_batch_distinct_corners_total"]; got != distinct {
+		t.Errorf("ddc_batch_distinct_corners_total = %v, want %v", got, distinct)
+	}
+	if got := m["ddc_batch_corner_terms_total"]; got != terms {
+		t.Errorf("ddc_batch_corner_terms_total = %v, want %v", got, terms)
+	}
+	if m["ddc_batch_size_count"] != 1 {
+		t.Errorf("ddc_batch_size_count = %v, want 1", m["ddc_batch_size_count"])
+	}
+
+	// /v1/stats folds the batch members into the aggregate query count:
+	// 4 sequential re-checks above plus the 4 batched queries.
+	_, stats := get(t, srv.URL+"/v1/stats")
+	ops := stats["ops"].(map[string]interface{})
+	if got := ops["queries"].(float64); got != 8 {
+		t.Errorf("stats queries = %v, want 8 (4 batched + 4 sequential)", got)
+	}
+}
+
+// TestSumBatchEndpointErrors pins the endpoint's rejection paths.
+func TestSumBatchEndpointErrors(t *testing.T) {
+	resetTelemetry(t)
+	srv := newTestServer(t, nil, mustCube(t, []int{16, 16}, ddc.Options{}))
+
+	if resp, err := http.Get(srv.URL + "/v1/sum/batch"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET status = %d, want 405", resp.StatusCode)
+		}
+	}
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty", `{"queries":[]}`},
+		{"malformed", `{"queries":`},
+		{"bad query", `{"queries":[{"lo":[0,0],"hi":[3,3]},{"lo":[5,5],"hi":[2,2]}]}`},
+		{"out of bounds", `{"queries":[{"lo":[0,0],"hi":[99,99]}]}`},
+	} {
+		resp, out := post(t, srv.URL+"/v1/sum/batch", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%v)", tc.name, resp.StatusCode, out)
+		}
+	}
+	// The failing index is named so clients can repair the batch.
+	_, out := post(t, srv.URL+"/v1/sum/batch", `{"queries":[{"lo":[0,0],"hi":[3,3]},{"lo":[5,5],"hi":[2,2]}]}`)
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "query 1") {
+		t.Errorf("error %q does not name the failing query", msg)
+	}
+}

@@ -186,6 +186,47 @@ func Ranges(r *RNG, dims []int, count int, frac float64) []Query {
 	return out
 }
 
+// Windows returns count sliding-window queries along dimension dim: the
+// i-th window starts at ((i % k) * stride) where k is the number of
+// stride-aligned start positions that fit, so windows cycle over an
+// aligned lattice and adjacent windows share corner planes (the hi edge
+// of one window is the lo-1 edge of a window stride cells later when
+// stride divides width). The other dimensions are fixed to the given
+// inclusive extents. This is the dashboard shape batched range-sum
+// execution deduplicates: count*2^d corner terms collapse onto a small
+// corner lattice.
+func Windows(dims []int, count, dim, width, stride int, otherLo, otherHi []int) []Query {
+	if width < 1 {
+		width = 1
+	}
+	if width > dims[dim] {
+		width = dims[dim]
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	k := (dims[dim]-width)/stride + 1
+	out := make([]Query, count)
+	for i := range out {
+		lo := make(grid.Point, len(dims))
+		hi := make(grid.Point, len(dims))
+		oi := 0
+		for j := range dims {
+			if j == dim {
+				start := (i % k) * stride
+				lo[j] = start
+				hi[j] = start + width - 1
+			} else {
+				lo[j] = otherLo[oi]
+				hi[j] = otherHi[oi]
+				oi++
+			}
+		}
+		out[i] = Query{Lo: lo, Hi: hi}
+	}
+	return out
+}
+
 // Trades returns an interleaved stream of updates and queries simulating
 // the paper's Internet-commerce scenario: mostly point updates (new
 // trades) with periodic analytic range queries. Every qEvery-th

@@ -203,3 +203,28 @@ func TestTrades(t *testing.T) {
 		}
 	}
 }
+
+func TestWindows(t *testing.T) {
+	dims := []int{64, 16}
+	qs := Windows(dims, 20, 0, 16, 8, []int{2}, []int{13})
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries, want 20", len(qs))
+	}
+	k := (dims[0]-16)/8 + 1
+	for i, q := range qs {
+		if q.Lo[1] != 2 || q.Hi[1] != 13 {
+			t.Fatalf("query %d: fixed dim = [%d,%d], want [2,13]", i, q.Lo[1], q.Hi[1])
+		}
+		wantStart := (i % k) * 8
+		if q.Lo[0] != wantStart || q.Hi[0] != wantStart+15 {
+			t.Fatalf("query %d: window = [%d,%d], want [%d,%d]", i, q.Lo[0], q.Hi[0], wantStart, wantStart+15)
+		}
+		if q.Hi[0] >= dims[0] {
+			t.Fatalf("query %d: window exceeds domain", i)
+		}
+	}
+	// Windows cycle: query k repeats query 0's box, sharing every corner.
+	if qs[k].Lo[0] != qs[0].Lo[0] {
+		t.Fatalf("window %d does not cycle back to window 0", k)
+	}
+}

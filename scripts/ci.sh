@@ -2,9 +2,10 @@
 # CI gate: static checks, build, the full test suite, the -race
 # concurrency tier (see README "Testing" and DESIGN.md §7), the
 # fault-injection durability tier (DESIGN.md §9: crash/corruption
-# matrices over the WAL and the store), and the telemetry-overhead
+# matrices over the WAL and the store), the telemetry-overhead
 # benchmark (DESIGN.md §8: the disabled fast path must stay within 2%
-# of pre-telemetry ns/op).
+# of pre-telemetry ns/op), the batch-equivalence property tier and the
+# batched-query bench smoke (DESIGN.md §10).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -24,3 +25,11 @@ go test -race -run Concurrent ./...
 # store commit point and checkpoint stage, with verbose failure output.
 go test -run 'WAL|Replay|Crash|Corrupt|Torn' -count=1 . ./internal/store
 go test -run - -bench BenchmarkTelemetryOverhead -benchtime 0.5s .
+# Batch-equivalence property tier: a planned RangeSumBatch must answer
+# exactly what a sequential RangeSum loop answers, on every Cube
+# implementation, grown domains and sharded cubes included (DESIGN.md
+# §10), plus the endpoint's contract.
+go test -run 'RangeSumBatch|BatchTelemetry|SumBatch' -count=1 . ./internal/cubeserver
+# Bench smoke: the batched engine's JSON section must produce sane
+# numbers end to end (full suite writes BENCH_pr5.json).
+go run ./cmd/ddcbench -json /tmp/ddc_batch_smoke.json -smoke

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ddc/internal/core"
 	"ddc/internal/cube"
 	"ddc/internal/grid"
 )
@@ -447,6 +448,131 @@ func (s *ShardedCube) RangeSum(lo, hi []int) (int64, error) {
 		return 0, err
 	}
 	return total, nil
+}
+
+// RangeSumBatch implements Cube: every query is split at slab
+// boundaries and each overlapping shard receives its share of the whole
+// batch as one sub-batch, so the batch fans out to the shards once (not
+// once per query) and each shard's engine deduplicates corners and
+// consults its versioned prefix cache across all the windows touching
+// its slab. Per-query results are gathered by adding the shards'
+// partial sums. A bad query rejects the whole batch before any shard
+// runs.
+func (s *ShardedCube) RangeSumBatch(queries []RangeQuery) ([]int64, error) {
+	sums, _, err := s.rangeSumBatch(queries)
+	return sums, err
+}
+
+// RangeSumBatchStats is RangeSumBatch returning, in addition, the
+// batch's sharing statistics summed across the shards it fanned out to.
+func (s *ShardedCube) RangeSumBatchStats(queries []RangeQuery) ([]int64, BatchStats, error) {
+	return s.rangeSumBatch(queries)
+}
+
+// InvalidatePrefixCache drops every shard's cached corner prefixes; see
+// DynamicCube.InvalidatePrefixCache.
+func (s *ShardedCube) InvalidatePrefixCache() {
+	for i := range s.shards {
+		s.shards[i].c.InvalidatePrefixCache()
+	}
+}
+
+func (s *ShardedCube) rangeSumBatch(queries []RangeQuery) ([]int64, BatchStats, error) {
+	if len(queries) == 0 {
+		return nil, BatchStats{}, nil
+	}
+	// Validate everything up front, then split each box at the slab
+	// boundaries into shard-local sub-boxes tagged with their owner.
+	subs := make([][]core.Box, len(s.shards)) // shard-local sub-batches
+	owners := make([][]int, len(s.shards))    // owning query per sub-box
+	for qi := range queries {
+		lo, hi := queries[qi].Lo, queries[qi].Hi
+		if len(lo) != len(s.dims) || len(hi) != len(s.dims) {
+			return nil, BatchStats{}, fmt.Errorf("query %d: %w: box dims", qi, ErrDims)
+		}
+		for i := range lo {
+			if lo[i] > hi[i] {
+				return nil, BatchStats{}, fmt.Errorf("query %d: %w: dimension %d", qi, ErrEmptyRange, i)
+			}
+			if lo[i] < 0 || hi[i] >= s.dims[i] {
+				return nil, BatchStats{}, fmt.Errorf("query %d: %w: dimension %d", qi, ErrRange, i)
+			}
+		}
+		first, last := lo[0]/s.span, hi[0]/s.span
+		for si := first; si <= last; si++ {
+			sh := &s.shards[si]
+			slabLo, slabHi := si*s.span, si*s.span+sh.c.Dims()[0]-1
+			llo := grid.Point(append([]int(nil), lo...))
+			lhi := grid.Point(append([]int(nil), hi...))
+			if llo[0] < slabLo {
+				llo[0] = slabLo
+			}
+			if lhi[0] > slabHi {
+				lhi[0] = slabHi
+			}
+			llo[0] -= slabLo
+			lhi[0] -= slabLo
+			subs[si] = append(subs[si], core.Box{Lo: llo, Hi: lhi})
+			owners[si] = append(owners[si], qi)
+		}
+	}
+	work := make([]int, 0, len(s.shards))
+	for si := range subs {
+		if len(subs[si]) > 0 {
+			work = append(work, si)
+		}
+	}
+	tel := globalTelemetry
+	on := tel.on()
+	var start time.Time
+	if on {
+		start = time.Now()
+	}
+	var merged cube.OpCounter
+	shStats := make([]core.BatchStats, len(s.shards)) // per-owner slots: race-free
+	out := make([]int64, len(queries))
+	var firstErr atomic.Value
+	parallelDo(len(work), func(wi int) {
+		if on {
+			tel.recordQueueWait(time.Since(start))
+		}
+		si := work[wi]
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		sums, ops, st, err := sh.c.t.RangeSumBatchOps(subs[si])
+		sh.mu.RUnlock()
+		merged.AtomicAdd(ops)
+		shStats[si] = st
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err)
+			return
+		}
+		for k, v := range sums {
+			atomic.AddInt64(&out[owners[si][k]], v)
+		}
+	})
+	if err, ok := firstErr.Load().(error); ok {
+		return nil, BatchStats{}, err
+	}
+	stats := BatchStats{Queries: len(queries)}
+	for si := range shStats {
+		stats.merge(shStats[si])
+	}
+	if on {
+		d := time.Since(start)
+		tel.recordFanout(len(work))
+		tel.recordBatch(len(queries), d, merged.AtomicSnapshot(), stats)
+		if sampled, slow := tel.shouldTrace(d); sampled || slow {
+			snap := merged.AtomicSnapshot()
+			tel.trace(QueryTrace{
+				Op: "rangesum_batch", Start: start, DurationNs: d.Nanoseconds(),
+				Batch: len(queries), Shards: len(work),
+				NodeVisits: snap.NodeVisits, QueryCells: snap.QueryCells,
+				Contributions: contribMap(snap), Slow: slow,
+			})
+		}
+	}
+	return out, stats, nil
 }
 
 // Total implements Cube, summing the shards in parallel.

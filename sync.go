@@ -102,6 +102,17 @@ func (s *Synchronized) RangeSum(lo, hi []int) (int64, error) {
 	return s.c.RangeSum(lo, hi)
 }
 
+// RangeSumBatch implements Cube, answering the whole batch under one
+// lock acquisition (shared when the wrapped cube tolerates concurrent
+// readers). The wrapped cube's own batched engine — corner dedup,
+// versioned prefix cache, parallel descents for DynamicCube and
+// ShardedCube — runs underneath.
+func (s *Synchronized) RangeSumBatch(queries []RangeQuery) ([]int64, error) {
+	s.rlock()
+	defer s.runlock()
+	return s.c.RangeSumBatch(queries)
+}
+
 // Total implements Cube.
 func (s *Synchronized) Total() int64 {
 	s.rlock()

@@ -50,6 +50,14 @@ type Telemetry struct {
 	fanoutWidth *obs.Histogram
 	queueWait   *obs.Histogram
 
+	batchQueries   *obs.Counter
+	batchCorners   *obs.Counter
+	batchDistinct  *obs.Counter
+	batchCacheHits *obs.Counter
+	batchCacheMiss *obs.Counter
+	batchSizeHist  *obs.Histogram
+	batchLat       *obs.Histogram
+
 	walAppends    *obs.Counter
 	walFlushes    *obs.Counter
 	walAppendLat  *obs.Histogram
@@ -79,6 +87,7 @@ type Telemetry struct {
 const (
 	qOpPrefix = iota
 	qOpRange
+	qOpBatchRange
 	numQueryOps
 )
 
@@ -89,7 +98,7 @@ const (
 	numUpdateOps
 )
 
-var qOpNames = [numQueryOps]string{"prefix", "rangesum"}
+var qOpNames = [numQueryOps]string{"prefix", "rangesum", "rangesum_batch"}
 var uOpNames = [numUpdateOps]string{"add", "set", "batch"}
 
 // kindNames maps core.ContributionKind values to metric labels.
@@ -146,6 +155,20 @@ func NewTelemetry() *Telemetry {
 		"shards touched per sharded operation", obs.ExpBuckets(1, 11))
 	t.queueWait = reg.Histogram("ddc_shard_queue_wait_ns",
 		"delay between fan-out start and per-shard task start", obs.LatencyBuckets())
+	t.batchQueries = reg.Counter("ddc_batch_queries_total",
+		"logical range queries answered through batched execution")
+	t.batchCorners = reg.Counter("ddc_batch_corner_terms_total",
+		"non-empty signed corner terms expanded by batch planning (pre-dedup)")
+	t.batchDistinct = reg.Counter("ddc_batch_distinct_corners_total",
+		"distinct corner prefixes a batch needed after deduplication")
+	t.batchCacheHits = reg.Counter("ddc_batch_cache_hits_total",
+		"distinct corners served from the versioned prefix cache")
+	t.batchCacheMiss = reg.Counter("ddc_batch_cache_misses_total",
+		"distinct corners that descended the tree (cache misses)")
+	t.batchSizeHist = reg.Histogram("ddc_batch_size",
+		"logical queries per batched range-sum call", obs.ExpBuckets(1, 13))
+	t.batchLat = reg.Histogram("ddc_batch_latency_ns",
+		"batched range-sum call latency in nanoseconds", obs.LatencyBuckets())
 	t.walAppends = reg.Counter("ddc_wal_appends_total", "WAL records appended")
 	t.walFlushes = reg.Counter("ddc_wal_flushes_total", "WAL flushes")
 	t.walAppendLat = reg.Histogram("ddc_wal_append_latency_ns",
@@ -264,6 +287,14 @@ type TelemetrySnapshot struct {
 	ShardFanoutWidth DistStats `json:"shard_fanout_width"`
 	ShardQueueWaitNs DistStats `json:"shard_queue_wait_ns"`
 
+	BatchQueries         uint64    `json:"batch_queries"`
+	BatchCornerTerms     uint64    `json:"batch_corner_terms"`
+	BatchDistinctCorners uint64    `json:"batch_distinct_corners"`
+	BatchCacheHits       uint64    `json:"batch_cache_hits"`
+	BatchCacheMisses     uint64    `json:"batch_cache_misses"`
+	BatchSize            DistStats `json:"batch_size"`
+	BatchLatencyNs       DistStats `json:"batch_latency_ns"`
+
 	WALAppends     uint64    `json:"wal_appends"`
 	WALFlushes     uint64    `json:"wal_flushes"`
 	WALAppendNs    DistStats `json:"wal_append_ns"`
@@ -308,6 +339,13 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	s.UpdateLatencyNs = distFrom(t.updateLat.Snapshot())
 	s.ShardFanoutWidth = distFrom(t.fanoutWidth.Snapshot())
 	s.ShardQueueWaitNs = distFrom(t.queueWait.Snapshot())
+	s.BatchQueries = t.batchQueries.Value()
+	s.BatchCornerTerms = t.batchCorners.Value()
+	s.BatchDistinctCorners = t.batchDistinct.Value()
+	s.BatchCacheHits = t.batchCacheHits.Value()
+	s.BatchCacheMisses = t.batchCacheMiss.Value()
+	s.BatchSize = distFrom(t.batchSizeHist.Snapshot())
+	s.BatchLatencyNs = distFrom(t.batchLat.Snapshot())
 	s.WALAppends = t.walAppends.Value()
 	s.WALFlushes = t.walFlushes.Value()
 	s.WALAppendNs = distFrom(t.walAppendLat.Snapshot())
@@ -347,6 +385,10 @@ type QueryTrace struct {
 
 	// Shards is the fan-out width for sharded queries (0 otherwise).
 	Shards int `json:"shards,omitempty"`
+
+	// Batch is the number of logical queries a batched call answered
+	// (0 for single queries).
+	Batch int `json:"batch,omitempty"`
 
 	NodeVisits    uint64            `json:"node_visits"`
 	QueryCells    uint64            `json:"query_cells"`
@@ -440,6 +482,26 @@ func (t *Telemetry) recordQuery(op int, d time.Duration, ops cube.OpCounter) {
 	t.queryCells.Add(ops.QueryCells)
 	for i, n := range ops.Contribs {
 		t.contrib[i].Add(n)
+	}
+}
+
+// recordBatch records one batched range-sum call: n logical queries
+// attributed to the rangesum_batch op (so ddc_queries_total and
+// /v1/stats see every logical query), the deduplicated work counted
+// exactly once, and the sharing statistics.
+func (t *Telemetry) recordBatch(n int, d time.Duration, ops cube.OpCounter, st BatchStats) {
+	t.queries[qOpBatchRange].Add(uint64(n))
+	t.batchQueries.Add(uint64(n))
+	t.batchSizeHist.Observe(uint64(n))
+	t.batchLat.Observe(uint64(d.Nanoseconds()))
+	t.batchCorners.Add(uint64(st.CornerTerms))
+	t.batchDistinct.Add(uint64(st.DistinctCorners))
+	t.batchCacheHits.Add(uint64(st.CacheHits))
+	t.batchCacheMiss.Add(uint64(st.CacheMisses))
+	t.queryNodeVisits.Add(ops.NodeVisits)
+	t.queryCells.Add(ops.QueryCells)
+	for i, c := range ops.Contribs {
+		t.contrib[i].Add(c)
 	}
 }
 

@@ -205,6 +205,12 @@ func (l *WAL) Prefix(p []int) int64 { return l.c.Prefix(p) }
 // RangeSum implements Cube.
 func (l *WAL) RangeSum(lo, hi []int) (int64, error) { return l.c.RangeSum(lo, hi) }
 
+// RangeSumBatch implements Cube, delegating to the inner cube's batched
+// engine (reads are never logged).
+func (l *WAL) RangeSumBatch(queries []RangeQuery) ([]int64, error) {
+	return l.c.RangeSumBatch(queries)
+}
+
 // Total implements Cube.
 func (l *WAL) Total() int64 { return l.c.Total() }
 
