@@ -1,0 +1,227 @@
+package ddc
+
+import (
+	"bytes"
+	"testing"
+
+	"ddc/internal/workload"
+)
+
+// The backend property tier: every prefix-sum backend must be
+// observationally identical through the full cube API — same sums, same
+// cells, same growth behaviour — because the backend is a layout
+// choice, not a semantic one (DESIGN.md §11).
+
+// backendOpSequence drives one cube through the shared workload: point
+// adds, sets, auto-growth past both bounds (so the domain acquires a
+// negative origin), an explicit Grow, and interleaved reads.
+func backendOpSequence(t *testing.T, c *DynamicCube) {
+	t.Helper()
+	r := workload.NewRNG(613)
+	for i := 0; i < 400; i++ {
+		p := []int{r.Intn(16), r.Intn(16)}
+		if err := c.Add(p, 1+r.Int63n(9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Auto-growth in both directions: below the origin and past the far
+	// edge.
+	if err := c.Set([]int{-5, 3}, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add([]int{20, -7}, 17); err != nil {
+		t.Fatal(err)
+	}
+	// An explicit grow prepending space on dimension 0.
+	if err := c.Grow([]bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p := []int{r.Intn(40) - 12, r.Intn(40) - 12}
+		if err := c.Add(p, r.Int63n(21)-10); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// backendProbes compares two cubes cell by cell and sum by sum over the
+// union domain, plus a window fleet answered both singly and batched.
+func backendProbes(t *testing.T, want, got *DynamicCube, label string) {
+	t.Helper()
+	if w, g := want.Total(), got.Total(); w != g {
+		t.Fatalf("%s: total %d != %d", label, g, w)
+	}
+	if w, g := want.NonZeroCells(), got.NonZeroCells(); w != g {
+		t.Fatalf("%s: nonzero cells %d != %d", label, g, w)
+	}
+	lo, hi := want.Bounds()
+	glo, ghi := got.Bounds()
+	for i := range lo {
+		if lo[i] != glo[i] || hi[i] != ghi[i] {
+			t.Fatalf("%s: bounds [%v,%v) != [%v,%v)", label, glo, ghi, lo, hi)
+		}
+	}
+	for x := lo[0]; x < hi[0]; x += 3 {
+		for y := lo[1]; y < hi[1]; y += 3 {
+			p := []int{x, y}
+			if w, g := want.Get(p), got.Get(p); w != g {
+				t.Fatalf("%s: Get(%v) = %d, want %d", label, p, g, w)
+			}
+			if w, g := want.Prefix(p), got.Prefix(p); w != g {
+				t.Fatalf("%s: Prefix(%v) = %d, want %d", label, p, g, w)
+			}
+		}
+	}
+	queries := make([]RangeQuery, 0, 32)
+	r := workload.NewRNG(1009)
+	for i := 0; i < 32; i++ {
+		q := RangeQuery{Lo: make([]int, 2), Hi: make([]int, 2)}
+		for j := 0; j < 2; j++ {
+			span := hi[j] - lo[j]
+			a := lo[j] + r.Intn(span)
+			b := lo[j] + r.Intn(span)
+			if a > b {
+				a, b = b, a
+			}
+			q.Lo[j], q.Hi[j] = a, b
+		}
+		queries = append(queries, q)
+		w, err := want.RangeSum(q.Lo, q.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := got.RangeSum(q.Lo, q.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != g {
+			t.Fatalf("%s: RangeSum(%v,%v) = %d, want %d", label, q.Lo, q.Hi, g, w)
+		}
+	}
+	wb, err := want.RangeSumBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := got.RangeSumBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wb {
+		if wb[i] != gb[i] {
+			t.Fatalf("%s: batch[%d] = %d, want %d", label, i, gb[i], wb[i])
+		}
+	}
+}
+
+// buildBackendCube runs the shared op sequence on a fresh cube over the
+// named backend.
+func buildBackendCube(t *testing.T, backend string) *DynamicCube {
+	t.Helper()
+	c, err := NewDynamicWithOptions([]int{16, 16}, Options{AutoGrow: true, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Backend(); backend != "" && got != backend {
+		t.Fatalf("Backend() = %q, want %q", got, backend)
+	}
+	backendOpSequence(t, c)
+	return c
+}
+
+// TestBackendEquivalence drives every backend through the same op
+// sequence — adds, sets, auto- and explicit growth into a
+// negative-origin domain, range sums, batches — and demands exact
+// agreement with the classic reference.
+func TestBackendEquivalence(t *testing.T) {
+	ref := buildBackendCube(t, "classic")
+	for _, backend := range Backends() {
+		if backend == "classic" {
+			continue
+		}
+		backendProbes(t, ref, buildBackendCube(t, backend), backend)
+	}
+}
+
+// TestBackendSnapshotRoundTrip saves a grown cube under each backend
+// and reloads it under every backend (including itself): snapshots are
+// backend-agnostic, so every pairing must reproduce the cube exactly.
+func TestBackendSnapshotRoundTrip(t *testing.T) {
+	for _, from := range Backends() {
+		src := buildBackendCube(t, from)
+		var buf bytes.Buffer
+		if err := src.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, to := range Backends() {
+			got, err := LoadDynamicBackend(bytes.NewReader(buf.Bytes()), to)
+			if err != nil {
+				t.Fatalf("%s->%s: %v", from, to, err)
+			}
+			if g := got.Backend(); g != to {
+				t.Fatalf("%s->%s: loaded backend %q", from, to, g)
+			}
+			backendProbes(t, src, got, from+"->"+to)
+		}
+	}
+}
+
+// TestBackendAllocs pins the steady-state read paths at zero
+// allocations per operation for every backend: RangeSum and Get
+// allocate nothing, and RangeSumBatchInto with a warm prefix cache
+// reuses every buffer it needs.
+func TestBackendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime defeats sync.Pool reuse; counts would measure the detector")
+	}
+	for _, backend := range Backends() {
+		c, err := BuildDynamic([]int{64, 64}, seqVals(64*64), Options{Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := []int{3, 5}, []int{60, 59}
+		p := []int{17, 23}
+		queries := []RangeQuery{
+			{Lo: []int{0, 0}, Hi: []int{31, 31}},
+			{Lo: []int{16, 16}, Hi: []int{47, 47}},
+			{Lo: []int{3, 5}, Hi: []int{60, 59}},
+			{Lo: []int{8, 0}, Hi: []int{39, 31}},
+		}
+		out := make([]int64, len(queries))
+		// Warm the prefix cache: the first batch and range sum may install
+		// cache entries; steady state must not.
+		if _, err := c.RangeSum(lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RangeSumBatchInto(queries, out); err != nil {
+			t.Fatal(err)
+		}
+		if a := testing.AllocsPerRun(100, func() {
+			if _, err := c.RangeSum(lo, hi); err != nil {
+				t.Fatal(err)
+			}
+		}); a != 0 {
+			t.Errorf("%s: RangeSum allocates %.1f/op", backend, a)
+		}
+		if a := testing.AllocsPerRun(100, func() {
+			_ = c.Get(p)
+		}); a != 0 {
+			t.Errorf("%s: Get allocates %.1f/op", backend, a)
+		}
+		if a := testing.AllocsPerRun(100, func() {
+			if err := c.RangeSumBatchInto(queries, out); err != nil {
+				t.Fatal(err)
+			}
+		}); a != 0 {
+			t.Errorf("%s: RangeSumBatchInto allocates %.1f/op", backend, a)
+		}
+	}
+}
+
+// seqVals returns 0,1,2,... — a dense bulk-load payload.
+func seqVals(n int) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 17)
+	}
+	return vals
+}

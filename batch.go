@@ -2,6 +2,7 @@ package ddc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ddc/internal/core"
@@ -81,6 +82,49 @@ func (c *DynamicCube) RangeSumBatchStats(queries []RangeQuery) ([]int64, BatchSt
 	return c.rangeSumBatch(queries)
 }
 
+// boxPool recycles the RangeQuery -> core.Box conversion buffers so
+// RangeSumBatchInto stays allocation-free in steady state.
+var boxPool = sync.Pool{New: func() interface{} { return new([]core.Box) }}
+
+// RangeSumBatchInto is RangeSumBatch writing the results into out
+// (len(out) must equal len(queries)). With a warm prefix cache the
+// entire call is allocation-free — the planning scratch, the box
+// conversion buffer and the result storage are all reused — which is
+// the steady-state form latency-sensitive callers poll with (the
+// allocation-regression tests pin it at zero allocs for every backend).
+func (c *DynamicCube) RangeSumBatchInto(queries []RangeQuery, out []int64) error {
+	if len(out) != len(queries) {
+		return fmt.Errorf("ddc: batch out has %d slots for %d queries", len(out), len(queries))
+	}
+	bp := boxPool.Get().(*[]core.Box)
+	boxes := *bp
+	if cap(boxes) < len(queries) {
+		boxes = make([]core.Box, len(queries))
+	}
+	boxes = boxes[:len(queries)]
+	for i, q := range queries {
+		boxes[i] = core.Box{Lo: grid.Point(q.Lo), Hi: grid.Point(q.Hi)}
+	}
+	tel := globalTelemetry
+	if !tel.on() {
+		err := c.t.RangeSumBatchInto(boxes, out)
+		*bp = boxes
+		boxPool.Put(bp)
+		return err
+	}
+	start := time.Now()
+	ops, st, err := c.t.RangeSumBatchIntoOps(boxes, out)
+	*bp = boxes
+	boxPool.Put(bp)
+	if err != nil {
+		return err
+	}
+	stats := BatchStats{Queries: len(queries)}
+	stats.merge(st)
+	tel.recordBatch(len(queries), c.be, time.Since(start), ops, stats)
+	return nil
+}
+
 // InvalidatePrefixCache drops every cached corner prefix value by
 // bumping the cube's mutation epoch. Mutations, growth and compaction
 // invalidate automatically; this explicit hook serves benchmarks and
@@ -106,7 +150,7 @@ func (c *DynamicCube) rangeSumBatch(queries []RangeQuery) ([]int64, BatchStats, 
 	if err != nil {
 		return nil, stats, err
 	}
-	tel.recordBatch(len(queries), d, ops, stats)
+	tel.recordBatch(len(queries), c.be, d, ops, stats)
 	if sampled, slow := tel.shouldTrace(d); sampled || slow {
 		tel.trace(QueryTrace{
 			Op: "rangesum_batch", Start: start, DurationNs: d.Nanoseconds(),

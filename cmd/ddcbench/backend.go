@@ -1,0 +1,203 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"ddc"
+	"ddc/internal/workload"
+)
+
+// The backend section measures the pluggable 1-d prefix-sum backends
+// (the B_c slot of the paper's tree) head to head through the full cube
+// API, so the numbers include the overlay descent each backend sits
+// under. Four operations per (backend, shape) cell:
+//
+//	backend/sum       one single-point prefix sum per op (worst-case
+//	                  deep point, so every level's row sums run)
+//	backend/add       one point update per op over a cycling point set
+//	backend/batch     one warm RangeSumBatchInto over a sliding-window
+//	                  fleet per op
+//	backend/bulkload  one BuildDynamic from a dense slice per op
+//
+// Shapes cover d=2 and d=3 at two side lengths each; the smoke subset
+// keeps a single d=2 tier and guards the blocked backend's constant
+// factor against the classic reference.
+
+// backendTier is one domain shape in the matrix.
+type backendTier struct {
+	d, side int
+}
+
+func (t backendTier) dims() []int {
+	dims := make([]int, t.d)
+	for i := range dims {
+		dims[i] = t.side
+	}
+	return dims
+}
+
+func backendTiers(smoke bool) []backendTier {
+	if smoke {
+		return []backendTier{{d: 2, side: 256}}
+	}
+	return []backendTier{
+		{d: 2, side: 256},
+		{d: 2, side: 1024},
+		{d: 3, side: 32},
+		{d: 3, side: 64},
+	}
+}
+
+// backendGuardFactor is the smoke-mode regression budget: the blocked
+// backend's branch-free cache-line row sums are reliably faster than
+// the classic pointer-walking B_c tree on this workload, so blocked
+// exceeding classic by this factor on sum or add means a real constant-
+// factor regression, not scheduler noise.
+const backendGuardFactor = 1.4
+
+// backendPreload fills a dense value slice with the standard uniform
+// workload, scaled to the domain size so small tiers stay non-trivial.
+func backendPreload(dims []int) []int64 {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	load := perfPreload
+	if load > n/4 {
+		load = n / 4
+	}
+	vals := make([]int64, n)
+	r := workload.NewRNG(101)
+	for i := 0; i < load; i++ {
+		vals[r.Intn(n)] += 1 + r.Int63n(50)
+	}
+	return vals
+}
+
+// backendWindows builds the sliding-window fleet for the batch op: nq
+// quarter-width windows sliding along dimension 0 with half-width
+// stride, trimmed an eighth off every other dimension.
+func backendWindows(dims []int, nq int) []ddc.RangeQuery {
+	width := dims[0] / 4
+	if width < 1 {
+		width = 1
+	}
+	stride := width / 2
+	if stride < 1 {
+		stride = 1
+	}
+	otherLo := make([]int, len(dims)-1)
+	otherHi := make([]int, len(dims)-1)
+	for i := 1; i < len(dims); i++ {
+		otherLo[i-1] = dims[i] / 8
+		otherHi[i-1] = dims[i] - dims[i]/8 - 1
+	}
+	return toRangeQueries(workload.Windows(dims, nq, 0, width, stride, otherLo, otherHi))
+}
+
+// backendResults measures the matrix and returns one benchResult per
+// (backend, shape, op) cell. In smoke mode it also enforces the
+// blocked-vs-classic guard and returns an error on regression.
+func backendResults(smoke bool) ([]benchResult, error) {
+	var results []benchResult
+	// nsPerOp[op][backend] for the guard, recorded for the last (only,
+	// in smoke mode) tier measured.
+	guard := map[string]map[string]float64{"backend/sum": {}, "backend/add": {}}
+	for _, tier := range backendTiers(smoke) {
+		dims := tier.dims()
+		vals := backendPreload(dims)
+		params := map[string]int{"d": tier.d, "side": tier.side}
+
+		// The deep query point has every coordinate one short of the far
+		// edge, so each level's row prefix covers a near-full block scan —
+		// the layout-sensitive worst case.
+		deep := make([]int, tier.d)
+		for i := range deep {
+			deep[i] = tier.side - 2
+		}
+		// The update points cycle through a fixed random set large enough
+		// to defeat a single hot cache line.
+		r := workload.NewRNG(107)
+		pts := make([][]int, 64)
+		for i := range pts {
+			p := make([]int, tier.d)
+			for j := range p {
+				p[j] = r.Intn(tier.side)
+			}
+			pts[i] = p
+		}
+		queries := backendWindows(dims, 64)
+		sums := make([]int64, len(queries))
+
+		for _, be := range ddc.Backends() {
+			be := be
+			opt := ddc.Options{Backend: be}
+
+			c, err := ddc.BuildDynamic(dims, vals, opt)
+			if err != nil {
+				return nil, fmt.Errorf("backend %s: %v", be, err)
+			}
+
+			res := measure("backend/sum", params, c, func(b *testing.B) {
+				var sink int64
+				for i := 0; i < b.N; i++ {
+					sink += c.Prefix(deep)
+				}
+				_ = sink
+			})
+			res.Backend = be
+			results = append(results, res)
+			guard["backend/sum"][be] = res.NsPerOp
+
+			res = measure("backend/add", params, c, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := c.Add(pts[i&63], 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			res.Backend = be
+			results = append(results, res)
+			guard["backend/add"][be] = res.NsPerOp
+
+			if smoke {
+				continue
+			}
+
+			res = measure("backend/batch", params, c, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := c.RangeSumBatchInto(queries, sums); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			res.Backend = be
+			results = append(results, res)
+
+			res = measure("backend/bulkload", params, c, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ddc.BuildDynamic(dims, vals, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			res.Backend = be
+			results = append(results, res)
+		}
+	}
+	if smoke {
+		for _, op := range []string{"backend/sum", "backend/add"} {
+			classic, blocked := guard[op]["classic"], guard[op]["blocked"]
+			if classic == 0 || blocked == 0 {
+				return nil, fmt.Errorf("backend guard: missing %s measurements", op)
+			}
+			if blocked > classic*backendGuardFactor {
+				return nil, fmt.Errorf(
+					"backend guard: blocked %s %.1fns/op exceeds classic %.1fns/op by more than %.1fx",
+					op, blocked, classic, backendGuardFactor)
+			}
+		}
+	}
+	return results, nil
+}

@@ -22,6 +22,9 @@ type benchResult struct {
 	Name string `json:"name"`
 	// Params are the knobs that shaped it (shards, batch size, ...).
 	Params map[string]int `json:"params,omitempty"`
+	// Backend names the prefix-sum backend for the backend/* matrix
+	// rows; empty elsewhere.
+	Backend string `json:"backend,omitempty"`
 	// NsPerOp is nanoseconds per benchmark operation.
 	NsPerOp float64 `json:"ns_per_op"`
 	// Iters is how many operations the timing loop ran.
@@ -138,6 +141,13 @@ func runPerfSuite(path string, smoke bool) error {
 		}
 		report.Results = append(report.Results, batch...)
 		report.Batch = summary
+		// One backend-matrix tier with the blocked-vs-classic constant-
+		// factor guard, so a backend regression fails CI.
+		backend, err := backendResults(true)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, backend...)
 		return writeReport(path, &report)
 	}
 
@@ -213,6 +223,14 @@ func runPerfSuite(path string, smoke bool) error {
 	}
 	report.Results = append(report.Results, batchRes...)
 	report.Batch = summary
+
+	// Backend matrix: every prefix-sum backend at d=2 and d=3, two size
+	// tiers each, over sum / add / batch / bulk-load.
+	backend, err := backendResults(false)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, backend...)
 
 	// Durability: WAL append/commit cost and checkpoint latency.
 	durable, err := durabilityResults()

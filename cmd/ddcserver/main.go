@@ -4,6 +4,7 @@
 // argues for.
 //
 //	ddcserver -data DIR -dims 100,366 -addr :8080 [-autogrow]
+//	          [-backend classic|blocked|blockfenwick]
 //	          [-pprof] [-trace-sample N] [-slow-query 50ms]
 //	ddcserver -dims 100,366 [-cube snap] [-wal log]   (legacy single-file mode)
 //
@@ -46,6 +47,7 @@ func main() {
 	cubePath := flag.String("cube", "", "snapshot to load instead of a fresh cube (legacy mode)")
 	walPath := flag.String("wal", "", "append mutations to this write-ahead log, replayed at startup (legacy mode)")
 	autogrow := flag.Bool("autogrow", false, "grow the cube for out-of-range updates")
+	backend := flag.String("backend", "", "prefix-sum backend for row-sum groups: classic (default), blocked, blockfenwick; snapshots/WAL are backend-agnostic, so any data loads under any backend")
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	traceSample := flag.Int("trace-sample", 0, "record a structured trace for 1 in N queries (0 = off)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at or above this duration to /v1/trace (0 = off)")
@@ -78,7 +80,7 @@ func main() {
 		ddc.GlobalTelemetry().Enable()
 		st, err := store.Open(*dataDir, store.Options{
 			Dims: dims,
-			Cube: ddc.Options{AutoGrow: *autogrow},
+			Cube: ddc.Options{AutoGrow: *autogrow, Backend: *backend},
 		})
 		if err != nil {
 			log.Fatal("ddcserver: opening store: ", err)
@@ -100,7 +102,7 @@ func main() {
 				log.Printf("loading checkpoint %s", base)
 			}
 		}
-		cube, err := openCube(*dimsFlag, base, *autogrow)
+		cube, err := openCube(*dimsFlag, base, *autogrow, *backend)
 		if err != nil {
 			log.Fatal("ddcserver: ", err)
 		}
@@ -219,14 +221,14 @@ func saveSnapshot(cube *ddc.DynamicCube, path string) error {
 	return os.Rename(path+".tmp", path)
 }
 
-func openCube(dims, cubePath string, autogrow bool) (*ddc.DynamicCube, error) {
+func openCube(dims, cubePath string, autogrow bool, backend string) (*ddc.DynamicCube, error) {
 	if cubePath != "" {
 		f, err := os.Open(cubePath)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return ddc.LoadDynamic(f)
+		return ddc.LoadDynamicBackend(f, backend)
 	}
 	if dims == "" {
 		return nil, fmt.Errorf("need -dims or -cube")
@@ -235,5 +237,5 @@ func openCube(dims, cubePath string, autogrow bool) (*ddc.DynamicCube, error) {
 	if err != nil {
 		return nil, fmt.Errorf("-dims: %v", err)
 	}
-	return ddc.NewDynamicWithOptions(d, ddc.Options{AutoGrow: autogrow})
+	return ddc.NewDynamicWithOptions(d, ddc.Options{AutoGrow: autogrow, Backend: backend})
 }

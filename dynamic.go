@@ -7,6 +7,7 @@ import (
 	"ddc/internal/core"
 	"ddc/internal/cube"
 	"ddc/internal/grid"
+	"ddc/internal/psum"
 )
 
 // Options tunes a DynamicCube. The zero value selects the defaults
@@ -24,12 +25,40 @@ type Options struct {
 	// cube to include them (in any direction, Section 5) instead of
 	// returning an error.
 	AutoGrow bool
+	// Backend selects the one-dimensional prefix-sum structure backing
+	// the two-dimensional row-sum groups (the paper's B_c slot):
+	// "classic" (the default, the paper-exact Cumulative B Tree),
+	// "blocked" (flat cache-line b-ary tree) or "blockfenwick"
+	// (two-level blocked Fenwick). The backend is a rebuild-time choice:
+	// snapshots and WAL records are backend-agnostic, so any persisted
+	// cube loads under any backend.
+	Backend string
+}
+
+// Backends returns the names of the available prefix-sum backends,
+// default first.
+func Backends() []string {
+	out := make([]string, 0, len(psum.Kinds()))
+	for _, k := range psum.Kinds() {
+		out = append(out, string(k))
+	}
+	return out
 }
 
 // DynamicCube is the Dynamic Data Cube: O(log^d n) range-sum queries and
 // point updates, lazy (sparse) allocation, and dynamic growth of the
 // domain in any direction.
-type DynamicCube struct{ t *core.Tree }
+type DynamicCube struct {
+	t *core.Tree
+	// be is the cube's psum.Index, cached so telemetry recording costs
+	// an array index instead of a string resolution per operation.
+	be int
+}
+
+// newDynamicCube wraps a core tree, caching its backend label index.
+func newDynamicCube(t *core.Tree) *DynamicCube {
+	return &DynamicCube{t: t, be: psum.Index(psum.Kind(t.Config().Backend))}
+}
 
 // NewDynamic returns a Dynamic Data Cube over the given dimension sizes
 // with default options.
@@ -44,11 +73,12 @@ func NewDynamicWithOptions(dims []int, opt Options) (*DynamicCube, error) {
 		Tile:     opt.Tile,
 		Fanout:   opt.Fanout,
 		AutoGrow: opt.AutoGrow,
+		Backend:  opt.Backend,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicCube{t: t}, nil
+	return newDynamicCube(t), nil
 }
 
 // BuildDynamic bulk-loads a Dynamic Data Cube from dense row-major
@@ -65,11 +95,12 @@ func BuildDynamic(dims []int, values []int64, opt Options) (*DynamicCube, error)
 		Tile:     opt.Tile,
 		Fanout:   opt.Fanout,
 		AutoGrow: opt.AutoGrow,
+		Backend:  opt.Backend,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicCube{t: t}, nil
+	return newDynamicCube(t), nil
 }
 
 // BuildDynamicParallel is BuildDynamic with the 2^d top-level subtrees
@@ -83,11 +114,12 @@ func BuildDynamicParallel(dims []int, values []int64, opt Options) (*DynamicCube
 		Tile:     opt.Tile,
 		Fanout:   opt.Fanout,
 		AutoGrow: opt.AutoGrow,
+		Backend:  opt.Backend,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicCube{t: t}, nil
+	return newDynamicCube(t), nil
 }
 
 // ConcurrentReads reports that the cube's read methods (Get, Prefix,
@@ -122,7 +154,7 @@ func (c *DynamicCube) AddBatch(batch []PointDelta) error {
 			break
 		}
 	}
-	tel.recordUpdate(uOpBatch, time.Since(start), merged)
+	tel.recordUpdate(uOpBatch, c.be, time.Since(start), merged)
 	return batchErr
 }
 
@@ -151,7 +183,7 @@ func (c *DynamicCube) Set(p []int, v int64) error {
 	}
 	start := time.Now()
 	ops, err := c.t.SetOps(grid.Point(p), v)
-	tel.recordUpdate(uOpSet, time.Since(start), ops)
+	tel.recordUpdate(uOpSet, c.be, time.Since(start), ops)
 	return err
 }
 
@@ -163,7 +195,7 @@ func (c *DynamicCube) Add(p []int, d int64) error {
 	}
 	start := time.Now()
 	ops, err := c.t.AddOps(grid.Point(p), d)
-	tel.recordUpdate(uOpAdd, time.Since(start), ops)
+	tel.recordUpdate(uOpAdd, c.be, time.Since(start), ops)
 	return err
 }
 
@@ -179,7 +211,7 @@ func (c *DynamicCube) Prefix(p []int) int64 {
 	start := time.Now()
 	v, ops := c.t.PrefixOps(grid.Point(p))
 	d := time.Since(start)
-	tel.recordQuery(qOpPrefix, d, ops)
+	tel.recordQuery(qOpPrefix, c.be, d, ops)
 	if sampled, slow := tel.shouldTrace(d); sampled || slow {
 		tr := QueryTrace{
 			Op: "prefix", Start: start, DurationNs: d.Nanoseconds(),
@@ -206,7 +238,7 @@ func (c *DynamicCube) RangeSum(lo, hi []int) (int64, error) {
 	start := time.Now()
 	v, ops, err := c.t.RangeSumOps(grid.Point(lo), grid.Point(hi))
 	d := time.Since(start)
-	tel.recordQuery(qOpRange, d, ops)
+	tel.recordQuery(qOpRange, c.be, d, ops)
 	if err == nil {
 		if sampled, slow := tel.shouldTrace(d); sampled || slow {
 			tel.trace(QueryTrace{
@@ -296,11 +328,16 @@ func (c *DynamicCube) ForEachNonZeroInRange(lo, hi []int, fn func(p []int, v int
 	return c.t.ForEachNonZeroInRange(grid.Point(lo), grid.Point(hi), func(p grid.Point, v int64) { fn(p, v) })
 }
 
-// Options returns the cube's effective options.
+// Options returns the cube's effective options. Backend is reported in
+// canonical form (the empty string resolves to "classic").
 func (c *DynamicCube) Options() Options {
 	cfg := c.t.Config()
-	return Options{Tile: cfg.Tile, Fanout: cfg.Fanout, AutoGrow: cfg.AutoGrow}
+	return Options{Tile: cfg.Tile, Fanout: cfg.Fanout, AutoGrow: cfg.AutoGrow, Backend: cfg.Backend}
 }
+
+// Backend returns the canonical name of the prefix-sum backend this
+// cube's row-sum groups use.
+func (c *DynamicCube) Backend() string { return c.t.Config().Backend }
 
 // Contribution is one value a prefix query collected on its descent —
 // the decomposition the paper walks through in Figures 10-11a.

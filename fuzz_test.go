@@ -3,6 +3,8 @@ package ddc
 import (
 	"bytes"
 	"testing"
+
+	"ddc/internal/psum"
 )
 
 // FuzzLoadDynamic asserts the snapshot reader never panics and never
@@ -91,6 +93,106 @@ func FuzzReplayWAL(f *testing.F) {
 			t.Fatal(err)
 		}
 		_, _ = ReplayWAL(bytes.NewReader(data), c)
+	})
+}
+
+// FuzzBackend drives every prefix-sum backend through a byte-encoded op
+// program — random extents and fan-outs, interleaved adds, grows and
+// prefix probes — holding all backends to exact agreement with a plain
+// dense-slice reference model, then cross-checks bulk-build: FromSlice
+// of the accumulated values must equal the incrementally built state.
+func FuzzBackend(f *testing.F) {
+	f.Add([]byte{7, 1, 0, 3, 5, 1, 9, 200, 2, 3, 0})
+	f.Add([]byte{100, 3, 1, 40, 0, 0, 99, 255, 2, 0, 0, 1, 200, 0})
+	f.Add([]byte{1, 0})
+	f.Add(bytes.Repeat([]byte{0, 1, 2, 3, 4, 5, 6, 7}, 16))
+
+	fanouts := []int{0, 3, 4, 8, 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		universe := int(data[0])%200 + 1
+		fanout := fanouts[int(data[1])%len(fanouts)]
+		data = data[2:]
+		ref := make([]int64, universe)
+		backends := make([]psum.Backend, 0, len(psum.Kinds()))
+		for _, kind := range psum.Kinds() {
+			backends = append(backends, psum.New(kind, universe, fanout))
+		}
+		refPrefix := func(key int) int64 {
+			var s int64
+			for k := 0; k <= key && k < len(ref); k++ {
+				s += ref[k]
+			}
+			return s
+		}
+		for len(data) >= 3 {
+			op, a, b := data[0]%3, int(data[1]), int64(int8(data[2]))
+			data = data[3:]
+			switch op {
+			case 0: // point add
+				key := a % universe
+				ref[key] += b
+				for _, be := range backends {
+					be.Add(key, b)
+				}
+			case 1: // grow (monotonic, bounded)
+				universe += a%32 + 1
+				ref = append(ref, make([]int64, universe-len(ref))...)
+				for _, be := range backends {
+					be.Grow(universe)
+				}
+			case 2: // probe a prefix, including out-of-range keys
+				key := a - 16
+				want := refPrefix(key)
+				if key < 0 {
+					want = 0
+				}
+				for _, be := range backends {
+					if got := be.PrefixSum(key); got != want {
+						t.Fatalf("%s: PrefixSum(%d) = %d, want %d (universe %d)",
+							be.Kind(), key, got, want, universe)
+					}
+				}
+			}
+		}
+		// Full sweep: every backend agrees with the reference on every
+		// prefix, point value and aggregate, and bulk-building from the
+		// reference values reproduces the incrementally built state.
+		var total int64
+		nonzero := 0
+		for _, v := range ref {
+			total += v
+			if v != 0 {
+				nonzero++
+			}
+		}
+		for _, be := range backends {
+			if be.Universe() != universe {
+				t.Fatalf("%s: universe %d, want %d", be.Kind(), be.Universe(), universe)
+			}
+			if be.Total() != total {
+				t.Fatalf("%s: total %d, want %d", be.Kind(), be.Total(), total)
+			}
+			if be.Len() != nonzero {
+				t.Fatalf("%s: len %d, want %d", be.Kind(), be.Len(), nonzero)
+			}
+			bulk := psum.FromSlice(be.Kind(), ref, fanout)
+			run := int64(0)
+			for k := 0; k < universe; k++ {
+				run += ref[k]
+				if got := be.PrefixSum(k); got != run {
+					t.Fatalf("%s: PrefixSum(%d) = %d, want %d", be.Kind(), k, got, run)
+				}
+				if got := bulk.PrefixSum(k); got != run {
+					t.Fatalf("%s bulk: PrefixSum(%d) = %d, want %d", be.Kind(), k, got, run)
+				}
+				if got := be.Get(k); got != ref[k] {
+					t.Fatalf("%s: Get(%d) = %d, want %d", be.Kind(), k, got, ref[k])
+				}
+			}
+		}
 	})
 }
 

@@ -99,6 +99,37 @@ func cornerKey(dst []byte, p grid.Point) []byte {
 	return dst
 }
 
+// hashCorner is an inline FNV-1a over a corner's coordinates: the
+// planner's dedup index is keyed by this hash (not an interned string)
+// so steady-state batches plan with zero allocations — map buckets
+// survive clear, uint64 keys intern nothing. Collisions are resolved by
+// probing successive hash values with full point comparison (see the
+// planning loop), so a 64-bit collision costs a probe, never a wrong
+// answer.
+func hashCorner(p grid.Point) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range p {
+		u := uint64(v)
+		for s := uint(0); s < 64; s += 8 {
+			h ^= (u >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func pointsEq(a, b grid.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // signedTerm references one distinct corner with its inclusion/
 // exclusion sign.
 type signedTerm struct {
@@ -107,10 +138,13 @@ type signedTerm struct {
 }
 
 // batchScratch holds a batch execution's planning state, pooled so a
-// steady stream of batches plans allocation-free (the per-query result
-// slice and the cache's interned keys are the only per-call garbage).
+// steady stream of batches plans allocation-free. With a warm prefix
+// cache and a caller-provided result slice (RangeSumBatchInto) an
+// entire batch runs with zero allocations; the only remaining per-call
+// garbage is the cache's interned keys on a miss — work that already
+// pays for tree descents.
 type batchScratch struct {
-	index    map[string]int32 // corner key -> index into distinct
+	index    map[uint64]int32 // corner hash -> index into distinct
 	distinct []grid.Point     // canonical corners; points are reused
 	terms    []signedTerm     // all queries' terms, flattened
 	qoff     []int32          // terms[qoff[i]:qoff[i+1]] belongs to query i
@@ -122,7 +156,7 @@ type batchScratch struct {
 }
 
 var batchScratchPool = sync.Pool{New: func() interface{} {
-	return &batchScratch{index: make(map[string]int32, 64)}
+	return &batchScratch{index: make(map[uint64]int32, 64)}
 }}
 
 // reset prepares the scratch for a d-dimensional batch of nq queries.
@@ -175,13 +209,40 @@ func (t *Tree) RangeSumBatch(queries []Box) ([]int64, error) {
 // performed (merged into the shared counter exactly once) and the
 // sharing statistics.
 func (t *Tree) RangeSumBatchOps(queries []Box) ([]int64, cube.OpCounter, BatchStats, error) {
-	stats := BatchStats{Queries: len(queries)}
 	if len(queries) == 0 {
-		return nil, cube.OpCounter{}, stats, nil
+		return nil, cube.OpCounter{}, BatchStats{}, nil
+	}
+	out := make([]int64, len(queries))
+	ops, stats, err := t.RangeSumBatchIntoOps(queries, out)
+	if err != nil {
+		return nil, ops, stats, err
+	}
+	return out, ops, stats, nil
+}
+
+// RangeSumBatchInto is RangeSumBatch writing the results into out
+// (len(out) must equal len(queries)). With a warm prefix cache the call
+// is allocation-free: planning state is pooled, cached corners intern no
+// keys, and no result slice is allocated — the steady-state batch path
+// the allocation-regression tests pin.
+func (t *Tree) RangeSumBatchInto(queries []Box, out []int64) error {
+	_, _, err := t.RangeSumBatchIntoOps(queries, out)
+	return err
+}
+
+// RangeSumBatchIntoOps is RangeSumBatchInto returning the deduplicated
+// operation counts and sharing statistics; see RangeSumBatchOps.
+func (t *Tree) RangeSumBatchIntoOps(queries []Box, out []int64) (cube.OpCounter, BatchStats, error) {
+	stats := BatchStats{Queries: len(queries)}
+	if len(out) != len(queries) {
+		return cube.OpCounter{}, stats, fmt.Errorf("core: batch out has %d slots for %d queries", len(out), len(queries))
+	}
+	if len(queries) == 0 {
+		return cube.OpCounter{}, stats, nil
 	}
 	for i := range queries {
 		if err := t.checkRange(queries[i].Lo, queries[i].Hi); err != nil {
-			return nil, cube.OpCounter{}, stats, fmt.Errorf("query %d: %w", i, err)
+			return cube.OpCounter{}, stats, fmt.Errorf("query %d: %w", i, err)
 		}
 	}
 
@@ -222,11 +283,20 @@ func (t *Tree) RangeSumBatchOps(queries []Box) ([]int64, cube.OpCounter, BatchSt
 				continue
 			}
 			stats.CornerTerms++
-			keyBuf = cornerKey(keyBuf[:0], corner)
-			ci, ok := sc.index[string(keyBuf)]
-			if !ok {
-				ci = sc.addDistinct(corner)
-				sc.index[string(keyBuf)] = ci
+			var ci int32
+			for h := hashCorner(corner); ; h++ {
+				known, ok := sc.index[h]
+				if !ok {
+					ci = sc.addDistinct(corner)
+					sc.index[h] = ci
+					break
+				}
+				if pointsEq(sc.distinct[known], corner) {
+					ci = known
+					break
+				}
+				// 64-bit hash collision between distinct corners: probe
+				// the next slot.
 			}
 			sc.terms = append(sc.terms, signedTerm{corner: ci, neg: parity})
 		}
@@ -260,13 +330,19 @@ func (t *Tree) RangeSumBatchOps(queries []Box) ([]int64, cube.OpCounter, BatchSt
 
 	// Execute the distinct, uncached prefixes over the lock-free read
 	// path with a bounded fan-out; each worker merges its counts once.
-	var merged cube.OpCounter
-	batchParallel(len(work), func(wi int) {
-		ci := work[wi]
-		var ops cube.OpCounter
-		values[ci] = t.prefixWithOps(distinct[ci], &ops)
-		merged.AtomicAdd(ops)
-	})
+	// The closure (and the counter it captures) only exists on the miss
+	// path, so a fully cached batch allocates nothing here.
+	var snap cube.OpCounter
+	if len(work) > 0 {
+		var merged cube.OpCounter
+		batchParallel(len(work), func(wi int) {
+			ci := work[wi]
+			var ops cube.OpCounter
+			values[ci] = t.prefixWithOps(distinct[ci], &ops)
+			merged.AtomicAdd(ops)
+		})
+		snap = merged.AtomicSnapshot()
+	}
 
 	// Install the freshly computed corners, bounded by the cache
 	// capacity (arbitrary eviction: hot dashboards re-warm in one
@@ -288,7 +364,6 @@ func (t *Tree) RangeSumBatchOps(queries []Box) ([]int64, cube.OpCounter, BatchSt
 	}
 
 	// Gather the signed terms back into per-query results.
-	out := make([]int64, len(queries))
 	for qi := range out {
 		var sum int64
 		for _, tm := range sc.terms[sc.qoff[qi]:sc.qoff[qi+1]] {
@@ -303,9 +378,8 @@ func (t *Tree) RangeSumBatchOps(queries []Box) ([]int64, cube.OpCounter, BatchSt
 
 	sc.keyBuf, sc.work = keyBuf, work
 	batchScratchPool.Put(sc)
-	snap := merged.AtomicSnapshot()
 	t.ops.AtomicAdd(snap)
-	return out, snap, stats, nil
+	return snap, stats, nil
 }
 
 // batchParallel runs fn(0..n-1) across up to GOMAXPROCS goroutines —

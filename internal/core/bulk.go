@@ -3,9 +3,9 @@ package core
 import (
 	"sync"
 
-	"ddc/internal/bctree"
 	"ddc/internal/cube"
 	"ddc/internal/grid"
+	"ddc/internal/psum"
 )
 
 // BuildFromArray bulk-loads a Dynamic Data Cube from a dense array,
@@ -209,9 +209,10 @@ func (t *Tree) buildGroupsFromDense(k int, gs [][]int64) []group {
 	case t.d == 1:
 		return nil
 	case t.d == 2:
+		kind := psum.Kind(t.cfg.Backend)
 		return []group{
-			&bcGroup{tr: bctree.FromSlice(gs[0], t.cfg.Fanout)},
-			&bcGroup{tr: bctree.FromSlice(gs[1], t.cfg.Fanout)},
+			&psGroup{b: psum.FromSlice(kind, gs[0], t.cfg.Fanout)},
+			&psGroup{b: psum.FromSlice(kind, gs[1], t.cfg.Fanout)},
 		}
 	default:
 		dims := make([]int, t.d-1)

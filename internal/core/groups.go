@@ -1,9 +1,9 @@
 package core
 
 import (
-	"ddc/internal/bctree"
 	"ddc/internal/cube"
 	"ddc/internal/grid"
+	"ddc/internal/psum"
 )
 
 // makeGroups builds the d row-sum group stores for an overlay box of side
@@ -12,17 +12,20 @@ import (
 //   - d = 1: a box needs no row-sum values at all — a one-dimensional
 //     target cell is either before, inside (descend) or after (subtotal)
 //     the box, so the group list is empty.
-//   - d = 2: each group is one-dimensional and stored in a B_c tree
-//     (Section 4.1, the base case).
+//   - d = 2: each group is one-dimensional and stored in the configured
+//     prefix-sum backend occupying the paper's B_c tree slot
+//     (Section 4.1 is the classic backend; internal/psum holds the
+//     cache-optimized alternatives).
 //   - d > 2: each group is a (d-1)-dimensional Dynamic Data Cube.
 func (t *Tree) makeGroups(k int) []group {
 	switch {
 	case t.d == 1:
 		return nil
 	case t.d == 2:
+		kind := psum.Kind(t.cfg.Backend)
 		return []group{
-			&bcGroup{tr: bctree.NewWithFanout(t.cfg.Fanout)},
-			&bcGroup{tr: bctree.NewWithFanout(t.cfg.Fanout)},
+			&psGroup{b: psum.New(kind, k, t.cfg.Fanout)},
+			&psGroup{b: psum.New(kind, k, t.cfg.Fanout)},
 		}
 	default:
 		gs := make([]group, t.d)
@@ -37,27 +40,26 @@ func (t *Tree) makeGroups(k int) []group {
 	}
 }
 
-// bcGroup stores a one-dimensional set of row sums in a B_c tree.
-// Operation counts flow through the caller's per-call counter, so
-// prefix leaves both the tree and any shared counter untouched —
-// concurrent readers never write shared state.
-type bcGroup struct {
-	tr *bctree.Tree
+// psGroup stores a one-dimensional set of row sums in a pluggable
+// prefix-sum backend (the B_c slot). Operation counts flow through the
+// caller's per-call counter, so prefix leaves both the backend and any
+// shared counter untouched — concurrent readers never write shared
+// state.
+type psGroup struct {
+	b psum.Backend
 }
 
-func (g *bcGroup) prefix(l []int, ops *cube.OpCounter) int64 {
-	v, visits := g.tr.PrefixSumVisits(l[0])
+func (g *psGroup) prefix(l []int, ops *cube.OpCounter) int64 {
+	v, visits := g.b.PrefixSumVisits(l[0])
 	ops.QueryCells += visits
 	return v
 }
 
-func (g *bcGroup) add(l []int, delta int64, ops *cube.OpCounter) {
-	before := g.tr.NodeVisits
-	g.tr.Add(l[0], delta)
-	ops.UpdateCells += g.tr.NodeVisits - before
+func (g *psGroup) add(l []int, delta int64, ops *cube.OpCounter) {
+	ops.UpdateCells += g.b.Add(l[0], delta)
 }
 
-func (g *bcGroup) storageCells() int { return g.tr.StorageCells() }
+func (g *psGroup) storageCells() int { return g.b.StorageCells() }
 
 // ddcGroup stores a (d-1)-dimensional set of row sums in a nested
 // Dynamic Data Cube that shares the parent's operation counter.

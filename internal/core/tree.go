@@ -1,9 +1,13 @@
 // Package core implements the Dynamic Data Cube of Section 4 of the
 // paper: a 2^d-ary overlay tree in which each overlay box's d groups of
 // row-sum values are stored recursively — in a (d-1)-dimensional Dynamic
-// Data Cube for d > 2 and in a B_c tree (internal/bctree) for the
-// two-dimensional base case — giving O(log^d n) cost for both prefix
-// queries and point updates (Theorems 1 and 2).
+// Data Cube for d > 2 and, for the two-dimensional base case, in a
+// pluggable one-dimensional prefix-sum backend (internal/psum) occupying
+// the paper's B_c tree slot — giving O(log^d n) cost for both prefix
+// queries and point updates (Theorems 1 and 2). The classic backend is
+// the paper-exact B_c tree of Section 4.1 (internal/bctree); the blocked
+// backends trade its pointer-linked sparsity for flat cache-line layouts
+// (Config.Backend selects one per tree).
 //
 // Beyond the core structure the package implements the paper's
 // engineering extensions:
@@ -29,6 +33,7 @@ import (
 	"ddc/internal/bctree"
 	"ddc/internal/cube"
 	"ddc/internal/grid"
+	"ddc/internal/psum"
 )
 
 // Defaults for Config fields left zero.
@@ -51,10 +56,19 @@ type Config struct {
 	// (Section 4.4).
 	Tile int
 	// Fanout is the B_c tree fanout used by two-dimensional groups.
+	// Only the classic backend honours it; the blocked layouts derive
+	// their branching from the cache line.
 	Fanout int
 	// AutoGrow makes Add/Set on out-of-bounds coordinates grow the cube
 	// to include them (Section 5) instead of returning an error.
 	AutoGrow bool
+	// Backend names the prefix-sum structure occupying the B_c slot of
+	// every two-dimensional row-sum group (see internal/psum): "classic"
+	// (the paper-exact Cumulative B Tree, the default), "blocked" (flat
+	// cache-line b-ary tree) or "blockfenwick" (two-level blocked
+	// Fenwick). The choice is rebuild-time only — snapshots and WAL
+	// records are backend-agnostic.
+	Backend string
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -70,6 +84,11 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Fanout < bctree.MinFanout {
 		return c, fmt.Errorf("%w: fanout %d below minimum %d", grid.ErrBadExtent, c.Fanout, bctree.MinFanout)
 	}
+	kind, err := psum.ParseKind(c.Backend)
+	if err != nil {
+		return c, fmt.Errorf("%w: %v", grid.ErrBadExtent, err)
+	}
+	c.Backend = string(kind) // normalize "" to the default's canonical name
 	return c, nil
 }
 

@@ -449,6 +449,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"total":   total,
 		"nonzero": nonzero,
 		"storage": storage,
+		"backend": s.c.Backend(),
 		"ops": map[string]uint64{
 			"queries":           queries,
 			"updates":           updates,

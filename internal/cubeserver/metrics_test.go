@@ -81,11 +81,11 @@ func TestMetricsEndpointUnderLoad(t *testing.T) {
 
 	load(5)
 	first := scrapeMetrics(t, srv.URL)
-	if first[`ddc_updates_total{op="add"}`] != 5 {
-		t.Errorf("adds after first load = %v, want 5", first[`ddc_updates_total{op="add"}`])
+	if first[`ddc_updates_total{op="add",backend="classic"}`] != 5 {
+		t.Errorf("adds after first load = %v, want 5", first[`ddc_updates_total{op="add",backend="classic"}`])
 	}
-	if first[`ddc_queries_total{op="rangesum"}`] != 5 {
-		t.Errorf("range sums after first load = %v, want 5", first[`ddc_queries_total{op="rangesum"}`])
+	if first[`ddc_queries_total{op="rangesum",backend="classic"}`] != 5 {
+		t.Errorf("range sums after first load = %v, want 5", first[`ddc_queries_total{op="rangesum",backend="classic"}`])
 	}
 	if first["ddc_query_latency_ns_count"] != 5 {
 		t.Errorf("latency count = %v, want 5", first["ddc_query_latency_ns_count"])
@@ -96,7 +96,7 @@ func TestMetricsEndpointUnderLoad(t *testing.T) {
 
 	load(10)
 	second := scrapeMetrics(t, srv.URL)
-	if got := second[`ddc_queries_total{op="rangesum"}`]; got != 15 {
+	if got := second[`ddc_queries_total{op="rangesum",backend="classic"}`]; got != 15 {
 		t.Errorf("range sums after second load = %v, want 15", got)
 	}
 	if second["ddc_query_node_visits_total"] <= first["ddc_query_node_visits_total"] {
@@ -284,8 +284,8 @@ func TestSumBatchEndpoint(t *testing.T) {
 
 	// Telemetry: 4 logical queries attributed, physical work once.
 	m := scrapeMetrics(t, srv.URL)
-	if got := m[`ddc_queries_total{op="rangesum_batch"}`]; got != 4 {
-		t.Errorf(`ddc_queries_total{op="rangesum_batch"} = %v, want 4`, got)
+	if got := m[`ddc_queries_total{op="rangesum_batch",backend="classic"}`]; got != 4 {
+		t.Errorf(`ddc_queries_total{op="rangesum_batch",backend="classic"} = %v, want 4`, got)
 	}
 	if got := m["ddc_batch_queries_total"]; got != 4 {
 		t.Errorf("ddc_batch_queries_total = %v, want 4", got)
@@ -306,6 +306,40 @@ func TestSumBatchEndpoint(t *testing.T) {
 	ops := stats["ops"].(map[string]interface{})
 	if got := ops["queries"].(float64); got != 8 {
 		t.Errorf("stats queries = %v, want 8 (4 batched + 4 sequential)", got)
+	}
+}
+
+// TestBackendLabelInStatsAndMetrics pins the per-backend telemetry
+// surface: a server over a non-default backend must name it in
+// /v1/stats, and /metrics must attribute its operations to the matching
+// backend label while the other backends' series stay at zero.
+func TestBackendLabelInStatsAndMetrics(t *testing.T) {
+	resetTelemetry(t)
+	srv := newTestServer(t, nil, mustCube(t, []int{64, 64}, ddc.Options{Backend: "blocked"}))
+
+	for i := 0; i < 6; i++ {
+		post(t, srv.URL+"/v1/add", fmt.Sprintf(`{"point":[%d,%d],"delta":2}`, i, 2*i))
+	}
+	for i := 0; i < 3; i++ {
+		get(t, srv.URL+"/v1/sum?range=0,0:63,63")
+	}
+
+	_, stats := get(t, srv.URL+"/v1/stats")
+	if got, _ := stats["backend"].(string); got != "blocked" {
+		t.Errorf("/v1/stats backend = %q, want %q", got, "blocked")
+	}
+
+	m := scrapeMetrics(t, srv.URL)
+	if got := m[`ddc_updates_total{op="add",backend="blocked"}`]; got != 6 {
+		t.Errorf(`adds under backend="blocked" = %v, want 6`, got)
+	}
+	if got := m[`ddc_queries_total{op="rangesum",backend="blocked"}`]; got != 3 {
+		t.Errorf(`range sums under backend="blocked" = %v, want 3`, got)
+	}
+	for _, be := range []string{"classic", "blockfenwick"} {
+		if got := m[fmt.Sprintf(`ddc_updates_total{op="add",backend=%q}`, be)]; got != 0 {
+			t.Errorf("backend %q saw %v adds, want 0", be, got)
+		}
 	}
 }
 

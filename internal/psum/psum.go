@@ -1,0 +1,201 @@
+// Package psum defines the pluggable prefix-sum backend occupying the
+// paper's B_c tree slot: the one-dimensional cumulative structure every
+// two-dimensional row-sum group bottoms out in (internal/core descends
+// through the Backend interface instead of hard-coding the classic
+// B-tree).
+//
+// Three backends implement the interface:
+//
+//   - classic — the paper-exact Cumulative B Tree of Section 4.1
+//     (internal/bctree): sparse, pointer-linked, O(log k) with the
+//     constant factors of a searched B-tree.
+//   - blocked — a flat-array blocked b-ary tree in the spirit of Pibiri
+//     & Venturini, "Practical Trade-Offs for the Prefix-Sum Problem"
+//     (arXiv:2006.14552): branching factor 8 so every node is exactly
+//     one 64-byte cache line of int64s, all levels in one backing
+//     slice, descent by branch-free shift/mask index arithmetic, zero
+//     pointer chasing.
+//   - blockfenwick — a two-level blocked Fenwick tree: raw values in
+//     16-wide blocks (two cache lines) with a Fenwick tree over the
+//     block totals, trading the b-ary tree's extra levels for one
+//     low-frequency Fenwick walk plus one bounded linear scan.
+//
+// The backend is a rebuild-time choice, not a wire format: snapshots
+// and WAL records store raw cells, so any snapshot loads into any
+// backend (and Marshal/Unmarshal below round-trip a backend's contents
+// through a backend-agnostic byte encoding).
+package psum
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind names a prefix-sum backend implementation.
+type Kind string
+
+// The registered backends. Classic is the default and the paper-exact
+// reference; the others are the cache-optimized layouts benchmarked in
+// BENCH_pr6.json.
+const (
+	Classic      Kind = "classic"
+	Blocked      Kind = "blocked"
+	BlockFenwick Kind = "blockfenwick"
+)
+
+// Kinds returns every registered backend kind, classic first.
+func Kinds() []Kind { return []Kind{Classic, Blocked, BlockFenwick} }
+
+// ParseKind normalizes a backend name; the empty string selects the
+// default (classic).
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "":
+		return Classic, nil
+	case Classic, Blocked, BlockFenwick:
+		return Kind(s), nil
+	}
+	return "", fmt.Errorf("psum: unknown backend %q (have classic, blocked, blockfenwick)", s)
+}
+
+// Index returns a dense stable index for a kind (classic = 0), for
+// label arrays; unknown kinds map to classic.
+func Index(k Kind) int {
+	for i, kk := range Kinds() {
+		if kk == k {
+			return i
+		}
+	}
+	return 0
+}
+
+// Backend is the 1-d cumulative structure in the B_c slot. Keys are
+// dense indices in [0, Universe()); absent keys read as 0.
+//
+// Concurrency follows the core tree's contract: PrefixSumVisits, Get,
+// Total, Len, StorageCells and ForEach are pure reads, safe for any
+// number of concurrent callers; Add and Grow require exclusive access.
+type Backend interface {
+	// PrefixSum returns the sum of all values with index <= key — the
+	// cumulative row sum of Section 4.1. Negative keys yield 0; keys at
+	// or beyond the universe yield the total.
+	PrefixSum(key int) int64
+	// PrefixSumVisits is PrefixSum returning, in addition, the number
+	// of storage cells the descent read (the operation-cost model's
+	// currency). It writes no state at all.
+	PrefixSumVisits(key int) (int64, uint64)
+	// Add adds delta to the value at key (0 <= key < Universe()) and
+	// returns the number of cells written.
+	Add(key int, delta int64) uint64
+	// Get returns the value stored at key (0 if absent or out of range).
+	Get(key int) int64
+	// Total returns the sum of every value.
+	Total() int64
+	// Universe returns the exclusive key bound fixed at construction
+	// (or extended by Grow).
+	Universe() int
+	// Grow extends the key space to newUniverse; keys below the old
+	// universe keep their values. A smaller or equal universe is a
+	// no-op. Growth is a rebuild (O(universe) for the flat layouts), so
+	// callers treat it as a rare, exclusive-access operation.
+	Grow(newUniverse int)
+	// Len returns the number of keys holding nonzero values.
+	Len() int
+	// StorageCells returns the number of int64 cells the structure
+	// retains — the storage-cost model of Section 5.
+	StorageCells() int
+	// ForEach calls fn for every nonzero key in ascending order.
+	ForEach(fn func(key int, value int64))
+	// Kind names the implementation.
+	Kind() Kind
+}
+
+// New returns an empty backend of the given kind over [0, universe).
+// Fanout applies to the classic B-tree only (the blocked layouts have
+// fixed, cache-line-derived branching). It panics on an unregistered
+// kind: callers validate via ParseKind at configuration time.
+func New(kind Kind, universe, fanout int) Backend {
+	switch kind {
+	case Classic, "":
+		return newClassic(universe, fanout)
+	case Blocked:
+		return newBlocked(universe)
+	case BlockFenwick:
+		return newBlockFenwick(universe)
+	}
+	panic(fmt.Sprintf("psum: unknown backend %q", kind))
+}
+
+// FromSlice bulk-builds a backend whose key i holds values[i]; the
+// universe is len(values). Construction is a single bottom-up pass —
+// O(k) for the flat layouts — with no per-key update maintenance.
+func FromSlice(kind Kind, values []int64, fanout int) Backend {
+	switch kind {
+	case Classic, "":
+		return classicFromSlice(values, fanout)
+	case Blocked:
+		return blockedFromSlice(values)
+	case BlockFenwick:
+		return blockFenwickFromSlice(values)
+	}
+	panic(fmt.Sprintf("psum: unknown backend %q", kind))
+}
+
+// Marshal encodes a backend's logical contents — universe plus the
+// nonzero (key, value) pairs — in a backend-agnostic byte form: uvarint
+// universe and count, then uvarint key deltas and zigzag-varint values.
+// Any backend's bytes unmarshal into any kind; this is the serialize
+// hook of the Backend contract (snapshots and checkpoints use the same
+// cells-not-layout principle).
+func Marshal(b Backend) []byte {
+	buf := make([]byte, 0, 16+b.Len()*3)
+	buf = binary.AppendUvarint(buf, uint64(b.Universe()))
+	buf = binary.AppendUvarint(buf, uint64(b.Len()))
+	prev := 0
+	b.ForEach(func(key int, value int64) {
+		buf = binary.AppendUvarint(buf, uint64(key-prev))
+		buf = binary.AppendUvarint(buf, zigzag(value))
+		prev = key
+	})
+	return buf
+}
+
+// Unmarshal rebuilds a backend of the given kind from Marshal's bytes.
+func Unmarshal(data []byte, kind Kind, fanout int) (Backend, error) {
+	universe, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("psum: truncated universe")
+	}
+	data = data[n:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("psum: truncated count")
+	}
+	data = data[n:]
+	if universe > 1<<40 {
+		return nil, fmt.Errorf("psum: implausible universe %d", universe)
+	}
+	b := New(kind, int(universe), 0)
+	key := 0
+	for i := uint64(0); i < count; i++ {
+		dk, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("psum: truncated key %d", i)
+		}
+		data = data[n:]
+		zv, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("psum: truncated value %d", i)
+		}
+		data = data[n:]
+		key += int(dk)
+		if key < 0 || key >= int(universe) {
+			return nil, fmt.Errorf("psum: key %d outside universe %d", key, universe)
+		}
+		b.Add(key, unzigzag(zv))
+	}
+	return b, nil
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

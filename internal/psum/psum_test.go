@@ -1,0 +1,333 @@
+package psum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// reference is the obviously-correct model every backend is checked
+// against: a plain slice.
+type reference struct {
+	vals []int64
+}
+
+func (r *reference) prefix(key int) int64 {
+	var s int64
+	for i := 0; i <= key && i < len(r.vals); i++ {
+		s += r.vals[i]
+	}
+	return s
+}
+
+func (r *reference) add(key int, delta int64) { r.vals[key] += delta }
+
+func (r *reference) grow(m int) {
+	for len(r.vals) < m {
+		r.vals = append(r.vals, 0)
+	}
+}
+
+// checkAgainst asserts b answers exactly like the reference at every
+// key (plus the out-of-range edges).
+func checkAgainst(t *testing.T, b Backend, r *reference) {
+	t.Helper()
+	if b.Universe() != len(r.vals) {
+		t.Fatalf("%s: universe = %d, want %d", b.Kind(), b.Universe(), len(r.vals))
+	}
+	if got := b.PrefixSum(-1); got != 0 {
+		t.Fatalf("%s: PrefixSum(-1) = %d", b.Kind(), got)
+	}
+	if got, want := b.PrefixSum(len(r.vals)+3), r.prefix(len(r.vals)-1); got != want {
+		t.Fatalf("%s: PrefixSum(beyond) = %d, want total %d", b.Kind(), got, want)
+	}
+	if got, want := b.Total(), r.prefix(len(r.vals)-1); got != want {
+		t.Fatalf("%s: Total = %d, want %d", b.Kind(), got, want)
+	}
+	for k := 0; k < len(r.vals); k++ {
+		if got, want := b.PrefixSum(k), r.prefix(k); got != want {
+			t.Fatalf("%s: PrefixSum(%d) = %d, want %d", b.Kind(), k, got, want)
+		}
+		if got := b.Get(k); got != r.vals[k] {
+			t.Fatalf("%s: Get(%d) = %d, want %d", b.Kind(), k, got, r.vals[k])
+		}
+	}
+	nonzero := 0
+	for _, v := range r.vals {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if got := b.Len(); got != nonzero {
+		t.Fatalf("%s: Len = %d, want %d", b.Kind(), got, nonzero)
+	}
+}
+
+// TestBackendsAgainstReference drives every backend through the same
+// random op sequence — adds (including cancellations back to zero),
+// grows, prefix sums — and checks each against the slice model after
+// every mutation batch.
+func TestBackendsAgainstReference(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 20; trial++ {
+				m := 1 + rng.Intn(200)
+				fanout := 3 + rng.Intn(14)
+				b := New(kind, m, fanout)
+				r := &reference{vals: make([]int64, m)}
+				for step := 0; step < 60; step++ {
+					switch rng.Intn(10) {
+					case 0: // grow
+						nm := len(r.vals) + rng.Intn(64)
+						b.Grow(nm)
+						r.grow(nm)
+					case 1: // cancel an existing key back to zero
+						k := rng.Intn(len(r.vals))
+						if r.vals[k] != 0 {
+							b.Add(k, -r.vals[k])
+							r.add(k, -r.vals[k])
+						}
+					default:
+						k := rng.Intn(len(r.vals))
+						d := rng.Int63n(100) - 50
+						b.Add(k, d)
+						r.add(k, d)
+					}
+				}
+				checkAgainst(t, b, r)
+			}
+		})
+	}
+}
+
+// TestFromSliceEquivalence checks the bulk-build path: FromSlice must
+// answer exactly like the incrementally built backend, for every kind,
+// across awkward universes (block boundaries, tiny, prime).
+func TestFromSliceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []int{1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 100, 127, 128, 129, 513, 1000} {
+		vals := make([]int64, m)
+		for i := range vals {
+			if rng.Intn(3) != 0 { // leave some zeros
+				vals[i] = rng.Int63n(1000) - 500
+			}
+		}
+		for _, kind := range Kinds() {
+			bulk := FromSlice(kind, vals, 8)
+			inc := New(kind, m, 8)
+			for i, v := range vals {
+				inc.Add(i, v)
+			}
+			for k := -1; k <= m; k++ {
+				bv, iv := bulk.PrefixSum(k), inc.PrefixSum(k)
+				if bv != iv {
+					t.Fatalf("%s m=%d: bulk PrefixSum(%d)=%d, incremental=%d", kind, m, k, bv, iv)
+				}
+			}
+			if bulk.Total() != inc.Total() || bulk.Len() != inc.Len() {
+				t.Fatalf("%s m=%d: bulk total/len (%d,%d) != incremental (%d,%d)",
+					kind, m, bulk.Total(), bulk.Len(), inc.Total(), inc.Len())
+			}
+		}
+	}
+}
+
+// TestCrossBackendAgreement runs one shared op sequence over all
+// backends simultaneously and insists on exact agreement among them at
+// every probe — the backend-level half of the cube equivalence suite.
+func TestCrossBackendAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const m = 257
+	backends := make([]Backend, 0, len(Kinds()))
+	for _, kind := range Kinds() {
+		backends = append(backends, New(kind, m, 16))
+	}
+	for step := 0; step < 500; step++ {
+		k := rng.Intn(m)
+		d := rng.Int63n(64) - 32
+		for _, b := range backends {
+			b.Add(k, d)
+		}
+		probe := rng.Intn(m + 2)
+		want := backends[0].PrefixSum(probe)
+		for _, b := range backends[1:] {
+			if got := b.PrefixSum(probe); got != want {
+				t.Fatalf("step %d: %s PrefixSum(%d) = %d, %s = %d",
+					step, b.Kind(), probe, got, backends[0].Kind(), want)
+			}
+		}
+	}
+}
+
+// TestMarshalRoundTrip serializes each backend and rebuilds it as every
+// kind (including itself): the logical contents must survive any
+// cross-backend round trip — the serialize leg of the Backend contract.
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, src := range Kinds() {
+		b := New(src, 100, 8)
+		for i := 0; i < 60; i++ {
+			b.Add(rng.Intn(100), rng.Int63n(100)-50)
+		}
+		data := Marshal(b)
+		for _, dst := range Kinds() {
+			got, err := Unmarshal(data, dst, 8)
+			if err != nil {
+				t.Fatalf("%s->%s: %v", src, dst, err)
+			}
+			for k := -1; k <= 100; k++ {
+				if gv, wv := got.PrefixSum(k), b.PrefixSum(k); gv != wv {
+					t.Fatalf("%s->%s: PrefixSum(%d) = %d, want %d", src, dst, k, gv, wv)
+				}
+			}
+			if got.Len() != b.Len() || got.Universe() != b.Universe() {
+				t.Fatalf("%s->%s: len/universe (%d,%d) != (%d,%d)",
+					src, dst, got.Len(), got.Universe(), b.Len(), b.Universe())
+			}
+		}
+	}
+}
+
+// TestUnmarshalCorrupt asserts the decoder rejects truncated or
+// inconsistent bytes rather than panicking.
+func TestUnmarshalCorrupt(t *testing.T) {
+	b := New(Blocked, 32, 0)
+	b.Add(3, 7)
+	b.Add(31, 9)
+	data := Marshal(b)
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Unmarshal(data[:cut], Classic, 8); err == nil && cut < len(data) {
+			// A clean prefix may decode fewer pairs only if the count
+			// also shrank — with a fixed count any truncation must error.
+			t.Fatalf("truncated to %d of %d bytes decoded without error", cut, len(data))
+		}
+	}
+	if _, err := Unmarshal([]byte{0xFF}, Classic, 8); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+}
+
+// TestParseKind covers the registry: canonical names, the default, and
+// rejection of unknowns.
+func TestParseKind(t *testing.T) {
+	if k, err := ParseKind(""); err != nil || k != Classic {
+		t.Fatalf("ParseKind(\"\") = %v, %v", k, err)
+	}
+	for _, kind := range Kinds() {
+		if k, err := ParseKind(string(kind)); err != nil || k != kind {
+			t.Fatalf("ParseKind(%q) = %v, %v", kind, k, err)
+		}
+	}
+	if _, err := ParseKind("btree-of-doom"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if Index(Classic) != 0 {
+		t.Fatalf("Index(Classic) = %d", Index(Classic))
+	}
+	seen := map[int]bool{}
+	for _, kind := range Kinds() {
+		i := Index(kind)
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+// TestPrefixSumAllocFree pins the read path at zero allocations for
+// every backend — the property the core query engine's pooled scratch
+// depends on.
+func TestPrefixSumAllocFree(t *testing.T) {
+	for _, kind := range Kinds() {
+		b := FromSlice(kind, seqValues(512), 16)
+		allocs := testing.AllocsPerRun(100, func() {
+			var s int64
+			for k := 0; k < 512; k += 17 {
+				s += b.PrefixSum(k)
+			}
+			sink = s
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: PrefixSum allocates %.1f/op", kind, allocs)
+		}
+	}
+}
+
+// TestVisitsCounted asserts the visit counts are nonzero and
+// PrefixSumVisits agrees with PrefixSum.
+func TestVisitsCounted(t *testing.T) {
+	for _, kind := range Kinds() {
+		b := FromSlice(kind, seqValues(300), 16)
+		v, n := b.PrefixSumVisits(123)
+		if v != b.PrefixSum(123) {
+			t.Fatalf("%s: visits variant disagrees", kind)
+		}
+		if n == 0 {
+			t.Fatalf("%s: zero visits for a 300-key prefix", kind)
+		}
+		if w := b.Add(7, 5); w == 0 {
+			t.Fatalf("%s: zero cells written by Add", kind)
+		}
+	}
+}
+
+var sink int64
+
+func seqValues(n int) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i%13) + 1
+	}
+	return vals
+}
+
+// ---------------------------------------------------------------------
+// Microbenchmarks: the per-backend constant factors under every cube
+// hot path (run with -bench Backend).
+
+func benchSizes() []int { return []int{64, 512, 4096} }
+
+func BenchmarkBackendPrefixSum(b *testing.B) {
+	for _, kind := range Kinds() {
+		for _, m := range benchSizes() {
+			b.Run(string(kind)+"/"+itoa(m), func(b *testing.B) {
+				bk := FromSlice(kind, seqValues(m), 16)
+				b.ReportAllocs()
+				var s int64
+				for i := 0; i < b.N; i++ {
+					s += bk.PrefixSum(i & (m - 1))
+				}
+				sink = s
+			})
+		}
+	}
+}
+
+func BenchmarkBackendAdd(b *testing.B) {
+	for _, kind := range Kinds() {
+		for _, m := range benchSizes() {
+			b.Run(string(kind)+"/"+itoa(m), func(b *testing.B) {
+				bk := FromSlice(kind, seqValues(m), 16)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					bk.Add(i&(m-1), 1)
+				}
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -75,8 +75,11 @@ type Options struct {
 	// Dims is the shape of a fresh cube when the directory is empty.
 	// Ignored when a checkpoint exists (the checkpoint's geometry wins).
 	Dims []int
-	// Cube holds cube construction options (tile, fanout, autogrow) for
-	// a fresh cube; like Dims, a checkpoint overrides it.
+	// Cube holds cube construction options (tile, fanout, autogrow,
+	// prefix-sum backend) for a fresh cube; a checkpoint overrides the
+	// geometry options (like Dims) but the backend always applies —
+	// checkpoints store raw cells, so any checkpoint rebuilds under any
+	// backend.
 	Cube ddc.Options
 	// CheckpointRecords rotates the active segment after this many
 	// records; 0 means DefaultCheckpointRecords.
@@ -404,7 +407,9 @@ func (s *Store) loadCheckpoint(S uint64) (*ddc.DynamicCube, error) {
 			ddc.ErrBadSnapshot, name, fi.Size()-ckptHeaderSize, plen)
 	}
 	cr := &crcReader{r: io.LimitReader(f, int64(plen))}
-	cube, lerr := ddc.LoadDynamic(cr)
+	// Checkpoints are backend-agnostic (raw cells); the configured
+	// backend shapes only the rebuilt in-memory structure.
+	cube, lerr := ddc.LoadDynamicBackend(cr, s.opts.Cube.Backend)
 	// Drain whatever the snapshot reader did not consume so the CRC
 	// covers the whole payload, then verify before trusting the cube.
 	if _, err := io.Copy(io.Discard, cr); err != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+package ddc
+
+// raceEnabled reports that the race detector is active. The allocation
+// guards skip under it: the race runtime intentionally defeats
+// sync.Pool reuse, so alloc counts there measure the detector, not the
+// code.
+const raceEnabled = true

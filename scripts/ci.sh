@@ -30,6 +30,14 @@ go test -run - -bench BenchmarkTelemetryOverhead -benchtime 0.5s .
 # implementation, grown domains and sharded cubes included (DESIGN.md
 # §10), plus the endpoint's contract.
 go test -run 'RangeSumBatch|BatchTelemetry|SumBatch' -count=1 . ./internal/cubeserver
+# Backend property tier (DESIGN.md §11): every prefix-sum backend must
+# agree exactly with the classic reference — cube-level op sequences,
+# snapshot round-trips across backends, the psum fuzz seed corpus —
+# under the race detector; the allocation guards run in the plain pass
+# above.
+go test -race -run 'Backend' -count=1 . ./internal/psum
 # Bench smoke: the batched engine's JSON section must produce sane
-# numbers end to end (full suite writes BENCH_pr5.json).
+# numbers end to end (full suite writes BENCH_pr6.json), and the
+# backend matrix row guards the blocked backend's constant factor
+# against the classic reference — a layout regression fails here.
 go run ./cmd/ddcbench -json /tmp/ddc_batch_smoke.json -smoke

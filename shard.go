@@ -52,6 +52,14 @@ func getCoord(n int) *[]int {
 	return bp
 }
 
+// be returns the backend label index shared by every shard (all shards
+// are built from one Options, so shard 0 speaks for the cube).
+func (s *ShardedCube) be() int { return s.shards[0].c.be }
+
+// Backend returns the canonical name of the prefix-sum backend the
+// shards' row-sum groups use.
+func (s *ShardedCube) Backend() string { return s.shards[0].c.Backend() }
+
 // NewSharded returns a cube over dims split into `shards` slabs along
 // dimension 0. The shard count is clamped to dims[0]. AutoGrow is
 // rejected.
@@ -259,7 +267,7 @@ func (s *ShardedCube) AddBatch(batch []PointDelta) error {
 	})
 	if on {
 		tel.recordFanout(len(work))
-		tel.recordUpdate(uOpBatch, time.Since(start), merged)
+		tel.recordUpdate(uOpBatch, s.be(), time.Since(start), merged)
 	}
 	if err, ok := firstErr.Load().(error); ok {
 		return err
@@ -354,7 +362,7 @@ func (s *ShardedCube) Prefix(p []int) int64 {
 	if on {
 		d := time.Since(start)
 		tel.recordFanout(last + 1)
-		tel.recordQuery(qOpPrefix, d, merged)
+		tel.recordQuery(qOpPrefix, s.be(), d, merged)
 		if sampled, slow := tel.shouldTrace(d); sampled || slow {
 			tel.trace(QueryTrace{
 				Op: "prefix", Start: start, DurationNs: d.Nanoseconds(),
@@ -434,7 +442,7 @@ func (s *ShardedCube) RangeSum(lo, hi []int) (int64, error) {
 	if on {
 		d := time.Since(start)
 		tel.recordFanout(last - first + 1)
-		tel.recordQuery(qOpRange, d, merged)
+		tel.recordQuery(qOpRange, s.be(), d, merged)
 		if sampled, slow := tel.shouldTrace(d); sampled || slow {
 			tel.trace(QueryTrace{
 				Op: "rangesum", Start: start, DurationNs: d.Nanoseconds(),
@@ -561,7 +569,7 @@ func (s *ShardedCube) rangeSumBatch(queries []RangeQuery) ([]int64, BatchStats, 
 	if on {
 		d := time.Since(start)
 		tel.recordFanout(len(work))
-		tel.recordBatch(len(queries), d, merged.AtomicSnapshot(), stats)
+		tel.recordBatch(len(queries), s.be(), d, merged.AtomicSnapshot(), stats)
 		if sampled, slow := tel.shouldTrace(d); sampled || slow {
 			snap := merged.AtomicSnapshot()
 			tel.trace(QueryTrace{

@@ -89,8 +89,18 @@ func (c *DynamicCube) Save(w io.Writer) error {
 
 // LoadDynamic reads a snapshot written by Save (version 1) or
 // SaveCompact (version 2) and reconstructs the cube, including its
-// growth history (bounds and origin round-trip exactly).
+// growth history (bounds and origin round-trip exactly), under the
+// default prefix-sum backend.
 func LoadDynamic(r io.Reader) (*DynamicCube, error) {
+	return LoadDynamicBackend(r, "")
+}
+
+// LoadDynamicBackend is LoadDynamic rebuilding the cube over the named
+// prefix-sum backend ("" selects the default). Snapshots store raw
+// cells, not backend layout, so any snapshot — including ones written
+// before backends existed — loads under any backend; the choice only
+// shapes the rebuilt in-memory structure.
+func LoadDynamicBackend(r io.Reader, backend string) (*DynamicCube, error) {
 	if tel := globalTelemetry; tel.on() {
 		start := time.Now()
 		defer func() { tel.recordSnapLoad(time.Since(start)) }()
@@ -128,6 +138,7 @@ func LoadDynamic(r io.Reader) (*DynamicCube, error) {
 		Tile:     int(hdr.Tile),
 		Fanout:   int(hdr.Fanout),
 		AutoGrow: hdr.AutoGrow == 1,
+		Backend:  backend,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)

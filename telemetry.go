@@ -10,6 +10,7 @@ import (
 	"ddc/internal/core"
 	"ddc/internal/cube"
 	"ddc/internal/obs"
+	"ddc/internal/psum"
 )
 
 // Telemetry is the cube-wide observability surface: a lock-cheap
@@ -34,8 +35,12 @@ type Telemetry struct {
 	enabled atomic.Bool
 	reg     *obs.Registry
 
-	queries [numQueryOps]*obs.Counter
-	updates [numUpdateOps]*obs.Counter
+	// queries and updates are labelled by operation and by the cube's
+	// prefix-sum backend ({op=...,backend=...}), so backend A/B runs
+	// separate cleanly in one process; the row index is the op, the
+	// column the psum.Index of the backend.
+	queries [numQueryOps][]*obs.Counter
+	updates [numUpdateOps][]*obs.Counter
 	contrib [cube.NumContribKinds]*obs.Counter
 
 	queryNodeVisits  *obs.Counter
@@ -101,6 +106,16 @@ const (
 var qOpNames = [numQueryOps]string{"prefix", "rangesum", "rangesum_batch"}
 var uOpNames = [numUpdateOps]string{"add", "set", "batch"}
 
+// backendNames indexes the per-backend metric label by psum.Index.
+var backendNames = func() []string {
+	kinds := psum.Kinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
+	}
+	return names
+}()
+
 // kindNames maps core.ContributionKind values to metric labels.
 var kindNames = [cube.NumContribKinds]string{"subtotal", "row_sum", "delegated", "leaf"}
 
@@ -126,12 +141,20 @@ func NewTelemetry() *Telemetry {
 		traces:  obs.NewRing[QueryTrace](traceRingCapacity),
 	}
 	for i, op := range qOpNames {
-		t.queries[i] = reg.Counter(fmt.Sprintf("ddc_queries_total{op=%q}", op),
-			"queries served, by operation")
+		t.queries[i] = make([]*obs.Counter, len(backendNames))
+		for b, be := range backendNames {
+			t.queries[i][b] = reg.Counter(
+				fmt.Sprintf("ddc_queries_total{op=%q,backend=%q}", op, be),
+				"queries served, by operation and prefix-sum backend")
+		}
 	}
 	for i, op := range uOpNames {
-		t.updates[i] = reg.Counter(fmt.Sprintf("ddc_updates_total{op=%q}", op),
-			"updates applied, by operation")
+		t.updates[i] = make([]*obs.Counter, len(backendNames))
+		for b, be := range backendNames {
+			t.updates[i][b] = reg.Counter(
+				fmt.Sprintf("ddc_updates_total{op=%q,backend=%q}", op, be),
+				"updates applied, by operation and prefix-sum backend")
+		}
 	}
 	for i, k := range kindNames {
 		t.contrib[i] = reg.Counter(fmt.Sprintf("ddc_query_contributions_total{kind=%q}", k),
@@ -272,9 +295,14 @@ func distFrom(s obs.HistStats) DistStats {
 type TelemetrySnapshot struct {
 	Enabled bool `json:"enabled"`
 
-	Queries       map[string]uint64 `json:"queries"`
-	Updates       map[string]uint64 `json:"updates"`
-	Contributions map[string]uint64 `json:"contributions"`
+	// Queries and Updates are per-operation totals summed across every
+	// prefix-sum backend; the ByBackend maps split the same counts per
+	// backend (all registered backends appear, zeros included).
+	Queries          map[string]uint64 `json:"queries"`
+	Updates          map[string]uint64 `json:"updates"`
+	QueriesByBackend map[string]uint64 `json:"queries_by_backend"`
+	UpdatesByBackend map[string]uint64 `json:"updates_by_backend"`
+	Contributions    map[string]uint64 `json:"contributions"`
 
 	QueryNodeVisits  uint64 `json:"query_node_visits"`
 	QueryCells       uint64 `json:"query_cells"`
@@ -316,16 +344,34 @@ type TelemetrySnapshot struct {
 // atomic loads while recording continues.
 func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	s := TelemetrySnapshot{
-		Enabled:       t.Enabled(),
-		Queries:       map[string]uint64{},
-		Updates:       map[string]uint64{},
-		Contributions: map[string]uint64{},
+		Enabled:          t.Enabled(),
+		Queries:          map[string]uint64{},
+		Updates:          map[string]uint64{},
+		QueriesByBackend: map[string]uint64{},
+		UpdatesByBackend: map[string]uint64{},
+		Contributions:    map[string]uint64{},
+	}
+	for _, be := range backendNames {
+		s.QueriesByBackend[be] = 0
+		s.UpdatesByBackend[be] = 0
 	}
 	for i, op := range qOpNames {
-		s.Queries[op] = t.queries[i].Value()
+		var sum uint64
+		for b, c := range t.queries[i] {
+			v := c.Value()
+			sum += v
+			s.QueriesByBackend[backendNames[b]] += v
+		}
+		s.Queries[op] = sum
 	}
 	for i, op := range uOpNames {
-		s.Updates[op] = t.updates[i].Value()
+		var sum uint64
+		for b, c := range t.updates[i] {
+			v := c.Value()
+			sum += v
+			s.UpdatesByBackend[backendNames[b]] += v
+		}
+		s.Updates[op] = sum
 	}
 	for i, k := range kindNames {
 		s.Contributions[k] = t.contrib[i].Value()
@@ -475,8 +521,10 @@ func (t *Telemetry) trace(tr QueryTrace) {
 // ---------------------------------------------------------------------
 // Recording helpers (called only when enabled)
 
-func (t *Telemetry) recordQuery(op int, d time.Duration, ops cube.OpCounter) {
-	t.queries[op].Inc()
+// recordQuery counts one query under its operation and the recording
+// cube's backend index (psum.Index of the cube's Options.Backend).
+func (t *Telemetry) recordQuery(op, be int, d time.Duration, ops cube.OpCounter) {
+	t.queries[op][be].Inc()
 	t.queryLat.Observe(uint64(d.Nanoseconds()))
 	t.queryNodeVisits.Add(ops.NodeVisits)
 	t.queryCells.Add(ops.QueryCells)
@@ -489,8 +537,8 @@ func (t *Telemetry) recordQuery(op int, d time.Duration, ops cube.OpCounter) {
 // attributed to the rangesum_batch op (so ddc_queries_total and
 // /v1/stats see every logical query), the deduplicated work counted
 // exactly once, and the sharing statistics.
-func (t *Telemetry) recordBatch(n int, d time.Duration, ops cube.OpCounter, st BatchStats) {
-	t.queries[qOpBatchRange].Add(uint64(n))
+func (t *Telemetry) recordBatch(n, be int, d time.Duration, ops cube.OpCounter, st BatchStats) {
+	t.queries[qOpBatchRange][be].Add(uint64(n))
 	t.batchQueries.Add(uint64(n))
 	t.batchSizeHist.Observe(uint64(n))
 	t.batchLat.Observe(uint64(d.Nanoseconds()))
@@ -505,8 +553,8 @@ func (t *Telemetry) recordBatch(n int, d time.Duration, ops cube.OpCounter, st B
 	}
 }
 
-func (t *Telemetry) recordUpdate(op int, d time.Duration, ops cube.OpCounter) {
-	t.updates[op].Inc()
+func (t *Telemetry) recordUpdate(op, be int, d time.Duration, ops cube.OpCounter) {
+	t.updates[op][be].Inc()
 	t.updateLat.Observe(uint64(d.Nanoseconds()))
 	t.updateNodeVisits.Add(ops.NodeVisits)
 	t.updateCells.Add(ops.UpdateCells)
