@@ -7,6 +7,7 @@ import (
 
 	"ddc/internal/core"
 	"ddc/internal/grid"
+	"ddc/internal/obs"
 )
 
 // RangeQuery is one inclusive range-sum box inside a batch.
@@ -123,6 +124,41 @@ func (c *DynamicCube) RangeSumBatchInto(queries []RangeQuery, out []int64) error
 	stats.merge(st)
 	tel.recordBatch(len(queries), c.be, time.Since(start), ops, stats)
 	return nil
+}
+
+// TreeLevels returns the number of tree levels one corner descent can
+// touch (root down to the leaf tile). Theorem 1 bounds a descent to one
+// outer-tree node per level, so TreeLevels × descents is the visit
+// budget the EXPLAIN endpoint checks span-level profiles against.
+func (c *DynamicCube) TreeLevels() int { return c.t.Levels() }
+
+// RangeSumBatchTrace is RangeSumBatchInto recording span-level
+// observability into sc under parent: one child span per pipeline stage
+// (plan, dedup, execute, gather) and the per-level outer-tree visit
+// profile of the descents the batch actually paid for (levels[0] is the
+// root level). Telemetry is still recorded when enabled. The traced
+// path allocates; it exists for /v1/explain and traced slow requests,
+// never for the steady-state hot path.
+func (c *DynamicCube) RangeSumBatchTrace(queries []RangeQuery, out []int64, sc *obs.SpanContext, parent obs.SpanID) (BatchStats, []uint64, error) {
+	if len(out) != len(queries) {
+		return BatchStats{}, nil, fmt.Errorf("ddc: batch out has %d slots for %d queries", len(out), len(queries))
+	}
+	boxes := make([]core.Box, len(queries))
+	for i, q := range queries {
+		boxes[i] = core.Box{Lo: grid.Point(q.Lo), Hi: grid.Point(q.Hi)}
+	}
+	tel := globalTelemetry
+	start := time.Now()
+	ops, st, levels, err := c.t.RangeSumBatchTraceOps(boxes, out, sc, parent)
+	if err != nil {
+		return BatchStats{}, nil, err
+	}
+	stats := BatchStats{Queries: len(queries)}
+	stats.merge(st)
+	if tel.on() {
+		tel.recordBatch(len(queries), c.be, time.Since(start), ops, stats)
+	}
+	return stats, levels, nil
 }
 
 // InvalidatePrefixCache drops every cached corner prefix value by

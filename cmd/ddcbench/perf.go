@@ -41,6 +41,7 @@ type benchResult struct {
 // perfReport is the top-level JSON document.
 type perfReport struct {
 	Suite      string        `json:"suite"`
+	Version    string        `json:"version"` // ddc module build version
 	GoMaxProcs int           `json:"go_max_procs"`
 	GoVersion  string        `json:"go_version"`
 	Results    []benchResult `json:"results"`
@@ -130,6 +131,7 @@ func runPerfSuite(path string, smoke bool) error {
 
 	var report perfReport
 	report.Suite = "concurrency"
+	report.Version = ddc.Version
 	report.GoMaxProcs = runtime.GOMAXPROCS(0)
 	report.GoVersion = runtime.Version()
 

@@ -6,6 +6,7 @@
 //	ddcserver -data DIR -dims 100,366 -addr :8080 [-autogrow]
 //	          [-backend classic|blocked|blockfenwick]
 //	          [-pprof] [-trace-sample N] [-slow-query 50ms]
+//	          [-slo-objective 100ms]
 //	ddcserver -dims 100,366 [-cube snap] [-wal log]   (legacy single-file mode)
 //
 // With -data the server runs on a durable store directory: recovery
@@ -16,8 +17,9 @@
 //
 // Endpoints: POST /v1/add, POST /v1/set, POST /v1/batch,
 // POST /v1/checkpoint, GET /v1/get, GET /v1/sum, POST /v1/sum/batch,
-// GET /v1/scan,
-// GET /v1/explain, GET /v1/stats, GET /v1/trace, GET /v1/snapshot,
+// GET /v1/scan, GET /v1/explain, POST /v1/explain (span-traced batch
+// EXPLAIN), GET /v1/stats, GET /v1/trace, GET /v1/snapshot,
+// GET /healthz, GET /readyz,
 // GET /metrics (Prometheus text), and GET /debug/pprof/ with -pprof.
 // See internal/cubeserver.
 package main
@@ -28,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,12 +54,16 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	traceSample := flag.Int("trace-sample", 0, "record a structured trace for 1 in N queries (0 = off)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at or above this duration to /v1/trace (0 = off)")
+	sloObjective := flag.Duration("slo-objective", 0, "latency objective for the SLO burn-rate counters in /metrics (0 = off)")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	opts := cubeserver.Options{
-		Pprof:       *pprofFlag,
-		TraceSample: *traceSample,
-		SlowQuery:   *slowQuery,
+		Pprof:        *pprofFlag,
+		TraceSample:  *traceSample,
+		SlowQuery:    *slowQuery,
+		SLOObjective: *sloObjective,
+		Logger:       logger,
 	}
 
 	var handler http.Handler
@@ -143,7 +150,38 @@ func main() {
 		if err := shutdown(); err != nil {
 			log.Fatal("ddcserver: closing persistence: ", err)
 		}
+		// Drain observability before the process dies: the slow-query
+		// ring and a final metric snapshot go to the structured log, so
+		// a post-mortem has the last traces even without a scraper.
+		flushObservability(logger)
 	}
+}
+
+// flushObservability writes the retained slow/sampled traces and a
+// final telemetry snapshot to the structured log — the shutdown-time
+// flush that keeps the last window of evidence out of a dying process.
+func flushObservability(logger *slog.Logger) {
+	tel := ddc.GlobalTelemetry()
+	traces := tel.Traces()
+	capacity, dropped := tel.TraceRingStats()
+	for _, tr := range traces {
+		logger.Info("retained trace",
+			"seq", tr.Seq, "op", tr.Op, "duration_ns", tr.DurationNs,
+			"slow", tr.Slow, "trace_id", tr.TraceID,
+			"node_visits", tr.NodeVisits, "spans", len(tr.Spans))
+	}
+	snap := tel.Snapshot()
+	logger.Info("final telemetry snapshot",
+		"traces_flushed", len(traces), "trace_ring_capacity", capacity,
+		"trace_ring_dropped", dropped,
+		"queries", snap.Queries, "updates", snap.Updates,
+		"query_node_visits", snap.QueryNodeVisits,
+		"query_cells", snap.QueryCells,
+		"slow_queries", snap.SlowQueries,
+		"slo_objective_ns", snap.SLOObjectiveNs,
+		"slo_good", snap.SLOGood, "slo_requests", snap.SLORequests,
+		"wal_appends", snap.WALAppends, "wal_flushes", snap.WALFlushes,
+		"store_checkpoints", snap.StoreCheckpoints)
 }
 
 // openLegacyWAL recovers a single-file WAL: replay the existing log,

@@ -8,6 +8,7 @@ import (
 
 	"ddc/internal/cube"
 	"ddc/internal/grid"
+	"ddc/internal/obs"
 )
 
 // Batched range-sum execution. Every range sum reduces to at most 2^d
@@ -233,33 +234,58 @@ func (t *Tree) RangeSumBatchInto(queries []Box, out []int64) error {
 // RangeSumBatchIntoOps is RangeSumBatchInto returning the deduplicated
 // operation counts and sharing statistics; see RangeSumBatchOps.
 func (t *Tree) RangeSumBatchIntoOps(queries []Box, out []int64) (cube.OpCounter, BatchStats, error) {
+	ops, stats, _, err := t.rangeSumBatchInto(queries, out, nil, obs.NoSpan)
+	return ops, stats, err
+}
+
+// RangeSumBatchTraceOps is RangeSumBatchIntoOps recording span-level
+// observability into sc: one span per pipeline stage (plan, dedup,
+// execute, gather — disjoint intervals under parent) annotated with the
+// corner, dedup and cache statistics, plus the per-level outer-tree
+// node-visit profile of the descents this batch actually paid for
+// (cache hits descend nothing). The profile slice is indexed by tree
+// level, 0 = root; compare against Levels() × descents for the
+// Theorem 1 budget. The traced path allocates; telemetry-off callers
+// never reach it.
+func (t *Tree) RangeSumBatchTraceOps(queries []Box, out []int64, sc *obs.SpanContext, parent obs.SpanID) (cube.OpCounter, BatchStats, []uint64, error) {
+	return t.rangeSumBatchInto(queries, out, sc, parent)
+}
+
+// rangeSumBatchInto is the shared batched-execution engine; sc == nil
+// is the untraced hot path (no spans, no level profile, allocation-free
+// in steady state).
+func (t *Tree) rangeSumBatchInto(queries []Box, out []int64, sc *obs.SpanContext, parent obs.SpanID) (cube.OpCounter, BatchStats, []uint64, error) {
 	stats := BatchStats{Queries: len(queries)}
 	if len(out) != len(queries) {
-		return cube.OpCounter{}, stats, fmt.Errorf("core: batch out has %d slots for %d queries", len(out), len(queries))
+		return cube.OpCounter{}, stats, nil, fmt.Errorf("core: batch out has %d slots for %d queries", len(out), len(queries))
 	}
 	if len(queries) == 0 {
-		return cube.OpCounter{}, stats, nil
+		return cube.OpCounter{}, stats, nil, nil
 	}
 	for i := range queries {
 		if err := t.checkRange(queries[i].Lo, queries[i].Hi); err != nil {
-			return cube.OpCounter{}, stats, fmt.Errorf("query %d: %w", i, err)
+			return cube.OpCounter{}, stats, nil, fmt.Errorf("query %d: %w", i, err)
 		}
 	}
 
 	// Plan: expand, canonicalize, deduplicate. The planning state comes
 	// from a pool so steady batch streams plan allocation-free.
+	planSpan := obs.NoSpan
+	if sc != nil {
+		planSpan = sc.Start("batch.plan", parent)
+	}
 	d := t.d
 	masks := 1 << uint(d)
-	sc := batchScratchPool.Get().(*batchScratch)
-	sc.reset(d, len(queries))
-	corner, hiBound := sc.corner, sc.hiBound
+	scr := batchScratchPool.Get().(*batchScratch)
+	scr.reset(d, len(queries))
+	corner, hiBound := scr.corner, scr.hiBound
 	for i := 0; i < d; i++ {
 		hiBound[i] = t.origin[i] + t.n - 1
 	}
-	keyBuf := sc.keyBuf
+	keyBuf := scr.keyBuf
 	for qi := range queries {
 		lo, hi := queries[qi].Lo, queries[qi].Hi
-		sc.qoff = append(sc.qoff, int32(len(sc.terms)))
+		scr.qoff = append(scr.qoff, int32(len(scr.terms)))
 		for mask := 0; mask < masks; mask++ {
 			parity := false
 			empty := false
@@ -285,35 +311,47 @@ func (t *Tree) RangeSumBatchIntoOps(queries []Box, out []int64) (cube.OpCounter,
 			stats.CornerTerms++
 			var ci int32
 			for h := hashCorner(corner); ; h++ {
-				known, ok := sc.index[h]
+				known, ok := scr.index[h]
 				if !ok {
-					ci = sc.addDistinct(corner)
-					sc.index[h] = ci
+					ci = scr.addDistinct(corner)
+					scr.index[h] = ci
 					break
 				}
-				if pointsEq(sc.distinct[known], corner) {
+				if pointsEq(scr.distinct[known], corner) {
 					ci = known
 					break
 				}
 				// 64-bit hash collision between distinct corners: probe
 				// the next slot.
 			}
-			sc.terms = append(sc.terms, signedTerm{corner: ci, neg: parity})
+			scr.terms = append(scr.terms, signedTerm{corner: ci, neg: parity})
 		}
 	}
-	sc.qoff = append(sc.qoff, int32(len(sc.terms)))
-	distinct := sc.distinct
+	scr.qoff = append(scr.qoff, int32(len(scr.terms)))
+	distinct := scr.distinct
 	stats.DistinctCorners = len(distinct)
+	if sc != nil {
+		sc.SetAttr(planSpan, "queries", int64(len(queries)))
+		sc.SetAttr(planSpan, "corner_terms", int64(stats.CornerTerms))
+		sc.SetAttr(planSpan, "skipped_corners", int64(stats.SkippedCorners))
+		sc.SetAttr(planSpan, "distinct_corners", int64(stats.DistinctCorners))
+		sc.SetAttr(planSpan, "dedup_saved", int64(stats.CornerTerms-stats.DistinctCorners))
+		sc.End(planSpan)
+	}
 
 	// Serve what the versioned cache already knows. The epoch is stable
 	// for the whole batch: mutations require exclusive access, so none
 	// can run between this load and the stores below.
-	epoch := t.epoch.Load()
-	if cap(sc.values) < len(distinct) {
-		sc.values = make([]int64, len(distinct))
+	dedupSpan := obs.NoSpan
+	if sc != nil {
+		dedupSpan = sc.Start("batch.dedup", parent)
 	}
-	values := sc.values[:len(distinct)]
-	work := sc.work // cache misses to descend
+	epoch := t.epoch.Load()
+	if cap(scr.values) < len(distinct) {
+		scr.values = make([]int64, len(distinct))
+	}
+	values := scr.values[:len(distinct)]
+	work := scr.work // cache misses to descend
 	t.pcache.mu.Lock()
 	cm := t.pcache.sync(epoch)
 	for ci, p := range distinct {
@@ -327,18 +365,46 @@ func (t *Tree) RangeSumBatchIntoOps(queries []Box, out []int64) (cube.OpCounter,
 	}
 	t.pcache.mu.Unlock()
 	stats.CacheMisses = len(work)
+	if sc != nil {
+		sc.SetAttr(dedupSpan, "cache_hits", int64(stats.CacheHits))
+		sc.SetAttr(dedupSpan, "cache_misses", int64(stats.CacheMisses))
+		sc.End(dedupSpan)
+	}
 
 	// Execute the distinct, uncached prefixes over the lock-free read
 	// path with a bounded fan-out; each worker merges its counts once.
 	// The closure (and the counter it captures) only exists on the miss
-	// path, so a fully cached batch allocates nothing here.
+	// path, so a fully cached batch allocates nothing here. The traced
+	// path additionally collects the per-level outer-tree visit profile
+	// (descents only — cache hits visit nothing), merged atomically so
+	// the fan-out stays contention-free.
+	execSpan := obs.NoSpan
+	if sc != nil {
+		execSpan = sc.Start("batch.execute", parent)
+	}
 	var snap cube.OpCounter
+	var levels []uint64
+	if sc != nil {
+		levels = make([]uint64, t.Levels())
+	}
 	if len(work) > 0 {
 		var merged cube.OpCounter
 		batchParallel(len(work), func(wi int) {
 			ci := work[wi]
 			var ops cube.OpCounter
-			values[ci] = t.prefixWithOps(distinct[ci], &ops)
+			if sc != nil {
+				var v int64
+				lv := make([]uint64, 0, len(levels))
+				v, lv = t.prefixLevels(distinct[ci], &ops, lv)
+				values[ci] = v
+				for i, n := range lv {
+					if i < len(levels) {
+						atomic.AddUint64(&levels[i], n)
+					}
+				}
+			} else {
+				values[ci] = t.prefixWithOps(distinct[ci], &ops)
+			}
 			merged.AtomicAdd(ops)
 		})
 		snap = merged.AtomicSnapshot()
@@ -362,11 +428,20 @@ func (t *Tree) RangeSumBatchIntoOps(queries []Box, out []int64) (cube.OpCounter,
 		}
 		t.pcache.mu.Unlock()
 	}
+	if sc != nil {
+		sc.SetAttr(execSpan, "descents", int64(len(work)))
+		sc.SetAttr(execSpan, "node_visits", int64(snap.NodeVisits))
+		sc.End(execSpan)
+	}
 
 	// Gather the signed terms back into per-query results.
+	gatherSpan := obs.NoSpan
+	if sc != nil {
+		gatherSpan = sc.Start("batch.gather", parent)
+	}
 	for qi := range out {
 		var sum int64
-		for _, tm := range sc.terms[sc.qoff[qi]:sc.qoff[qi+1]] {
+		for _, tm := range scr.terms[scr.qoff[qi]:scr.qoff[qi+1]] {
 			if tm.neg {
 				sum -= values[tm.corner]
 			} else {
@@ -375,11 +450,15 @@ func (t *Tree) RangeSumBatchIntoOps(queries []Box, out []int64) (cube.OpCounter,
 		}
 		out[qi] = sum
 	}
+	if sc != nil {
+		sc.SetAttr(gatherSpan, "results", int64(len(out)))
+		sc.End(gatherSpan)
+	}
 
-	sc.keyBuf, sc.work = keyBuf, work
-	batchScratchPool.Put(sc)
+	scr.keyBuf, scr.work = keyBuf, work
+	batchScratchPool.Put(scr)
 	t.ops.AtomicAdd(snap)
-	return snap, stats, nil
+	return snap, stats, levels, nil
 }
 
 // batchParallel runs fn(0..n-1) across up to GOMAXPROCS goroutines —

@@ -60,6 +60,57 @@ func (t *Tree) prefixWithOps(p grid.Point, ops *cube.OpCounter) int64 {
 	return sum
 }
 
+// prefixLevels is prefixWithOps additionally counting the outer tree's
+// node visits per recursion depth into lv (grown as needed and
+// returned). Nested row-sum group descents count into ops.NodeVisits as
+// usual but not into lv — the per-level profile tracks the Theorem 1
+// descent of the outer tree, which the EXPLAIN budget check compares
+// against one visit per level per corner. Only the tracing path pays
+// for this; the normal query path never sets the level flag.
+func (t *Tree) prefixLevels(p grid.Point, ops *cube.OpCounter, lv []uint64) (int64, []uint64) {
+	if len(p) != t.d || t.root == nil {
+		return 0, lv
+	}
+	s := getQueryScratch(t.d)
+	s.lvOn = true
+	s.lv = s.lv[:0]
+	q := s.q
+	for i, v := range p {
+		v -= t.origin[i]
+		if v < 0 {
+			putQueryScratch(s)
+			return 0, lv
+		}
+		if v >= t.n {
+			v = t.n - 1
+		}
+		q[i] = v
+	}
+	sum := t.prefixRec(s, t.root, t.zero, t.n, q, 0)
+	ops.Add(s.ops)
+	for i, n := range s.lv {
+		for len(lv) <= i {
+			lv = append(lv, 0)
+		}
+		lv[i] += n
+	}
+	putQueryScratch(s)
+	return sum, lv
+}
+
+// Levels returns the number of tree levels a query descent can touch:
+// the root (side n) halving down to the leaf tile, inclusive — the
+// paper's O(log n) height plus the tile level. The theoretical visit
+// budget of one prefix query is one node per level (Theorem 1), so
+// Levels bounds the outer-tree visits of a single corner descent.
+func (t *Tree) Levels() int {
+	levels := 1
+	for ext := t.n; ext > t.cfg.Tile; ext /= 2 {
+		levels++
+	}
+	return levels
+}
+
 // prefixRec returns SUM over the region [anchor : min(q, anchor+ext-1)]
 // of the subtree rooted at nd. The caller guarantees q_i >= anchor_i for
 // every dimension (internal coordinates). anchor and q are read-only;
@@ -71,6 +122,12 @@ func (t *Tree) prefixRec(s *queryScratch, nd *node, anchor grid.Point, ext int, 
 		return 0
 	}
 	s.ops.NodeVisits++
+	if s.lvOn {
+		for len(s.lv) <= depth {
+			s.lv = append(s.lv, 0)
+		}
+		s.lv[depth]++
+	}
 	if ext == t.cfg.Tile {
 		return t.leafPrefix(s, nd, anchor, q, depth)
 	}

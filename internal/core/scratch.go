@@ -59,6 +59,12 @@ type queryScratch struct {
 	q      grid.Point
 	frames []scratchFrame
 	ops    cube.OpCounter
+
+	// lv counts outer-tree node visits per recursion depth when lvOn is
+	// set (the EXPLAIN/span-tracing path); the normal query path leaves
+	// it off, so the hot recursion pays one predictable branch.
+	lv   []uint64
+	lvOn bool
 }
 
 // qsPool recycles query states across calls and across trees (outer
@@ -75,6 +81,7 @@ func getQueryScratch(d int) *queryScratch {
 	}
 	s.q = s.q[:d]
 	s.ops = cube.OpCounter{}
+	s.lvOn = false
 	return s
 }
 

@@ -15,25 +15,38 @@
 //	POST /v1/sum/batch  {"queries":[{"lo":[27,220],"hi":[45,251]},...]}
 //	GET  /v1/scan?range=27,220:45,251&limit=100
 //	GET  /v1/explain?point=45,341
+//	POST /v1/explain    {"queries":[{"lo":[27,220],"hi":[45,251]},...]}
+//	                    (forced span tracing: plan, budget check, span tree)
 //	GET  /v1/stats
 //	GET  /v1/trace                  (retained query traces, newest first)
 //	GET  /v1/snapshot               (binary snapshot stream)
+//	GET  /healthz                   (liveness: process is up)
+//	GET  /readyz                    (readiness: recovery done, log healthy)
 //	GET  /metrics                   (Prometheus text exposition)
 //	GET  /debug/pprof/...           (only with Options.Pprof)
+//
+// Every request is traced when telemetry is enabled: a W3C traceparent
+// header is honoured inbound (the request joins the caller's trace) and
+// echoed outbound, and requests admitted by the slow-query threshold or
+// the sampler retain their full span tree in the /v1/trace ring.
 package cubeserver
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ddc"
 	"ddc/internal/cubecli"
+	"ddc/internal/obs"
 )
 
 // Persistence is the durability surface the server drives: mutations
@@ -48,6 +61,19 @@ type Persistence interface {
 	Checkpoint() error
 }
 
+// healthChecker is the optional readiness surface of a Persistence:
+// internal/store.Store implements it (closed store, poisoned WAL).
+// GET /readyz reports 503 while Healthy returns non-nil.
+type healthChecker interface{ Healthy() error }
+
+// spanTracer is the optional span-trace attachment surface of a
+// Persistence (internal/store.Store and, via walPersistence, *ddc.WAL):
+// while attached, WAL appends/flushes and checkpoints record child
+// spans into the request's trace.
+type spanTracer interface {
+	TraceSpans(sc *obs.SpanContext, parent obs.SpanID)
+}
+
 // ErrCheckpointUnsupported is returned by Persistence implementations
 // that cannot checkpoint (a bare WAL has nowhere to put a snapshot);
 // the server maps it to 501 Not Implemented.
@@ -60,6 +86,10 @@ func (p walPersistence) Add(pt []int, delta int64) error { return p.w.Add(pt, de
 func (p walPersistence) Set(pt []int, value int64) error { return p.w.Set(pt, value) }
 func (p walPersistence) Flush() error                    { return p.w.Flush() }
 func (p walPersistence) Checkpoint() error               { return ErrCheckpointUnsupported }
+func (p walPersistence) Healthy() error                  { return p.w.Err() }
+func (p walPersistence) TraceSpans(sc *obs.SpanContext, parent obs.SpanID) {
+	p.w.TraceSpans(sc, parent)
+}
 
 // Server serves one cube. Mutations are serialized by an internal
 // RWMutex; reads take the shared lock, so any number of queries are
@@ -70,6 +100,8 @@ type Server struct {
 	c       *ddc.DynamicCube
 	persist Persistence // optional; when set, mutations go through it
 	mux     *http.ServeMux
+	log     *slog.Logger
+	ready   atomic.Bool // construction (post-recovery) complete
 
 	// version counts successful mutations; the derived-stats cache below
 	// is recomputed only when it moves (NonZeroCells/StorageCells/Total
@@ -98,6 +130,13 @@ type Options struct {
 	// SlowQuery, when > 0, records every query at or above the
 	// threshold into the trace ring and the slow-query counter.
 	SlowQuery time.Duration
+	// SLOObjective, when > 0, is the latency objective the SLO
+	// burn-rate counters (ddc_slo_good_total / ddc_slo_requests_total)
+	// judge queries against.
+	SLOObjective time.Duration
+	// Logger receives structured log records (slow requests with trace
+	// IDs, 5xx errors). Defaults to slog.Default().
+	Logger *slog.Logger
 }
 
 // New returns a server over the cube. If wal is non-nil, every mutation
@@ -125,13 +164,21 @@ func NewWithOptions(c *ddc.DynamicCube, wal *ddc.WAL, opts Options) *Server {
 func NewWithPersistence(c *ddc.DynamicCube, p Persistence, opts Options) *Server {
 	tel := ddc.GlobalTelemetry()
 	tel.Enable()
+	tel.SetBuildInfo(c.Backend())
 	if opts.TraceSample > 0 {
 		tel.SetTraceSampling(opts.TraceSample)
 	}
 	if opts.SlowQuery > 0 {
 		tel.SetSlowQueryThreshold(opts.SlowQuery)
 	}
-	s := &Server{c: c, persist: p, mux: http.NewServeMux()}
+	if opts.SLOObjective > 0 {
+		tel.SetSLOObjective(opts.SLOObjective)
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{c: c, persist: p, mux: http.NewServeMux(), log: logger}
 	s.mux.HandleFunc("/v1/add", s.handleAdd)
 	s.mux.HandleFunc("/v1/set", s.handleSet)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
@@ -144,6 +191,8 @@ func NewWithPersistence(c *ddc.DynamicCube, p Persistence, opts Options) *Server
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/v1/trace", s.handleTrace)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if opts.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -152,12 +201,80 @@ func NewWithPersistence(c *ddc.DynamicCube, p Persistence, opts Options) *Server
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	// Recovery (store.Open) finished before the server existed; once the
+	// routes are mounted the server is ready, pending log health.
+	s.ready.Store(true)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// statusWriter captures the response status for the tracing middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ServeHTTP implements http.Handler. When telemetry is enabled every
+// request runs under a pooled span trace: an inbound W3C traceparent
+// header joins the caller's trace, the outbound header carries this
+// request's identity, handlers reach the trace through the request
+// context, and requests admitted by the slow-query threshold or the
+// sampler retain their span tree in the /v1/trace ring. With telemetry
+// disabled the entire path is one atomic load and a plain dispatch.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	tel := ddc.GlobalTelemetry()
+	if !tel.Enabled() {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	sc := obs.GetSpanContext()
+	if id, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		sc.SetTraceID(id)
+	}
+	root := sc.Start("http "+r.URL.Path, obs.NoSpan)
+	w.Header().Set("traceparent", sc.Traceparent(root))
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r.WithContext(obs.ContextWithSpan(r.Context(), sc, root)))
+	sc.End(root)
+	d := time.Since(start)
+	if sw.status >= http.StatusInternalServerError {
+		s.log.Error("request failed",
+			"trace_id", sc.TraceID(), "path", r.URL.Path,
+			"status", sw.status, "duration", d)
+	}
+	sampled, slow := tel.ShouldTrace(d)
+	if sampled || slow {
+		if slow {
+			s.log.Warn("slow request",
+				"trace_id", sc.TraceID(), "path", r.URL.Path,
+				"duration", d, "spans", sc.Len())
+		}
+		// Retain the span tree only when the request recorded spans
+		// beyond the root (batch stages, per-slab fan-out, WAL commits):
+		// single-span requests are already covered by the cube layer's
+		// flat trace, and a second ring entry would halve its reach.
+		if sc.Len() > 1 {
+			tel.RecordTrace(ddc.QueryTrace{
+				Op: "http " + r.URL.Path, Start: start, DurationNs: d.Nanoseconds(),
+				Slow: slow, TraceID: sc.TraceID(), Spans: sc.Tree(),
+			})
+		}
+	}
+	obs.PutSpanContext(sc)
 }
 
 // writeJSON writes a JSON response body.
@@ -196,10 +313,19 @@ func (s *Server) decodeMutation(w http.ResponseWriter, r *http.Request) (*mutati
 
 // mutate applies one persisted (if persistence is attached) mutation,
 // bumping the stats-cache version on success. The Flush is the commit
-// point: a non-error response means the mutation is durable.
-func (s *Server) mutate(fn func() error) error {
+// point: a non-error response means the mutation is durable. When the
+// request carries a span trace and the persistence supports it, WAL
+// appends/fsyncs and checkpoints record child spans — detached again
+// before the pooled trace returns to its pool.
+func (s *Server) mutate(ctx context.Context, fn func() error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if st, ok := s.persist.(spanTracer); ok {
+		if sc, span := obs.SpanFromContext(ctx); sc != nil {
+			st.TraceSpans(sc, span)
+			defer st.TraceSpans(nil, obs.NoSpan)
+		}
+	}
 	// Invalidate unconditionally: a failing batch may still have applied
 	// a prefix of its operations.
 	s.version.Add(1)
@@ -225,7 +351,21 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	// Attach the request's trace like mutate does, so an explicit
+	// checkpoint records its store.checkpoint span; detach before the
+	// lock drops — the attachment is guarded by s.mu.
+	st, traced := s.persist.(spanTracer)
+	if traced {
+		if sc, span := obs.SpanFromContext(r.Context()); sc != nil {
+			st.TraceSpans(sc, span)
+		} else {
+			traced = false
+		}
+	}
 	err := s.persist.Checkpoint()
+	if traced {
+		st.TraceSpans(nil, obs.NoSpan)
+	}
 	s.mu.Unlock()
 	switch {
 	case errors.Is(err, ErrCheckpointUnsupported):
@@ -246,7 +386,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "delta required")
 		return
 	}
-	err := s.mutate(func() error {
+	err := s.mutate(r.Context(), func() error {
 		if s.persist != nil {
 			return s.persist.Add(m.Point, *m.Delta)
 		}
@@ -271,7 +411,7 @@ func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "value required")
 		return
 	}
-	err := s.mutate(func() error {
+	err := s.mutate(r.Context(), func() error {
 		if s.persist != nil {
 			return s.persist.Set(m.Point, *m.Value)
 		}
@@ -313,7 +453,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	applied := 0
-	err := s.mutate(func() error {
+	err := s.mutate(r.Context(), func() error {
 		for _, op := range req.Ops {
 			var err error
 			switch op.Op {
@@ -408,8 +548,18 @@ func (s *Server) handleSumBatch(w http.ResponseWriter, r *http.Request) {
 	for i, q := range req.Queries {
 		queries[i] = ddc.RangeQuery{Lo: q.Lo, Hi: q.Hi}
 	}
+	var sums []int64
+	var stats ddc.BatchStats
+	var err error
 	s.mu.RLock()
-	sums, stats, err := s.c.RangeSumBatchStats(queries)
+	if sc, span := obs.SpanFromContext(r.Context()); sc != nil {
+		// Traced request: the planner records its stage spans (plan,
+		// dedup, execute, gather) into the request's trace.
+		sums = make([]int64, len(queries))
+		stats, _, err = s.c.RangeSumBatchTrace(queries, sums, sc, span)
+	} else {
+		sums, stats, err = s.c.RangeSumBatchStats(queries)
+	}
 	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -450,6 +600,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"nonzero": nonzero,
 		"storage": storage,
 		"backend": s.c.Backend(),
+		"build": map[string]string{
+			"version":    ddc.Version,
+			"go_version": runtime.Version(),
+			"backend":    s.c.Backend(),
+		},
+		"slo": map[string]interface{}{
+			"objective_ns": snap.SLOObjectiveNs,
+			"good":         snap.SLOGood,
+			"requests":     snap.SLORequests,
+		},
 		"ops": map[string]uint64{
 			"queries":           queries,
 			"updates":           updates,
@@ -490,20 +650,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace serves the retained query traces (sampled and slow),
-// newest first.
+// newest first, with the ring's capacity and eviction count so readers
+// know whether the record is complete.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	tel := ddc.GlobalTelemetry()
+	capacity, dropped := tel.TraceRingStats()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"sampling":      tel.TraceSampling(),
 		"slow_query_ns": tel.SlowQueryThreshold().Nanoseconds(),
+		"capacity":      capacity,
+		"dropped":       dropped,
 		"traces":        tel.Traces(),
 	})
 }
 
-// handleExplain returns the prefix sum at a point together with the
-// per-box contributions of the descent (the decomposition of the
-// paper's Figure 11) — a debugging window into the index.
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 once construction (recovery
+// included — store.Open replays before the server exists) is complete
+// and the persistence layer is healthy; 503 with the reason otherwise.
+// A poisoned WAL (a failed write or fsync) makes the server permanently
+// unready: acknowledged state is no longer guaranteed durable, so load
+// balancers should drain it while it still answers reads.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "starting", "reason": "recovery in progress",
+		})
+		return
+	}
+	if hc, ok := s.persist.(healthChecker); ok && s.persist != nil {
+		if err := hc.Healthy(); err != nil {
+			s.log.Error("readiness check failed", "error", err.Error())
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "unready", "reason": err.Error(),
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleExplain is the query-plan window into the index. GET explains a
+// prefix query at a point (the per-box contribution decomposition of
+// the paper's Figure 11). POST explains a batch of range sums under
+// forced span tracing: the structured plan (corner-term expansion,
+// dedup savings, cache hits), the per-level outer-tree visit profile
+// checked against the Theorem 1 budget of one visit per level per
+// descent, and the full span tree with per-stage timings.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handleExplainBatch(w, r)
+		return
+	}
 	p, err := cubecli.ParsePoint(r.URL.Query().Get("point"))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "point: %v", err)
@@ -515,6 +717,85 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"prefix":        sum,
 		"contributions": parts,
+	})
+}
+
+// handleExplainBatch runs POST /v1/explain: the request's batch under
+// forced tracing. Tracing is forced — with telemetry disabled (no
+// middleware trace) the handler builds its own span context, so EXPLAIN
+// always answers with a span tree.
+func (s *Server) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Queries []struct {
+			Lo []int `json:"lo"`
+			Hi []int `json:"hi"`
+		} `json:"queries"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "queries required")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeErr(w, http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	queries := make([]ddc.RangeQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = ddc.RangeQuery{Lo: q.Lo, Hi: q.Hi}
+	}
+	sc, parent := obs.SpanFromContext(r.Context())
+	if sc == nil {
+		sc = obs.GetSpanContext()
+		defer obs.PutSpanContext(sc)
+		parent = obs.NoSpan
+	}
+	root := sc.Start("explain", parent)
+	sums := make([]int64, len(queries))
+	s.mu.RLock()
+	stats, levels, err := s.c.RangeSumBatchTrace(queries, sums, sc, root)
+	treeLevels := s.c.TreeLevels()
+	s.mu.RUnlock()
+	sc.End(root)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Theorem 1 budget: each cache-missing corner descends at most one
+	// outer-tree node per level, so the whole batch's per-level profile
+	// is bounded by one visit per level per descent.
+	var visits uint64
+	within := len(levels) <= treeLevels
+	for _, n := range levels {
+		visits += n
+		if n > uint64(stats.CacheMisses) {
+			within = false
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"trace_id": sc.TraceID(),
+		"sums":     sums,
+		"plan": map[string]interface{}{
+			"queries":          stats.Queries,
+			"corner_terms":     stats.CornerTerms,
+			"skipped_corners":  stats.SkippedCorners,
+			"distinct_corners": stats.DistinctCorners,
+			"dedup_saved":      stats.CornerTerms - stats.DistinctCorners,
+			"cache_hits":       stats.CacheHits,
+			"cache_misses":     stats.CacheMisses,
+		},
+		"levels": levels,
+		"budget": map[string]interface{}{
+			"tree_levels":   treeLevels,
+			"descents":      stats.CacheMisses,
+			"max_visits":    uint64(treeLevels) * uint64(stats.CacheMisses),
+			"outer_visits":  visits,
+			"within_budget": within,
+		},
+		"spans": sc.Tree(),
 	})
 }
 

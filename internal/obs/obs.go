@@ -333,10 +333,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // entries; Add overwrites the oldest once full. A mutex guards it —
 // trace retention is off the hot path (sampled or slow entries only).
 type Ring[T any] struct {
-	mu   sync.Mutex
-	buf  []T
-	next int
-	full bool
+	mu      sync.Mutex
+	buf     []T
+	next    int
+	full    bool
+	dropped uint64
 }
 
 // NewRing returns a ring holding up to n entries.
@@ -350,6 +351,9 @@ func NewRing[T any](n int) *Ring[T] {
 // Add appends v, evicting the oldest entry when full.
 func (r *Ring[T]) Add(v T) {
 	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
 	r.buf[r.next] = v
 	r.next++
 	if r.next == len(r.buf) {
@@ -357,6 +361,17 @@ func (r *Ring[T]) Add(v T) {
 		r.full = true
 	}
 	r.mu.Unlock()
+}
+
+// Capacity returns the ring's fixed capacity.
+func (r *Ring[T]) Capacity() int { return len(r.buf) }
+
+// Dropped returns the number of entries evicted to make room since the
+// last Reset — scrapers use it to detect lost traces.
+func (r *Ring[T]) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Snapshot returns the retained entries, newest first.
@@ -384,11 +399,12 @@ func (r *Ring[T]) Len() int {
 	return r.next
 }
 
-// Reset discards all entries.
+// Reset discards all entries and zeroes the drop counter.
 func (r *Ring[T]) Reset() {
 	r.mu.Lock()
 	r.next = 0
 	r.full = false
+	r.dropped = 0
 	r.mu.Unlock()
 }
 

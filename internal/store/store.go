@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"ddc"
+	"ddc/internal/obs"
 )
 
 // ckptMagic identifies the checkpoint container: an 8-byte magic, a
@@ -140,6 +141,11 @@ type Store struct {
 	recovery    RecoveryInfo
 	checkpoints uint64
 	closed      bool
+
+	// tsc/tparent attach a request's span trace (see TraceSpans); they
+	// survive segment rotation, which swaps in a fresh WAL.
+	tsc     *obs.SpanContext
+	tparent obs.SpanID
 }
 
 // Open recovers a store from dir (creating it if needed): load the
@@ -228,6 +234,35 @@ func (s *Store) Dir() string { return s.dir }
 // Recovery reports what Open found and replayed.
 func (s *Store) Recovery() RecoveryInfo { return s.recovery }
 
+// Healthy reports whether the store can accept mutations: nil while
+// open with an unpoisoned log, otherwise the terminal error (closed, or
+// the write/sync failure that poisoned the WAL). Readiness probes (the
+// server's /readyz) gate on it.
+func (s *Store) Healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal != nil {
+		return s.wal.Err()
+	}
+	return nil
+}
+
+// TraceSpans attaches a span trace to the persistence pipeline: while
+// sc is non-nil, WAL appends/flushes and checkpoints record child spans
+// under parent. Pass nil to detach. The attachment survives segment
+// rotation (checkpoints swap in a fresh WAL).
+func (s *Store) TraceSpans(sc *obs.SpanContext, parent obs.SpanID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tsc, s.tparent = sc, parent
+	if s.wal != nil {
+		s.wal.TraceSpans(sc, parent)
+	}
+}
+
 // Stats returns the active segment's position.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
@@ -315,6 +350,10 @@ func (s *Store) Close() error {
 // snapshots and covered segments. Callers hold s.mu.
 func (s *Store) checkpointLocked() error {
 	start := time.Now()
+	if s.tsc != nil {
+		span := s.tsc.Start("store.checkpoint", s.tparent)
+		defer s.tsc.End(span)
+	}
 	if s.wal != nil {
 		if err := s.wal.Flush(); err != nil {
 			return err
@@ -456,6 +495,7 @@ func (s *Store) openSegment(q uint64) error {
 	s.f = f
 	s.wal = wal
 	s.seg = q
+	wal.TraceSpans(s.tsc, s.tparent)
 	return nil
 }
 

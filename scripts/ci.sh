@@ -41,3 +41,14 @@ go test -race -run 'Backend' -count=1 . ./internal/psum
 # backend matrix row guards the blocked backend's constant factor
 # against the classic reference — a layout regression fails here.
 go run ./cmd/ddcbench -json /tmp/ddc_batch_smoke.json -smoke
+# Observability tier (DESIGN.md §12): the span/tracing property tests
+# under the race detector, the span-count and EXPLAIN-schema contracts,
+# then a live smoke — boot a real ddcserver, poll /readyz, run a traced
+# POST /v1/explain and validate its schema (trace id, plan, Theorem 1
+# visit budget, stage span tree), and exit via SIGTERM so the graceful
+# shutdown flush runs. The overhead bench above already gates the
+# disabled path; the tests here pin its 0 allocs/op.
+go test -race -run 'Span|Traceparent' -count=1 . ./internal/obs ./internal/cubeserver
+go test -run 'TracingDisabledAllocs|ExplainBatchSchema|Readyz|HealthAndReadiness|TraceRingStats|BuildInfo' -count=1 . ./internal/cubeserver
+go build -o /tmp/ddcserver_smoke ./cmd/ddcserver
+go run ./scripts/obssmoke -server /tmp/ddcserver_smoke

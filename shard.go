@@ -10,6 +10,7 @@ import (
 	"ddc/internal/core"
 	"ddc/internal/cube"
 	"ddc/internal/grid"
+	"ddc/internal/obs"
 )
 
 // ShardedCube partitions dimension 0 into independently locked Dynamic
@@ -581,6 +582,130 @@ func (s *ShardedCube) rangeSumBatch(queries []RangeQuery) ([]int64, BatchStats, 
 		}
 	}
 	return out, stats, nil
+}
+
+// TreeLevels returns the visit budget depth of one corner descent — the
+// maximum over the shards (a short final slab may be shallower).
+func (s *ShardedCube) TreeLevels() int {
+	max := 0
+	for i := range s.shards {
+		if l := s.shards[i].c.TreeLevels(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// RangeSumBatchTrace answers the batch like RangeSumBatch while
+// recording span-level observability into sc under parent: one child
+// span per slab the batch fanned out to ("shard.batch", annotated with
+// the shard index, its share of the sub-queries and the queue wait
+// between fan-out start and the slab task starting), each parenting
+// that shard's planner stage spans. The per-shard level profiles are
+// merged after the join (levels[0] = each shard's root level). Results
+// are written into out (len(out) must equal len(queries)).
+func (s *ShardedCube) RangeSumBatchTrace(queries []RangeQuery, out []int64, sc *obs.SpanContext, parent obs.SpanID) (BatchStats, []uint64, error) {
+	if len(out) != len(queries) {
+		return BatchStats{}, nil, fmt.Errorf("ddc: batch out has %d slots for %d queries", len(out), len(queries))
+	}
+	if len(queries) == 0 {
+		return BatchStats{}, nil, nil
+	}
+	subs := make([][]core.Box, len(s.shards))
+	owners := make([][]int, len(s.shards))
+	for qi := range queries {
+		lo, hi := queries[qi].Lo, queries[qi].Hi
+		if len(lo) != len(s.dims) || len(hi) != len(s.dims) {
+			return BatchStats{}, nil, fmt.Errorf("query %d: %w: box dims", qi, ErrDims)
+		}
+		for i := range lo {
+			if lo[i] > hi[i] {
+				return BatchStats{}, nil, fmt.Errorf("query %d: %w: dimension %d", qi, ErrEmptyRange, i)
+			}
+			if lo[i] < 0 || hi[i] >= s.dims[i] {
+				return BatchStats{}, nil, fmt.Errorf("query %d: %w: dimension %d", qi, ErrRange, i)
+			}
+		}
+		first, last := lo[0]/s.span, hi[0]/s.span
+		for si := first; si <= last; si++ {
+			sh := &s.shards[si]
+			slabLo, slabHi := si*s.span, si*s.span+sh.c.Dims()[0]-1
+			llo := grid.Point(append([]int(nil), lo...))
+			lhi := grid.Point(append([]int(nil), hi...))
+			if llo[0] < slabLo {
+				llo[0] = slabLo
+			}
+			if lhi[0] > slabHi {
+				lhi[0] = slabHi
+			}
+			llo[0] -= slabLo
+			lhi[0] -= slabLo
+			subs[si] = append(subs[si], core.Box{Lo: llo, Hi: lhi})
+			owners[si] = append(owners[si], qi)
+		}
+	}
+	work := make([]int, 0, len(s.shards))
+	for si := range subs {
+		if len(subs[si]) > 0 {
+			work = append(work, si)
+		}
+	}
+	tel := globalTelemetry
+	on := tel.on()
+	start := time.Now()
+	var merged cube.OpCounter
+	shStats := make([]core.BatchStats, len(s.shards))
+	shLevels := make([][]uint64, len(s.shards)) // per-owner slots: race-free
+	for qi := range out {
+		out[qi] = 0
+	}
+	var firstErr atomic.Value
+	parallelDo(len(work), func(wi int) {
+		wait := time.Since(start)
+		if on {
+			tel.recordQueueWait(wait)
+		}
+		si := work[wi]
+		sh := &s.shards[si]
+		slab := sc.Start("shard.batch", parent)
+		sc.SetAttr(slab, "shard", int64(si))
+		sc.SetAttr(slab, "queries", int64(len(subs[si])))
+		sc.SetAttr(slab, "queue_wait_ns", wait.Nanoseconds())
+		sums := make([]int64, len(subs[si]))
+		sh.mu.RLock()
+		ops, st, lv, err := sh.c.t.RangeSumBatchTraceOps(subs[si], sums, sc, slab)
+		sh.mu.RUnlock()
+		sc.End(slab)
+		merged.AtomicAdd(ops)
+		shStats[si] = st
+		shLevels[si] = lv
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err)
+			return
+		}
+		for k, v := range sums {
+			atomic.AddInt64(&out[owners[si][k]], v)
+		}
+	})
+	if err, ok := firstErr.Load().(error); ok {
+		return BatchStats{}, nil, err
+	}
+	stats := BatchStats{Queries: len(queries)}
+	var levels []uint64
+	for si := range shStats {
+		stats.merge(shStats[si])
+		for i, n := range shLevels[si] {
+			for len(levels) <= i {
+				levels = append(levels, 0)
+			}
+			levels[i] += n
+		}
+	}
+	if on {
+		tel.recordFanout(len(work))
+		tel.recordBatch(len(queries), s.be(), time.Since(start), merged.AtomicSnapshot(), stats)
+	}
+	return stats, levels, nil
 }
 
 // Total implements Cube, summing the shards in parallel.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -81,6 +82,14 @@ type Telemetry struct {
 	snapLoadLat *obs.Histogram
 
 	goroutines *obs.Gauge
+
+	// SLO burn-rate counters: per-op requests and requests meeting the
+	// latency objective. Burn rate = 1 - good/total over a scrape window;
+	// an objective of 0 counts everything good (SLO accounting off).
+	sloObjNs  atomic.Int64
+	sloGood   [numQueryOps]*obs.Counter
+	sloTotal  [numQueryOps]*obs.Counter
+	buildOnce sync.Once
 
 	sampler *obs.Sampler
 	slowNs  atomic.Int64
@@ -217,7 +226,43 @@ func NewTelemetry() *Telemetry {
 	t.snapLoadLat = reg.Histogram("ddc_snapshot_load_latency_ns",
 		"snapshot load latency in nanoseconds", obs.LatencyBuckets())
 	t.goroutines = reg.Gauge("ddc_goroutines", "live goroutines at scrape time")
+	for i, op := range qOpNames {
+		t.sloGood[i] = reg.Counter(fmt.Sprintf("ddc_slo_good_total{op=%q}", op),
+			"requests that met the latency objective, by operation")
+		t.sloTotal[i] = reg.Counter(fmt.Sprintf("ddc_slo_requests_total{op=%q}", op),
+			"requests counted against the latency objective, by operation")
+	}
 	return t
+}
+
+// SetSLOObjective sets the latency objective the SLO burn-rate counters
+// judge queries against: a query at or under d is "good". d <= 0 counts
+// every query good (SLO accounting effectively off).
+func (t *Telemetry) SetSLOObjective(d time.Duration) { t.sloObjNs.Store(d.Nanoseconds()) }
+
+// SLOObjective returns the current latency objective.
+func (t *Telemetry) SLOObjective() time.Duration {
+	return time.Duration(t.sloObjNs.Load())
+}
+
+// recordSLO counts one request of duration d against the objective.
+func (t *Telemetry) recordSLO(op int, d time.Duration) {
+	t.sloTotal[op].Inc()
+	if obj := t.sloObjNs.Load(); obj <= 0 || d.Nanoseconds() <= obj {
+		t.sloGood[op].Inc()
+	}
+}
+
+// SetBuildInfo registers the ddc_build_info gauge (value always 1) with
+// the module version, Go toolchain and the serving cube's prefix-sum
+// backend as labels — the standard join key for dashboards. Idempotent;
+// the first caller's backend label wins (one process serves one cube).
+func (t *Telemetry) SetBuildInfo(backend string) {
+	t.buildOnce.Do(func() {
+		t.reg.Gauge(fmt.Sprintf("ddc_build_info{version=%q,go_version=%q,backend=%q}",
+			Version, runtime.Version(), backend),
+			"build identity (constant 1); labels carry the info").Set(1)
+	})
 }
 
 // Enable turns instrumentation on.
@@ -332,6 +377,12 @@ type TelemetrySnapshot struct {
 	SnapshotSaveNs DistStats `json:"snapshot_save_ns"`
 	SnapshotLoadNs DistStats `json:"snapshot_load_ns"`
 
+	// SLO burn-rate accounting: per-op request totals and the subset
+	// meeting the latency objective (ObjectiveNs 0 = accounting off).
+	SLOObjectiveNs int64             `json:"slo_objective_ns"`
+	SLOGood        map[string]uint64 `json:"slo_good"`
+	SLORequests    map[string]uint64 `json:"slo_requests"`
+
 	WALTornTailDrops   uint64    `json:"wal_torn_tail_drops"`
 	WALChecksumRejects uint64    `json:"wal_checksum_rejects"`
 	StoreRecoveries    uint64    `json:"store_recoveries"`
@@ -400,6 +451,13 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	s.SnapshotLoads = t.snapLoads.Value()
 	s.SnapshotSaveNs = distFrom(t.snapSaveLat.Snapshot())
 	s.SnapshotLoadNs = distFrom(t.snapLoadLat.Snapshot())
+	s.SLOObjectiveNs = t.sloObjNs.Load()
+	s.SLOGood = map[string]uint64{}
+	s.SLORequests = map[string]uint64{}
+	for i, op := range qOpNames {
+		s.SLOGood[op] = t.sloGood[i].Value()
+		s.SLORequests[op] = t.sloTotal[i].Value()
+	}
 	s.WALTornTailDrops = t.walTornDrops.Value()
 	s.WALChecksumRejects = t.walCRCRejects.Value()
 	s.StoreRecoveries = t.storeRecoveries.Value()
@@ -446,6 +504,12 @@ type QueryTrace struct {
 	// Slow marks traces admitted by the slow-query threshold; the rest
 	// were admitted by sampling.
 	Slow bool `json:"slow"`
+
+	// TraceID and Spans carry the request's span tree when the query ran
+	// under span tracing (the server's traced requests and /v1/explain);
+	// flat-trace recorders leave them empty.
+	TraceID string             `json:"trace_id,omitempty"`
+	Spans   []obs.SpanSnapshot `json:"spans,omitempty"`
 }
 
 // TraceLevel aggregates one tree level of a sampled trace's descent.
@@ -518,6 +582,25 @@ func (t *Telemetry) trace(tr QueryTrace) {
 	t.traces.Add(tr)
 }
 
+// ShouldTrace is the exported admission check for callers outside this
+// package (the HTTP layer): sampled admits the deep per-level walk,
+// slow admits by the slow-query threshold.
+func (t *Telemetry) ShouldTrace(d time.Duration) (sampled, slow bool) {
+	return t.shouldTrace(d)
+}
+
+// RecordTrace retains a caller-built trace (typically one carrying a
+// span tree) in the ring, stamping its sequence number and counting it
+// as slow when marked.
+func (t *Telemetry) RecordTrace(tr QueryTrace) { t.trace(tr) }
+
+// TraceRingStats reports the trace ring's capacity and how many traces
+// have been evicted by newer ones since the last reset — so consumers
+// of /v1/trace know whether they are seeing a complete record.
+func (t *Telemetry) TraceRingStats() (capacity int, dropped uint64) {
+	return t.traces.Capacity(), t.traces.Dropped()
+}
+
 // ---------------------------------------------------------------------
 // Recording helpers (called only when enabled)
 
@@ -525,6 +608,7 @@ func (t *Telemetry) trace(tr QueryTrace) {
 // cube's backend index (psum.Index of the cube's Options.Backend).
 func (t *Telemetry) recordQuery(op, be int, d time.Duration, ops cube.OpCounter) {
 	t.queries[op][be].Inc()
+	t.recordSLO(op, d)
 	t.queryLat.Observe(uint64(d.Nanoseconds()))
 	t.queryNodeVisits.Add(ops.NodeVisits)
 	t.queryCells.Add(ops.QueryCells)
@@ -539,6 +623,7 @@ func (t *Telemetry) recordQuery(op, be int, d time.Duration, ops cube.OpCounter)
 // exactly once, and the sharing statistics.
 func (t *Telemetry) recordBatch(n, be int, d time.Duration, ops cube.OpCounter, st BatchStats) {
 	t.queries[qOpBatchRange][be].Add(uint64(n))
+	t.recordSLO(qOpBatchRange, d)
 	t.batchQueries.Add(uint64(n))
 	t.batchSizeHist.Observe(uint64(n))
 	t.batchLat.Observe(uint64(d.Nanoseconds()))

@@ -1,0 +1,43 @@
+package ddc
+
+import "ddc/internal/obs"
+
+// Aliases re-export the span-tracing surface (DESIGN.md §12) so
+// callers outside the module can drive the traced entry points —
+// DynamicCube.RangeSumBatchTrace, ShardedCube.RangeSumBatchTrace —
+// whose signatures name these types. They are the internal/obs types
+// themselves, not copies: spans recorded through either name land in
+// the same slab.
+type (
+	// SpanContext is one request's trace: a trace ID plus a wait-free
+	// fixed-capacity span slab safe for concurrent recording.
+	SpanContext = obs.SpanContext
+	// SpanID indexes a span inside its SpanContext.
+	SpanID = obs.SpanID
+	// SpanSnapshot is the exported, JSON-ready form of one span.
+	SpanSnapshot = obs.SpanSnapshot
+)
+
+const (
+	// NoSpan is the parent of root spans.
+	NoSpan = obs.NoSpan
+	// DroppedSpan identifies spans lost to slab exhaustion; every
+	// operation on one is a no-op.
+	DroppedSpan = obs.DroppedSpan
+)
+
+// NewSpanContext returns a trace with capacity for cap spans and a
+// fresh random trace ID.
+func NewSpanContext(capacity int) *SpanContext { return obs.NewSpanContext(capacity) }
+
+// GetSpanContext returns a pooled, reset SpanContext; pair with
+// PutSpanContext once every recorded span has been consumed.
+func GetSpanContext() *SpanContext { return obs.GetSpanContext() }
+
+// PutSpanContext returns a trace to the pool. The caller must not
+// touch sc afterwards.
+func PutSpanContext(sc *SpanContext) { obs.PutSpanContext(sc) }
+
+// ParseTraceparent extracts the trace ID from a W3C traceparent
+// header (version 00); ok is false for malformed or all-zero IDs.
+func ParseTraceparent(h string) (id [16]byte, ok bool) { return obs.ParseTraceparent(h) }

@@ -1,0 +1,7 @@
+package ddc
+
+// Version identifies this build of the ddc module in build-info metrics
+// (ddc_build_info), /v1/stats and benchmark reports. Bump alongside
+// user-visible changes; the value is a label, not a compatibility
+// contract — snapshot and WAL formats carry their own magic versions.
+const Version = "0.7.0"

@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"time"
+
+	"ddc/internal/obs"
 )
 
 // The write-ahead log makes the paper's dynamic-update story durable: a
@@ -69,6 +71,12 @@ type WAL struct {
 	bytes uint64 // bytes appended, including the stream header
 	buf   []byte // record payload scratch
 	err   error  // first write/sync error; subsequent mutations fail fast
+
+	// tsc/tparent attach a request's span trace to the log: while set,
+	// every append and flush records a child span. Mutations through a
+	// WAL are serialized (documented above), so plain fields suffice.
+	tsc     *obs.SpanContext
+	tparent obs.SpanID
 }
 
 // NewWAL wraps c so every accepted Add/Set is logged to w (version-2
@@ -90,6 +98,20 @@ func NewWAL(c Cube, w io.Writer) (*WAL, error) {
 	return l, nil
 }
 
+// Err returns the error that poisoned the log (nil while healthy).
+// Once non-nil every later mutation fails fast with it; the caller must
+// treat the store as failed and recover from disk. Readiness probes
+// (the server's /readyz) surface it.
+func (l *WAL) Err() error { return l.err }
+
+// TraceSpans attaches a span trace: while sc is non-nil, every append
+// and flush records a child span ("wal.append" / "wal.flush") under
+// parent. Pass nil to detach. Mutations through a WAL are serialized,
+// so call this under the same exclusion as Add/Set/Flush.
+func (l *WAL) TraceSpans(sc *obs.SpanContext, parent obs.SpanID) {
+	l.tsc, l.tparent = sc, parent
+}
+
 // Records returns the number of mutation records written.
 func (l *WAL) Records() uint64 { return l.n }
 
@@ -103,6 +125,10 @@ func (l *WAL) Bytes() uint64 { return l.bytes }
 func (l *WAL) Flush() error {
 	if l.err != nil {
 		return l.err
+	}
+	if l.tsc != nil {
+		span := l.tsc.Start("wal.flush", l.tparent)
+		defer l.tsc.End(span)
 	}
 	tel := globalTelemetry
 	if !tel.on() {
@@ -135,6 +161,10 @@ func (l *WAL) flush() error {
 func (l *WAL) append(op uint8, p []int, v int64) error {
 	if l.err != nil {
 		return l.err
+	}
+	if l.tsc != nil {
+		span := l.tsc.Start("wal.append", l.tparent)
+		defer l.tsc.End(span)
 	}
 	tel := globalTelemetry
 	if tel.on() {
