@@ -123,6 +123,9 @@ func (c *DynamicCube) RangeSumBatchInto(queries []RangeQuery, out []int64) error
 	stats := BatchStats{Queries: len(queries)}
 	stats.merge(st)
 	tel.recordBatch(len(queries), c.be, time.Since(start), ops, stats)
+	if !c.noProfile {
+		tel.workloadBatch(c, queries)
+	}
 	return nil
 }
 
@@ -157,6 +160,9 @@ func (c *DynamicCube) RangeSumBatchTrace(queries []RangeQuery, out []int64, sc *
 	stats.merge(st)
 	if tel.on() {
 		tel.recordBatch(len(queries), c.be, time.Since(start), ops, stats)
+		if !c.noProfile {
+			tel.workloadBatch(c, queries)
+		}
 	}
 	return stats, levels, nil
 }
@@ -187,6 +193,9 @@ func (c *DynamicCube) rangeSumBatch(queries []RangeQuery) ([]int64, BatchStats, 
 		return nil, stats, err
 	}
 	tel.recordBatch(len(queries), c.be, d, ops, stats)
+	if !c.noProfile {
+		tel.workloadBatch(c, queries)
+	}
 	if sampled, slow := tel.shouldTrace(d); sampled || slow {
 		tel.trace(QueryTrace{
 			Op: "rangesum_batch", Start: start, DurationNs: d.Nanoseconds(),

@@ -7,13 +7,18 @@
 //	ddcbench <id> [<id>...]  run selected experiments
 //	ddcbench all             run everything (the EXPERIMENTS.md inputs)
 //	ddcbench -json out.json  run the concurrency perf suite, write JSON
+//	ddcbench -replay cap.bin [-replay-speed X] [-backend B] [-json out.json]
+//	                         replay a DDCWKLD1 workload capture
+//	ddcbench -version        print build identity and exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"ddc"
 	"ddc/internal/experiments"
 )
 
@@ -22,6 +27,10 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV series instead of tables (figure1 only)")
 	jsonOut := flag.String("json", "", "run the concurrency perf suite and write JSON results to `file`")
 	smoke := flag.Bool("smoke", false, "with -json, run only the fast batched-query section (CI smoke)")
+	version := flag.Bool("version", false, "print version, Go toolchain and backend, then exit")
+	replay := flag.String("replay", "", "replay the DDCWKLD1 workload capture in `file` (see FORMATS.md)")
+	replaySpeed := flag.Float64("replay-speed", 0, "replay pacing: 0 = as fast as possible, 1 = recorded rate, 2 = twice as fast")
+	backend := flag.String("backend", "", "prefix-sum backend for -replay: classic (default), blocked, blockfenwick")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ddcbench [-list] <experiment-id>... | all\n\nexperiments:\n")
 		for _, e := range experiments.All() {
@@ -29,6 +38,21 @@ func main() {
 		}
 	}
 	flag.Parse()
+	if *version {
+		be := *backend
+		if be == "" {
+			be = "classic"
+		}
+		fmt.Printf("ddcbench version=%s go_version=%s backend=%s\n", ddc.Version, runtime.Version(), be)
+		return
+	}
+	if *replay != "" {
+		if err := runReplay(*replay, *backend, *replaySpeed, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ddcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut != "" {
 		if err := runPerfSuite(*jsonOut, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "ddcbench:", err)

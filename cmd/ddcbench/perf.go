@@ -52,6 +52,10 @@ type perfReport struct {
 	// QueryLevels profiles one worst-case prefix query's descent: the
 	// contribution count and value collected at each tree level.
 	QueryLevels []ddc.TraceLevel `json:"query_levels,omitempty"`
+	// Replay summarises a `-replay` run: record counts and the
+	// order-sensitive answer checksums the capture→replay equivalence
+	// check compares across backends.
+	Replay *replaySummary `json:"replay,omitempty"`
 }
 
 const (
@@ -150,6 +154,12 @@ func runPerfSuite(path string, smoke bool) error {
 			return err
 		}
 		report.Results = append(report.Results, backend...)
+		// The workload-profiler overhead gate and replay throughput.
+		wl, err := workloadResults(true)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, wl...)
 		return writeReport(path, &report)
 	}
 
@@ -233,6 +243,13 @@ func runPerfSuite(path string, smoke bool) error {
 		return err
 	}
 	report.Results = append(report.Results, backend...)
+
+	// Workload intelligence: profiler overhead (gated) and replay.
+	wl, err := workloadResults(false)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, wl...)
 
 	// Durability: WAL append/commit cost and checkpoint latency.
 	durable, err := durabilityResults()

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"ddc"
+	"ddc/internal/workload"
+)
+
+// The workload section measures the workload-intelligence layer itself:
+// what the live query-shape profiler costs on the telemetry-enabled
+// read path, and how fast a capture replays. The profiler rows are a
+// gate, not just a report — the collectors are a handful of atomic adds
+// per operation (~100ns), so exceeding the factor below against the
+// profiler-off baseline on a d=3 range sum (tens of microseconds of
+// tree work) is a real regression, not constant-factor noise.
+const profilerGuardFactor = 1.02
+
+// profilerChunk is how many operations one timed slice runs. A pair of
+// adjacent chunks — one per mode, order alternating — shares whatever
+// CPU frequency state the machine is in (~2ms per chunk, frequency
+// steps last far longer), so each pair's on/off duration ratio cancels
+// the drift that would dominate the ~0.5% signal if modes were timed
+// in separate blocks. The gate compares the *median* pair ratio, which
+// also discards pairs an OS preemption inflated.
+const profilerChunk = 100
+
+// profilerPairs is how many off/on chunk pairs feed the median ratio
+// (2 × pairs × chunk operations overall).
+const profilerPairs = 150
+
+// workloadReplayOps sizes the synthetic capture behind the replay row.
+const workloadReplayOps = 2000
+
+// workloadResults measures profiler-off vs profiler-on range sums
+// (enforcing the overhead gate) and full-speed capture replay.
+func workloadResults(smoke bool) ([]benchResult, error) {
+	off, on, err := profilerRows()
+	if err != nil {
+		return nil, err
+	}
+	results := []benchResult{off, on}
+	replayRow, err := replayResult()
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, *replayRow)
+	return results, nil
+}
+
+// profilerRows times a fixed d=3 range sum with the profiler off and
+// on in finely interleaved chunk pairs, and gates on the median
+// per-pair on/off ratio.
+func profilerRows() (off, on benchResult, err error) {
+	dims := []int{96, 96, 96}
+	c, err := ddc.BuildDynamic(dims, backendPreload(dims), ddc.Options{})
+	if err != nil {
+		return off, on, err
+	}
+	lo, hi := []int{5, 6, 7}, []int{90, 89, 88}
+	tel := ddc.GlobalTelemetry()
+	wl := tel.Workload()
+	c.ResetOps()
+	tel.Reset()
+	timeChunk := func(mode bool) (time.Duration, error) {
+		wl.SetEnabled(mode)
+		var sink int64
+		start := time.Now()
+		for i := 0; i < profilerChunk; i++ {
+			v, err := c.RangeSum(lo, hi)
+			if err != nil {
+				return 0, err
+			}
+			sink += v
+		}
+		_ = sink
+		return time.Since(start), nil
+	}
+	chunks := map[bool][]time.Duration{}
+	ratios := make([]float64, 0, profilerPairs)
+	for pair := 0; pair < profilerPairs; pair++ {
+		modes := []bool{false, true}
+		if pair%2 == 1 {
+			modes = []bool{true, false}
+		}
+		dur := map[bool]time.Duration{}
+		for _, mode := range modes {
+			d, rerr := timeChunk(mode)
+			if rerr != nil {
+				return off, on, rerr
+			}
+			dur[mode] = d
+			chunks[mode] = append(chunks[mode], d)
+		}
+		ratios = append(ratios, float64(dur[true])/float64(dur[false]))
+	}
+	wl.SetEnabled(true)
+	medianDur := func(ds []time.Duration) time.Duration {
+		sorted := append([]time.Duration(nil), ds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return sorted[len(sorted)/2]
+	}
+	sort.Float64s(ratios)
+	overhead := ratios[len(ratios)/2]
+	row := func(name string, mode bool) benchResult {
+		return benchResult{
+			Name:      name,
+			Params:    map[string]int{"profiler": b2i(mode), "d": len(dims)},
+			NsPerOp:   float64(medianDur(chunks[mode]).Nanoseconds()) / profilerChunk,
+			Iters:     profilerPairs * profilerChunk,
+			OpCounts:  c.Ops(),
+			Telemetry: ddc.GlobalTelemetry().Snapshot(),
+		}
+	}
+	off = row("workload/profiler-off", false)
+	on = row("workload/profiler-on", true)
+	if overhead > profilerGuardFactor {
+		return off, on, fmt.Errorf(
+			"workload profiler overhead regression: median paired on/off ratio %.4f (budget %.0f%%; medians %.0f vs %.0f ns/op)",
+			overhead, (profilerGuardFactor-1)*100, on.NsPerOp, off.NsPerOp)
+	}
+	return off, on, nil
+}
+
+// replayResult synthesizes a capture (half updates, half range sums)
+// and replays it at full speed through the replay engine.
+func replayResult() (*benchResult, error) {
+	dir, err := os.MkdirTemp("", "ddcwkld")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "capture.bin")
+	dims := []int{256, 256}
+	cp, err := workload.NewCapture(workload.CaptureOptions{
+		Path: path, Dims: dims, SampleQueries: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := workload.NewRNG(107)
+	for _, u := range workload.Uniform(r, dims, workloadReplayOps/2, 50) {
+		cp.Add(u.Point, u.Value)
+	}
+	for _, q := range workload.Ranges(r, dims, workloadReplayOps/2, 0.25) {
+		cp.RangeSum(q.Lo, q.Hi)
+	}
+	if err := cp.Close(); err != nil {
+		return nil, err
+	}
+	sum, c, err := execReplay(path, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	nsPerOp := float64(sum.WallNs) / float64(sum.Records)
+	return &benchResult{
+		Name:    "workload/replay",
+		Backend: sum.Backend,
+		Params: map[string]int{
+			"records": sum.Records, "updates": sum.Updates, "queries": sum.Queries,
+		},
+		NsPerOp:   nsPerOp,
+		Iters:     sum.Records,
+		OpCounts:  c.Ops(),
+		Telemetry: ddc.GlobalTelemetry().Snapshot(),
+	}, nil
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

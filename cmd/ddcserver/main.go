@@ -7,7 +7,10 @@
 //	          [-backend classic|blocked|blockfenwick]
 //	          [-pprof] [-trace-sample N] [-slow-query 50ms]
 //	          [-slo-objective 100ms]
+//	          [-workload-capture FILE] [-capture-sample N]
+//	          [-capture-max-bytes N]
 //	ddcserver -dims 100,366 [-cube snap] [-wal log]   (legacy single-file mode)
+//	ddcserver -version                                (print build identity)
 //
 // With -data the server runs on a durable store directory: recovery
 // from the latest checkpoint plus WAL tail replay at startup,
@@ -18,8 +21,8 @@
 // Endpoints: POST /v1/add, POST /v1/set, POST /v1/batch,
 // POST /v1/checkpoint, GET /v1/get, GET /v1/sum, POST /v1/sum/batch,
 // GET /v1/scan, GET /v1/explain, POST /v1/explain (span-traced batch
-// EXPLAIN), GET /v1/stats, GET /v1/trace, GET /v1/snapshot,
-// GET /healthz, GET /readyz,
+// EXPLAIN), GET /v1/stats, GET /v1/trace, GET /v1/workload (live
+// query-shape profile), GET /v1/snapshot, GET /healthz, GET /readyz,
 // GET /metrics (Prometheus text), and GET /debug/pprof/ with -pprof.
 // See internal/cubeserver.
 package main
@@ -34,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -41,6 +45,7 @@ import (
 	"ddc/internal/cubecli"
 	"ddc/internal/cubeserver"
 	"ddc/internal/store"
+	"ddc/internal/workload"
 )
 
 func main() {
@@ -55,7 +60,20 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "record a structured trace for 1 in N queries (0 = off)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at or above this duration to /v1/trace (0 = off)")
 	sloObjective := flag.Duration("slo-objective", 0, "latency objective for the SLO burn-rate counters in /metrics (0 = off)")
+	version := flag.Bool("version", false, "print version, Go toolchain and backend, then exit")
+	capturePath := flag.String("workload-capture", "", "append a DDCWKLD1 workload capture to this file (see FORMATS.md); replay with ddcbench -replay")
+	captureSample := flag.Int("capture-sample", 1, "capture 1 in N queries (updates are always captured)")
+	captureMaxBytes := flag.Int64("capture-max-bytes", 0, "rotate the capture file past this size, keeping one previous generation (0 = never)")
 	flag.Parse()
+
+	if *version {
+		be := *backend
+		if be == "" {
+			be = "classic"
+		}
+		fmt.Printf("ddcserver version=%s go_version=%s backend=%s\n", ddc.Version, runtime.Version(), be)
+		return
+	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	opts := cubeserver.Options{
@@ -127,6 +145,20 @@ func main() {
 		dims = cube.Dims()
 	}
 
+	if *capturePath != "" {
+		cp, err := workload.NewCapture(workload.CaptureOptions{
+			Path:          *capturePath,
+			Dims:          dims,
+			SampleQueries: *captureSample,
+			MaxBytes:      *captureMaxBytes,
+		})
+		if err != nil {
+			log.Fatal("ddcserver: -workload-capture: ", err)
+		}
+		ddc.GlobalTelemetry().AttachCapture(cp)
+		log.Printf("capturing workload to %s (1 in %d queries, all updates)", *capturePath, *captureSample)
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -144,6 +176,19 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Print("ddcserver: shutdown: ", err)
+		}
+		// Flush the workload capture before telemetry goes quiet: detach
+		// first so no record races the close, then drain the buffer and
+		// sync. A torn in-flight record at the tail is tolerated by
+		// readers, but a graceful exit should not leave one.
+		if cp := ddc.GlobalTelemetry().AttachCapture(nil); cp != nil {
+			st := cp.Stats()
+			if err := cp.Close(); err != nil {
+				log.Print("ddcserver: closing workload capture: ", err)
+			} else {
+				log.Printf("workload capture closed: %d records (%d updates, %d queries, %d sampled out) in %d bytes",
+					st.Records, st.Updates, st.Queries, st.SampledOut, st.Bytes)
+			}
 		}
 		// Persist every acknowledged mutation before exiting: flush and
 		// sync the WAL (legacy mode) or checkpoint and close the store.

@@ -53,6 +53,20 @@ type DynamicCube struct {
 	// be is the cube's psum.Index, cached so telemetry recording costs
 	// an array index instead of a string resolution per operation.
 	be int
+	// noProfile suppresses the workload-profiler hooks: set on the inner
+	// cubes a ShardedCube owns, whose coordinates are slab-local — the
+	// sharded fan-out records the global box/point instead.
+	noProfile bool
+}
+
+// workloadBounds supplies the inclusive domain for the workload
+// heatmap (Bounds reports an exclusive high corner).
+func (c *DynamicCube) workloadBounds() (lo, hi []int) {
+	lo, hi = c.t.Bounds()
+	for i := range hi {
+		hi[i]--
+	}
+	return lo, hi
 }
 
 // newDynamicCube wraps a core tree, caching its backend label index.
@@ -153,6 +167,9 @@ func (c *DynamicCube) AddBatch(batch []PointDelta) error {
 			batchErr = fmt.Errorf("batch[%d]: %w", i, err)
 			break
 		}
+		if !c.noProfile {
+			tel.workloadWrite(c, pd.Point, pd.Delta, false)
+		}
 	}
 	tel.recordUpdate(uOpBatch, c.be, time.Since(start), merged)
 	return batchErr
@@ -184,6 +201,9 @@ func (c *DynamicCube) Set(p []int, v int64) error {
 	start := time.Now()
 	ops, err := c.t.SetOps(grid.Point(p), v)
 	tel.recordUpdate(uOpSet, c.be, time.Since(start), ops)
+	if err == nil && !c.noProfile {
+		tel.workloadWrite(c, p, v, true)
+	}
 	return err
 }
 
@@ -196,6 +216,9 @@ func (c *DynamicCube) Add(p []int, d int64) error {
 	start := time.Now()
 	ops, err := c.t.AddOps(grid.Point(p), d)
 	tel.recordUpdate(uOpAdd, c.be, time.Since(start), ops)
+	if err == nil && !c.noProfile {
+		tel.workloadWrite(c, p, d, false)
+	}
 	return err
 }
 
@@ -212,6 +235,9 @@ func (c *DynamicCube) Prefix(p []int) int64 {
 	v, ops := c.t.PrefixOps(grid.Point(p))
 	d := time.Since(start)
 	tel.recordQuery(qOpPrefix, c.be, d, ops)
+	if !c.noProfile {
+		tel.workloadPoint(c, p)
+	}
 	if sampled, slow := tel.shouldTrace(d); sampled || slow {
 		tr := QueryTrace{
 			Op: "prefix", Start: start, DurationNs: d.Nanoseconds(),
@@ -240,6 +266,9 @@ func (c *DynamicCube) RangeSum(lo, hi []int) (int64, error) {
 	d := time.Since(start)
 	tel.recordQuery(qOpRange, c.be, d, ops)
 	if err == nil {
+		if !c.noProfile {
+			tel.workloadRange(c, lo, hi)
+		}
 		if sampled, slow := tel.shouldTrace(d); sampled || slow {
 			tel.trace(QueryTrace{
 				Op: "rangesum", Start: start, DurationNs: d.Nanoseconds(),

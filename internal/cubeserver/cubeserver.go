@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"ddc"
+	"ddc/internal/costmodel"
 	"ddc/internal/cubecli"
 	"ddc/internal/obs"
 )
@@ -191,6 +192,7 @@ func NewWithPersistence(c *ddc.DynamicCube, p Persistence, opts Options) *Server
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/v1/trace", s.handleTrace)
+	s.mux.HandleFunc("/v1/workload", s.handleWorkload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -661,6 +663,30 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		"capacity":      capacity,
 		"dropped":       dropped,
 		"traces":        tel.Traces(),
+	})
+}
+
+// handleWorkload serves the live workload profile: the read/write mix,
+// the cube heatmap (read and write planes plus dimension-0 marginals),
+// the query-shape histograms, the heavy-hitter boxes, the backend the
+// cost model would pick for the observed mix, and — when `ddcserver
+// -workload-capture` is active — the capture's progress counters.
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	tel := ddc.GlobalTelemetry()
+	capture := map[string]interface{}{"attached": false}
+	if st, ok := tel.CaptureStats(); ok {
+		capture["attached"] = true
+		capture["stats"] = st
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"profile":             tel.WorkloadSnapshot(),
+		"recommended_backend": costmodel.RecommendBackend(tel.WorkloadProfile()),
+		"capture":             capture,
 	})
 }
 

@@ -1,0 +1,583 @@
+// Workload capture: a compact binary log of the operations a live cube
+// served — point updates always, queries sampled 1-in-N — so captured
+// production shapes replay as benchmarks (ddcbench -replay) and
+// regression workloads. The format, DDCWKLD1 (docs/FORMATS.md):
+//
+//	header:  magic "DDCWKLD1" | uint32 d | uint32 sampleN |
+//	         int64 base unix-nanos | d × int64 domain extents
+//	record:  uint32 payload length | uint32 CRC-32C(payload) | payload
+//	payload: op byte | uvarint Δt-nanos since the previous record |
+//	         op body (zigzag-varint coordinates and values)
+//
+// Record framing mirrors the WAL v2 discipline: a truncated final
+// record is a torn tail (clean stop — the process died mid-write), a
+// checksum mismatch is corruption (an error). Fixed-width header
+// fields are little-endian.
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"ddc/internal/grid"
+)
+
+// CaptureMagic is the DDCWKLD1 file signature.
+const CaptureMagic = "DDCWKLD1"
+
+// Capture record op kinds.
+const (
+	OpAdd      = byte(1) // point delta: coords, value
+	OpSet      = byte(2) // point assignment: coords, value
+	OpRangeSum = byte(3) // one query box: lo, hi
+	OpPrefix   = byte(4) // one prefix-sum point: coords
+	OpBatch    = byte(5) // batched range sums: count, then count boxes
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadCapture marks a capture stream rejected for corruption (bad
+// magic, impossible lengths, checksum mismatch). Torn tails are not
+// errors; see CaptureInfo.Torn.
+var ErrBadCapture = errors.New("workload: bad capture stream")
+
+// maxCapturePayload bounds a single record; anything larger is
+// corruption, not data (a batch of 4096 boxes at d=16 is ~1.3 MB).
+const maxCapturePayload = 16 << 20
+
+// CaptureOptions configures NewCapture.
+type CaptureOptions struct {
+	// Path of the capture file (created or truncated).
+	Path string
+	// Dims are the cube's domain extents, recorded in the header so
+	// replay can rebuild a matching cube; required.
+	Dims []int
+	// SampleQueries keeps 1 in N query records (<= 1 keeps all).
+	// Updates are never sampled: replay must reproduce cube state.
+	SampleQueries int
+	// MaxBytes rotates the file when it grows past this size: the
+	// current file moves to Path+".1" (replacing any previous rotation)
+	// and a fresh file starts at Path. 0 disables rotation.
+	MaxBytes int64
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// CaptureStats is a point-in-time view of a capture's progress,
+// surfaced at /v1/workload.
+type CaptureStats struct {
+	Path       string `json:"path"`
+	Records    uint64 `json:"records"`
+	Updates    uint64 `json:"updates"`
+	Queries    uint64 `json:"queries"`
+	SampledOut uint64 `json:"sampled_out"`
+	Bytes      int64  `json:"bytes"`
+	Rotations  uint64 `json:"rotations"`
+	SampleN    int    `json:"sample_queries"`
+	Err        string `json:"error,omitempty"`
+}
+
+// Capture writes a DDCWKLD1 stream. All methods are safe for
+// concurrent use (one mutex guards the encoder and file; capture sits
+// on the telemetry-enabled path only, never the disabled fast path).
+// The first write error latches: subsequent records are dropped and
+// the error surfaces in Stats and from Close.
+type Capture struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	dims []int
+	n    int // query sampling rate, >= 1
+	max  int64
+	now  func() time.Time
+
+	bytes int64
+	last  int64 // unix-nanos of the previous record
+	qseq  uint64
+
+	records, updates, queries, sampledOut, rotations uint64
+	err                                              error
+
+	buf   []byte
+	frame [8]byte
+}
+
+// NewCapture opens (truncating) the capture file and writes its header.
+func NewCapture(opts CaptureOptions) (*Capture, error) {
+	if opts.Path == "" {
+		return nil, errors.New("workload: capture needs a path")
+	}
+	if len(opts.Dims) == 0 {
+		return nil, errors.New("workload: capture needs the cube dims")
+	}
+	n := opts.SampleQueries
+	if n < 1 {
+		n = 1
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &Capture{
+		path: opts.Path,
+		dims: append([]int(nil), opts.Dims...),
+		n:    n,
+		max:  opts.MaxBytes,
+		now:  now,
+	}
+	if err := c.open(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// open creates a fresh file at c.path and writes the header; the
+// caller holds the lock (or is the constructor).
+func (c *Capture) open() error {
+	f, err := os.Create(c.path)
+	if err != nil {
+		return fmt.Errorf("workload: creating capture: %w", err)
+	}
+	c.f = f
+	c.w = bufio.NewWriter(f)
+	base := c.now().UnixNano()
+	c.last = base
+	hdr := make([]byte, 0, 8+4+4+8+8*len(c.dims))
+	hdr = append(hdr, CaptureMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(c.dims)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(c.n))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(base))
+	for _, n := range c.dims {
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(n))
+	}
+	if _, err := c.w.Write(hdr); err != nil {
+		c.err = err
+		return err
+	}
+	c.bytes = int64(len(hdr))
+	return nil
+}
+
+// appendPoint zigzag-encodes p into buf.
+func appendPoint(buf []byte, p []int) []byte {
+	for _, v := range p {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return buf
+}
+
+// emit frames and writes the payload staged in c.buf (op and Δt
+// already included); the caller holds the lock.
+func (c *Capture) emit() {
+	binary.LittleEndian.PutUint32(c.frame[0:4], uint32(len(c.buf)))
+	binary.LittleEndian.PutUint32(c.frame[4:8], crc32.Checksum(c.buf, castagnoli))
+	if _, err := c.w.Write(c.frame[:]); err != nil {
+		c.err = err
+		return
+	}
+	if _, err := c.w.Write(c.buf); err != nil {
+		c.err = err
+		return
+	}
+	c.bytes += int64(8 + len(c.buf))
+	c.records++
+	if c.max > 0 && c.bytes >= c.max {
+		c.rotate()
+	}
+}
+
+// rotate closes the current file, moves it to path+".1" and starts a
+// fresh file (new header, new time base); the caller holds the lock.
+func (c *Capture) rotate() {
+	if err := c.w.Flush(); err != nil {
+		c.err = err
+		return
+	}
+	if err := c.f.Close(); err != nil {
+		c.err = err
+		return
+	}
+	if err := os.Rename(c.path, c.path+".1"); err != nil {
+		c.err = err
+		return
+	}
+	if err := c.open(); err != nil {
+		c.err = err
+		return
+	}
+	c.rotations++
+}
+
+// begin stages the record prelude (op, Δt) into c.buf; the caller
+// holds the lock.
+func (c *Capture) begin(op byte) {
+	t := c.now().UnixNano()
+	dt := t - c.last
+	if dt < 0 {
+		dt = 0
+	}
+	c.last = t
+	c.buf = append(c.buf[:0], op)
+	c.buf = binary.AppendUvarint(c.buf, uint64(dt))
+}
+
+// Add captures one point-delta update. Updates are always captured.
+func (c *Capture) Add(p []int, delta int64) { c.point(OpAdd, p, delta) }
+
+// Set captures one point-assignment update.
+func (c *Capture) Set(p []int, value int64) { c.point(OpSet, p, value) }
+
+func (c *Capture) point(op byte, p []int, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.begin(op)
+	c.buf = appendPoint(c.buf, p)
+	c.buf = binary.AppendVarint(c.buf, v)
+	c.updates++
+	c.emit()
+}
+
+// sampleQuery admits 1 in n query events; the caller holds the lock.
+func (c *Capture) sampleQuery() bool {
+	c.qseq++
+	if c.n <= 1 {
+		return true
+	}
+	if c.qseq%uint64(c.n) != 0 {
+		c.sampledOut++
+		return false
+	}
+	return true
+}
+
+// RangeSum captures one query box, subject to sampling.
+func (c *Capture) RangeSum(lo, hi []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil || !c.sampleQuery() {
+		return
+	}
+	c.begin(OpRangeSum)
+	c.buf = appendPoint(c.buf, lo)
+	c.buf = appendPoint(c.buf, hi)
+	c.queries++
+	c.emit()
+}
+
+// Prefix captures one prefix-sum point, subject to sampling.
+func (c *Capture) Prefix(p []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil || !c.sampleQuery() {
+		return
+	}
+	c.begin(OpPrefix)
+	c.buf = appendPoint(c.buf, p)
+	c.queries++
+	c.emit()
+}
+
+// Batch captures one batched range-sum call as a single record (and a
+// single query event for sampling).
+func (c *Capture) Batch(qs []Query) {
+	if len(qs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil || !c.sampleQuery() {
+		return
+	}
+	c.begin(OpBatch)
+	c.buf = binary.AppendUvarint(c.buf, uint64(len(qs)))
+	for _, q := range qs {
+		c.buf = appendPoint(c.buf, q.Lo)
+		c.buf = appendPoint(c.buf, q.Hi)
+	}
+	c.queries++
+	c.emit()
+}
+
+// Stats returns the capture's progress counters.
+func (c *Capture) Stats() CaptureStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CaptureStats{
+		Path:       c.path,
+		Records:    c.records,
+		Updates:    c.updates,
+		Queries:    c.queries,
+		SampledOut: c.sampledOut,
+		Bytes:      c.bytes,
+		Rotations:  c.rotations,
+		SampleN:    c.n,
+	}
+	if c.err != nil {
+		s.Err = c.err.Error()
+	}
+	return s
+}
+
+// ResetStats zeroes the progress counters without touching the file —
+// the Telemetry.Reset contract (metrics restart, capture continues).
+func (c *Capture) ResetStats() {
+	c.mu.Lock()
+	c.records, c.updates, c.queries, c.sampledOut, c.rotations = 0, 0, 0, 0, 0
+	c.mu.Unlock()
+}
+
+// Flush pushes buffered records to the OS.
+func (c *Capture) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.w.Flush(); err != nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// Close flushes, syncs and closes the capture file (the graceful-
+// shutdown path). Further records are dropped.
+func (c *Capture) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return c.err
+	}
+	ferr := c.w.Flush()
+	serr := c.f.Sync()
+	cerr := c.f.Close()
+	c.f = nil
+	if c.err == nil {
+		for _, err := range []error{ferr, serr, cerr} {
+			if err != nil {
+				c.err = err
+				break
+			}
+		}
+	}
+	if c.err != nil {
+		return c.err
+	}
+	// Latch a sentinel so post-Close records are dropped, but report
+	// success to the closer.
+	c.err = errors.New("workload: capture closed")
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Reading
+
+// CaptureRecord is one decoded capture record. Point is set for
+// add/set/prefix (Value for add/set), Lo/Hi for rangesum, Batch for
+// batched calls. At is the reconstructed absolute unix-nano timestamp.
+type CaptureRecord struct {
+	Op    byte
+	At    int64
+	Point grid.Point
+	Value int64
+	Lo    grid.Point
+	Hi    grid.Point
+	Batch []Query
+}
+
+// CaptureInfo summarises a decoded stream.
+type CaptureInfo struct {
+	Dims    []int
+	SampleN int
+	Base    int64 // header unix-nanos
+	Records int
+	Updates int
+	Queries int // query records (a batch counts once)
+	Torn    bool
+}
+
+// ReadCapture decodes a DDCWKLD1 stream, invoking fn for every record
+// in order; a non-nil error from fn aborts the read. A truncated final
+// record sets Torn and stops cleanly; corruption (bad magic, checksum
+// mismatch, malformed payload) returns ErrBadCapture.
+func ReadCapture(r io.Reader, fn func(rec CaptureRecord) error) (CaptureInfo, error) {
+	br := bufio.NewReader(r)
+	var info CaptureInfo
+	hdr := make([]byte, 8+4+4+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return info, fmt.Errorf("%w: short header", ErrBadCapture)
+	}
+	if string(hdr[:8]) != CaptureMagic {
+		return info, fmt.Errorf("%w: magic %q", ErrBadCapture, hdr[:8])
+	}
+	d := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if d < 1 || d > 1<<16 {
+		return info, fmt.Errorf("%w: dimensionality %d", ErrBadCapture, d)
+	}
+	info.SampleN = int(binary.LittleEndian.Uint32(hdr[12:16]))
+	info.Base = int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	dims := make([]byte, 8*d)
+	if _, err := io.ReadFull(br, dims); err != nil {
+		return info, fmt.Errorf("%w: short dims", ErrBadCapture)
+	}
+	info.Dims = make([]int, d)
+	for i := range info.Dims {
+		info.Dims[i] = int(binary.LittleEndian.Uint64(dims[8*i:]))
+	}
+
+	last := info.Base
+	var frame [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err == io.EOF {
+				return info, nil
+			}
+			info.Torn = true
+			return info, nil
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxCapturePayload {
+			return info, fmt.Errorf("%w: record length %d", ErrBadCapture, length)
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			info.Torn = true
+			return info, nil
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return info, fmt.Errorf("%w: checksum mismatch (record %d)", ErrBadCapture, info.Records)
+		}
+		rec, err := decodeRecord(payload, d, &last)
+		if err != nil {
+			return info, err
+		}
+		info.Records++
+		switch rec.Op {
+		case OpAdd, OpSet:
+			info.Updates++
+		default:
+			info.Queries++
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return info, err
+			}
+		}
+	}
+}
+
+// ReadCaptureFile decodes the capture at path; see ReadCapture.
+func ReadCaptureFile(path string, fn func(rec CaptureRecord) error) (CaptureInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return CaptureInfo{}, err
+	}
+	defer f.Close()
+	return ReadCapture(f, fn)
+}
+
+type payloadReader struct {
+	buf []byte
+	off int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.buf[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated uvarint", ErrBadCapture)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) varint() (int64, error) {
+	v, n := binary.Varint(p.buf[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrBadCapture)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) point(d int) (grid.Point, error) {
+	pt := make(grid.Point, d)
+	for i := 0; i < d; i++ {
+		v, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		pt[i] = int(v)
+	}
+	return pt, nil
+}
+
+func decodeRecord(payload []byte, d int, last *int64) (CaptureRecord, error) {
+	var rec CaptureRecord
+	p := &payloadReader{buf: payload}
+	rec.Op = payload[0]
+	p.off = 1
+	dt, err := p.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	*last += int64(dt)
+	rec.At = *last
+	switch rec.Op {
+	case OpAdd, OpSet:
+		if rec.Point, err = p.point(d); err != nil {
+			return rec, err
+		}
+		if rec.Value, err = p.varint(); err != nil {
+			return rec, err
+		}
+	case OpPrefix:
+		if rec.Point, err = p.point(d); err != nil {
+			return rec, err
+		}
+	case OpRangeSum:
+		if rec.Lo, err = p.point(d); err != nil {
+			return rec, err
+		}
+		if rec.Hi, err = p.point(d); err != nil {
+			return rec, err
+		}
+	case OpBatch:
+		n, err := p.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		if n == 0 || n > 1<<20 {
+			return rec, fmt.Errorf("%w: batch of %d boxes", ErrBadCapture, n)
+		}
+		rec.Batch = make([]Query, n)
+		for i := range rec.Batch {
+			if rec.Batch[i].Lo, err = p.point(d); err != nil {
+				return rec, err
+			}
+			if rec.Batch[i].Hi, err = p.point(d); err != nil {
+				return rec, err
+			}
+		}
+	default:
+		return rec, fmt.Errorf("%w: op %d", ErrBadCapture, rec.Op)
+	}
+	if p.off != len(payload) {
+		return rec, fmt.Errorf("%w: %d trailing payload bytes", ErrBadCapture, len(payload)-p.off)
+	}
+	return rec, nil
+}

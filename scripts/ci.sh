@@ -52,3 +52,15 @@ go test -race -run 'Span|Traceparent' -count=1 . ./internal/obs ./internal/cubes
 go test -run 'TracingDisabledAllocs|ExplainBatchSchema|Readyz|HealthAndReadiness|TraceRingStats|BuildInfo' -count=1 . ./internal/cubeserver
 go build -o /tmp/ddcserver_smoke ./cmd/ddcserver
 go run ./scripts/obssmoke -server /tmp/ddcserver_smoke
+# Workload-intelligence tier (DESIGN.md §13): the query-shape profiler,
+# capture codec, top-K sketch and cost-model bridge contracts; -version
+# on both binaries; then the capture→replay equivalence smoke — boot a
+# ddcserver with -workload-capture, drive mixed traffic over HTTP, and
+# require ddcbench -replay to reproduce the live answers bit-exactly
+# under every prefix-sum backend. The profiler-overhead gate runs inside
+# the ddcbench smoke above (workload/profiler-* rows, <2% budget).
+go test -run 'Workload|Capture|TopK|LogHist|HotSlabs|RecommendBackend' -count=1 . ./internal/obs ./internal/workload ./internal/costmodel ./internal/cubeserver
+/tmp/ddcserver_smoke -version
+go build -o /tmp/ddcbench_smoke ./cmd/ddcbench
+/tmp/ddcbench_smoke -version
+go run ./scripts/wkldsmoke -server /tmp/ddcserver_smoke -bench /tmp/ddcbench_smoke

@@ -69,6 +69,9 @@ func run(server string, timeout time.Duration) error {
 	if err := checkSurfaces(base); err != nil {
 		return err
 	}
+	if err := checkWorkload(base); err != nil {
+		return err
+	}
 
 	// Graceful shutdown: SIGTERM must flush the ring and exit cleanly.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -282,10 +285,83 @@ func checkSurfaces(base string) error {
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{"ddc_build_info{", "ddc_slo_requests_total{", "ddc_queries_total{"} {
+	for _, want := range []string{"ddc_build_info{", "ddc_slo_requests_total{", "ddc_queries_total{", "ddc_workload_reads_total"} {
 		if !strings.Contains(string(scrape), want) {
 			return fmt.Errorf("/metrics missing %s", want)
 		}
+	}
+	return nil
+}
+
+// checkWorkload validates the GET /v1/workload query-shape profile after
+// the traffic checkExplain drove: the profiler must be on, counting
+// reads and writes, publishing a square heatmap with read/write planes,
+// and recommending a backend; no capture was attached for this run.
+func checkWorkload(base string) error {
+	// One plain range sum so the read side is counted regardless of how
+	// earlier traffic was routed.
+	resp, err := http.Get(base + "/v1/sum?range=0,0:31,31")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("/v1/sum: status %d", resp.StatusCode)
+	}
+
+	var wl struct {
+		Profile *struct {
+			Enabled bool   `json:"enabled"`
+			Reads   uint64 `json:"reads"`
+			Writes  uint64 `json:"writes"`
+			Heatmap *struct {
+				Grid      int      `json:"grid"`
+				Read      []uint64 `json:"read"`
+				Write     []uint64 `json:"write"`
+				ReadDim0  []uint64 `json:"read_dim0"`
+				WriteDim0 []uint64 `json:"write_dim0"`
+			} `json:"heatmap"`
+			ExtentLog2 [][]uint64 `json:"extent_log2"`
+		} `json:"profile"`
+		Recommended string `json:"recommended_backend"`
+		Capture     *struct {
+			Attached *bool `json:"attached"`
+		} `json:"capture"`
+	}
+	resp, err = http.Get(base + "/v1/workload")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&wl)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		return fmt.Errorf("/v1/workload: status %d (err %v)", resp.StatusCode, err)
+	}
+	if wl.Profile == nil || !wl.Profile.Enabled {
+		return fmt.Errorf("/v1/workload profile missing or disabled")
+	}
+	if wl.Profile.Reads == 0 || wl.Profile.Writes == 0 {
+		return fmt.Errorf("/v1/workload counted reads=%d writes=%d after mixed traffic",
+			wl.Profile.Reads, wl.Profile.Writes)
+	}
+	hm := wl.Profile.Heatmap
+	if hm == nil || hm.Grid <= 0 {
+		return fmt.Errorf("/v1/workload heatmap missing")
+	}
+	cells := hm.Grid * hm.Grid
+	if len(hm.Read) != cells || len(hm.Write) != cells ||
+		len(hm.ReadDim0) != hm.Grid || len(hm.WriteDim0) != hm.Grid {
+		return fmt.Errorf("/v1/workload heatmap planes inconsistent with grid %d: read=%d write=%d read_dim0=%d write_dim0=%d",
+			hm.Grid, len(hm.Read), len(hm.Write), len(hm.ReadDim0), len(hm.WriteDim0))
+	}
+	if len(wl.Profile.ExtentLog2) != 2 {
+		return fmt.Errorf("/v1/workload extent_log2 has %d dims, want 2", len(wl.Profile.ExtentLog2))
+	}
+	if wl.Recommended == "" {
+		return fmt.Errorf("/v1/workload recommended_backend is empty")
+	}
+	if wl.Capture == nil || wl.Capture.Attached == nil || *wl.Capture.Attached {
+		return fmt.Errorf("/v1/workload capture block wrong: %+v", wl.Capture)
 	}
 	return nil
 }

@@ -57,6 +57,19 @@ func getCoord(n int) *[]int {
 // are built from one Options, so shard 0 speaks for the cube).
 func (s *ShardedCube) be() int { return s.shards[0].c.be }
 
+// workloadBounds supplies the inclusive global domain for the workload
+// heatmap. The sharded fan-out records the global box or point — the
+// per-slab heat merges on the one global heatmap — while the inner
+// shard cubes are marked noProfile (their coordinates are slab-local).
+func (s *ShardedCube) workloadBounds() (lo, hi []int) {
+	lo = make([]int, len(s.dims))
+	hi = make([]int, len(s.dims))
+	for i, n := range s.dims {
+		hi[i] = n - 1
+	}
+	return lo, hi
+}
+
 // Backend returns the canonical name of the prefix-sum backend the
 // shards' row-sum groups use.
 func (s *ShardedCube) Backend() string { return s.shards[0].c.Backend() }
@@ -90,6 +103,7 @@ func NewSharded(dims []int, shards int, opt Options) (*ShardedCube, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.noProfile = true
 		s.shards = append(s.shards, shard{c: c})
 	}
 	return s, nil
@@ -125,6 +139,7 @@ func BuildSharded(dims []int, values []int64, shards int, opt Options) (*Sharded
 			firstErr.CompareAndSwap(nil, err)
 			return
 		}
+		c.noProfile = true
 		sh.c = c
 	})
 	if err, ok := firstErr.Load().(error); ok {
@@ -181,8 +196,14 @@ func (s *ShardedCube) Set(p []int, v int64) error {
 		return err
 	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.c.Set(*bp, v)
+	err = sh.c.Set(*bp, v)
+	sh.mu.Unlock()
+	if err == nil {
+		if tel := globalTelemetry; tel.on() {
+			tel.workloadWrite(s, p, v, true)
+		}
+	}
+	return err
 }
 
 // Add implements Cube.
@@ -194,8 +215,14 @@ func (s *ShardedCube) Add(p []int, d int64) error {
 		return err
 	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.c.Add(*bp, d)
+	err = sh.c.Add(*bp, d)
+	sh.mu.Unlock()
+	if err == nil {
+		if tel := globalTelemetry; tel.on() {
+			tel.workloadWrite(s, p, d, false)
+		}
+	}
+	return err
 }
 
 // AddBatch applies a batch of point deltas, implementing BatchAdder.
@@ -272,6 +299,13 @@ func (s *ShardedCube) AddBatch(batch []PointDelta) error {
 	}
 	if err, ok := firstErr.Load().(error); ok {
 		return err
+	}
+	if on {
+		// Profile the batch with its global coordinates; the shard-local
+		// adds above ran on noProfile inner cubes.
+		for _, pd := range batch {
+			tel.workloadWrite(s, pd.Point, pd.Delta, false)
+		}
 	}
 	return nil
 }
@@ -364,6 +398,7 @@ func (s *ShardedCube) Prefix(p []int) int64 {
 		d := time.Since(start)
 		tel.recordFanout(last + 1)
 		tel.recordQuery(qOpPrefix, s.be(), d, merged)
+		tel.workloadPoint(s, p)
 		if sampled, slow := tel.shouldTrace(d); sampled || slow {
 			tel.trace(QueryTrace{
 				Op: "prefix", Start: start, DurationNs: d.Nanoseconds(),
@@ -444,6 +479,7 @@ func (s *ShardedCube) RangeSum(lo, hi []int) (int64, error) {
 		d := time.Since(start)
 		tel.recordFanout(last - first + 1)
 		tel.recordQuery(qOpRange, s.be(), d, merged)
+		tel.workloadRange(s, lo, hi)
 		if sampled, slow := tel.shouldTrace(d); sampled || slow {
 			tel.trace(QueryTrace{
 				Op: "rangesum", Start: start, DurationNs: d.Nanoseconds(),
@@ -571,6 +607,7 @@ func (s *ShardedCube) rangeSumBatch(queries []RangeQuery) ([]int64, BatchStats, 
 		d := time.Since(start)
 		tel.recordFanout(len(work))
 		tel.recordBatch(len(queries), s.be(), d, merged.AtomicSnapshot(), stats)
+		tel.workloadBatch(s, queries)
 		if sampled, slow := tel.shouldTrace(d); sampled || slow {
 			snap := merged.AtomicSnapshot()
 			tel.trace(QueryTrace{
@@ -704,6 +741,7 @@ func (s *ShardedCube) RangeSumBatchTrace(queries []RangeQuery, out []int64, sc *
 	if on {
 		tel.recordFanout(len(work))
 		tel.recordBatch(len(queries), s.be(), time.Since(start), merged.AtomicSnapshot(), stats)
+		tel.workloadBatch(s, queries)
 	}
 	return stats, levels, nil
 }

@@ -9,9 +9,11 @@ import (
 	"time"
 
 	"ddc/internal/core"
+	"ddc/internal/costmodel"
 	"ddc/internal/cube"
 	"ddc/internal/obs"
 	"ddc/internal/psum"
+	"ddc/internal/workload"
 )
 
 // Telemetry is the cube-wide observability surface: a lock-cheap
@@ -95,6 +97,15 @@ type Telemetry struct {
 	slowNs  atomic.Int64
 	traces  *obs.Ring[QueryTrace]
 	seq     atomic.Uint64
+
+	// wl profiles the workload's shape (heatmap, box-extent/volume
+	// histograms, heavy hitters, read/write mix); it records only inside
+	// telemetry-enabled branches, so the disabled fast path is untouched.
+	// capture, when attached, logs sampled operations to a DDCWKLD1 file
+	// for ddcbench -replay.
+	wl           *obs.WorkloadProfiler
+	readPermille *obs.Gauge
+	capture      atomic.Pointer[workload.Capture]
 }
 
 // Query and update operation indices (and their metric labels).
@@ -226,6 +237,13 @@ func NewTelemetry() *Telemetry {
 	t.snapLoadLat = reg.Histogram("ddc_snapshot_load_latency_ns",
 		"snapshot load latency in nanoseconds", obs.LatencyBuckets())
 	t.goroutines = reg.Gauge("ddc_goroutines", "live goroutines at scrape time")
+	t.wl = obs.NewWorkloadProfiler(
+		reg.Counter("ddc_workload_reads_total",
+			"queries profiled by the workload collectors (boxes and points)"),
+		reg.Counter("ddc_workload_writes_total",
+			"point updates profiled by the workload collectors"))
+	t.readPermille = reg.Gauge("ddc_workload_read_permille",
+		"reads per thousand profiled operations (the read/write mix)")
 	for i, op := range qOpNames {
 		t.sloGood[i] = reg.Counter(fmt.Sprintf("ddc_slo_good_total{op=%q}", op),
 			"requests that met the latency objective, by operation")
@@ -278,11 +296,20 @@ func (t *Telemetry) Enabled() bool { return t.enabled.Load() }
 // on is the hot-path gate: one atomic load.
 func (t *Telemetry) on() bool { return t.enabled.Load() }
 
-// Reset zeroes every metric and discards retained traces; sampling and
-// threshold knobs are kept. For tests and benchmark harnesses.
+// Reset zeroes every metric, discards retained traces, clears the
+// workload collectors (heatmap planes, shape histograms, heavy hitters
+// and the mix counters — the heatmap geometry is dropped too, so it is
+// re-derived from fresh bounds on the next profiled operation) and
+// zeroes an attached capture's progress counters (the capture file
+// itself keeps recording). Sampling and threshold knobs are kept. For
+// tests and benchmark harnesses.
 func (t *Telemetry) Reset() {
 	t.reg.Reset()
 	t.traces.Reset()
+	t.wl.Reset()
+	if cp := t.capture.Load(); cp != nil {
+		cp.ResetStats()
+	}
 }
 
 // SetTraceSampling makes 1 in n queries produce a full structured trace
@@ -313,6 +340,9 @@ func (t *Telemetry) Traces() []QueryTrace { return t.traces.Snapshot() }
 // recording continues.
 func (t *Telemetry) WritePrometheus(w io.Writer) error {
 	t.goroutines.Set(int64(runtime.NumGoroutine()))
+	if reads, writes := t.wl.Reads(), t.wl.Writes(); reads+writes > 0 {
+		t.readPermille.Set(int64(reads * 1000 / (reads + writes)))
+	}
 	return t.reg.WritePrometheus(w)
 }
 
@@ -699,3 +729,132 @@ func (t *Telemetry) RecordStoreCheckpoint(d time.Duration) {
 }
 
 func cloneInts(p []int) []int { return append([]int(nil), p...) }
+
+// ---------------------------------------------------------------------
+// Workload profiling and capture
+
+// workloadDomain supplies a cube's inclusive domain bounds lazily: the
+// profiler asks once, when the heatmap geometry is first needed, so the
+// hot path never re-derives bounds (DynamicCube.Bounds allocates).
+type workloadDomain interface {
+	workloadBounds() (lo, hi []int)
+}
+
+// Workload returns the workload profiler (heatmap, shape histograms,
+// heavy hitters, read/write mix). It records only while telemetry is
+// enabled; use its SetEnabled to quiet the collectors independently.
+func (t *Telemetry) Workload() *obs.WorkloadProfiler { return t.wl }
+
+// WorkloadSnapshot returns the current workload profile. Enabled
+// reports whether the collectors are actually recording: the profiler's
+// own switch AND the telemetry gate (hooks sit strictly inside the
+// telemetry-enabled branch, so a disabled gate means nothing records
+// regardless of the profiler's flag).
+func (t *Telemetry) WorkloadSnapshot() obs.WorkloadSnapshot {
+	snap := t.wl.Snapshot()
+	snap.Enabled = snap.Enabled && t.enabled.Load()
+	return snap
+}
+
+// WorkloadProfile bridges the live collectors into the cost layer: the
+// returned profile feeds costmodel.RecommendBackend (backend choice
+// from the observed read/write mix) and costmodel.HotSlabs (shard
+// boundaries from the dimension-0 read-heat marginal).
+func (t *Telemetry) WorkloadProfile() costmodel.WorkloadProfile {
+	snap := t.wl.Snapshot()
+	p := costmodel.WorkloadProfile{
+		Reads:      snap.Reads,
+		Writes:     snap.Writes,
+		ExtentLog2: snap.ExtentLog2,
+		VolumeLog2: snap.VolumeLog2,
+	}
+	if snap.Heatmap != nil {
+		p.Dim0Heat = snap.Heatmap.ReadDim0
+	}
+	return p
+}
+
+// AttachCapture directs every profiled operation into the capture
+// (updates always, queries subject to the capture's sampling); nil
+// detaches. Capture records only while telemetry is enabled — the
+// disabled fast path stays one atomic flag load. The previous capture,
+// if any, is returned so the caller can Close it.
+func (t *Telemetry) AttachCapture(c *workload.Capture) *workload.Capture {
+	return t.capture.Swap(c)
+}
+
+// CaptureStats reports the attached capture's progress; ok is false
+// when no capture is attached.
+func (t *Telemetry) CaptureStats() (stats workload.CaptureStats, ok bool) {
+	cp := t.capture.Load()
+	if cp == nil {
+		return workload.CaptureStats{}, false
+	}
+	return cp.Stats(), true
+}
+
+// ensureWorkloadDomain configures the heatmap geometry on first use.
+func (t *Telemetry) ensureWorkloadDomain(src workloadDomain) {
+	if !t.wl.HasDomain() {
+		lo, hi := src.workloadBounds()
+		t.wl.SetDomain(lo, hi)
+	}
+}
+
+// workloadRange profiles one range-query box (and captures it when a
+// capture is attached). Called only from telemetry-enabled branches.
+func (t *Telemetry) workloadRange(src workloadDomain, lo, hi []int) {
+	if t.wl.Enabled() {
+		t.ensureWorkloadDomain(src)
+		t.wl.RecordRead(lo, hi)
+	}
+	if cp := t.capture.Load(); cp != nil {
+		cp.RangeSum(lo, hi)
+	}
+}
+
+// workloadPoint profiles one point query (a prefix sum).
+func (t *Telemetry) workloadPoint(src workloadDomain, p []int) {
+	if t.wl.Enabled() {
+		t.ensureWorkloadDomain(src)
+		t.wl.RecordPoint(p)
+	}
+	if cp := t.capture.Load(); cp != nil {
+		cp.Prefix(p)
+	}
+}
+
+// workloadWrite profiles one point update; set distinguishes Set from
+// Add in the capture stream (replay must reproduce cube state).
+func (t *Telemetry) workloadWrite(src workloadDomain, p []int, v int64, set bool) {
+	if t.wl.Enabled() {
+		t.ensureWorkloadDomain(src)
+		t.wl.RecordWrite(p)
+	}
+	if cp := t.capture.Load(); cp != nil {
+		if set {
+			cp.Set(p, v)
+		} else {
+			cp.Add(p, v)
+		}
+	}
+}
+
+// workloadBatch profiles one batched range-sum call: every box heats
+// the map and shape histograms individually; the capture logs the call
+// as a single batch record (one query event for sampling).
+func (t *Telemetry) workloadBatch(src workloadDomain, queries []RangeQuery) {
+	if t.wl.Enabled() {
+		t.ensureWorkloadDomain(src)
+		for i := range queries {
+			t.wl.RecordRead(queries[i].Lo, queries[i].Hi)
+		}
+	}
+	if cp := t.capture.Load(); cp != nil {
+		qs := make([]workload.Query, len(queries))
+		for i, q := range queries {
+			qs[i] = workload.Query{Lo: q.Lo, Hi: q.Hi}
+		}
+		cp.Batch(qs)
+	}
+}

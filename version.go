@@ -4,4 +4,4 @@ package ddc
 // (ddc_build_info), /v1/stats and benchmark reports. Bump alongside
 // user-visible changes; the value is a label, not a compatibility
 // contract — snapshot and WAL formats carry their own magic versions.
-const Version = "0.7.0"
+const Version = "0.8.0"
