@@ -39,21 +39,37 @@ func NewAggregate(dims []int, opt Options) (*Aggregate, error) {
 	return &Aggregate{sum: sum, count: count}, nil
 }
 
-// Record adds one observation with the given value at cell p.
+// Record adds one observation with the given value at cell p. The two
+// underlying cubes are kept consistent: if the count write fails after
+// the sum write succeeded, the sum write is undone (the inverse always
+// exists — that is the operator family the paper's framework requires),
+// so a failed Record never leaves AVERAGE queries reading a sum with no
+// matching observation.
 func (a *Aggregate) Record(p []int, value int64) error {
-	if err := a.sum.Add(p, value); err != nil {
-		return err
-	}
-	return a.count.Add(p, 1)
+	return a.pairedAdd(p, value, 1)
 }
 
 // Remove retracts one previously recorded observation (the inverse
-// operator the paper's aggregation framework requires).
+// operator the paper's aggregation framework requires). Like Record it
+// is atomic across the sum and count cubes: a partial failure is
+// compensated before returning.
 func (a *Aggregate) Remove(p []int, value int64) error {
-	if err := a.sum.Add(p, -value); err != nil {
+	return a.pairedAdd(p, -value, -1)
+}
+
+// pairedAdd applies matching deltas to the sum and count cubes,
+// undoing the first write when the second fails.
+func (a *Aggregate) pairedAdd(p []int, sumDelta, countDelta int64) error {
+	if err := a.sum.Add(p, sumDelta); err != nil {
 		return err
 	}
-	return a.count.Add(p, -1)
+	if err := a.count.Add(p, countDelta); err != nil {
+		if uerr := a.sum.Add(p, -sumDelta); uerr != nil {
+			return errors.Join(err, fmt.Errorf("ddc: aggregate cubes diverged, sum undo failed: %w", uerr))
+		}
+		return err
+	}
+	return nil
 }
 
 // SumRange returns the total value over the inclusive box [lo, hi].

@@ -1,6 +1,8 @@
 package ddc
 
 import (
+	"fmt"
+
 	"ddc/internal/cube"
 	"ddc/internal/ddcbasic"
 	"ddc/internal/fenwick"
@@ -24,6 +26,12 @@ type Cube interface {
 	Set(p []int, value int64) error
 	// Add adds delta to one cell.
 	Add(p []int, delta int64) error
+	// RangeAdd adds delta to every cell of the inclusive box [lo, hi].
+	// DynamicCube and ShardedCube apply it lazily in O(d) per call,
+	// independent of the box volume (see internal/core's pending-box
+	// composition); the baselines loop Add over the box after validating
+	// it, so an invalid box never applies partially.
+	RangeAdd(lo, hi []int, delta int64) error
 	// Prefix returns the sum of all cells dominated by p. Coordinates
 	// beyond the domain are clamped; below it the result is 0.
 	Prefix(p []int) int64
@@ -87,6 +95,40 @@ func fromInternal(c cube.OpCounter) OpCounts {
 	return OpCounts{QueryCells: c.QueryCells, UpdateCells: c.UpdateCells, NodeVisits: c.NodeVisits}
 }
 
+// fallbackRangeAdd implements RangeAdd as a per-cell Add loop — the
+// brute-force path for the fixed-domain baselines, costing one point
+// update per covered cell. The box is validated against the cube's
+// declared domain up front so an invalid box returns before any cell
+// changes (matching the lazy path's all-or-nothing semantics).
+func fallbackRangeAdd(c Cube, lo, hi []int, delta int64) error {
+	dims := c.Dims()
+	if len(lo) != len(dims) || len(hi) != len(dims) {
+		return fmt.Errorf("%w: box has %d/%d dims, cube has %d", ErrDims, len(lo), len(hi), len(dims))
+	}
+	for i := range dims {
+		if lo[i] < 0 || lo[i] >= dims[i] {
+			return fmt.Errorf("%w: coordinate %d = %d not in [0, %d)", ErrRange, i, lo[i], dims[i])
+		}
+		if hi[i] < 0 || hi[i] >= dims[i] {
+			return fmt.Errorf("%w: coordinate %d = %d not in [0, %d)", ErrRange, i, hi[i], dims[i])
+		}
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return ErrEmptyRange
+		}
+	}
+	if delta == 0 {
+		return nil
+	}
+	var addErr error
+	grid.ForEachInBoxUntil(grid.Point(lo), grid.Point(hi), func(p grid.Point) bool {
+		addErr = c.Add(p, delta)
+		return addErr == nil
+	})
+	return addErr
+}
+
 // ---------------------------------------------------------------------
 // Naive array (Section 2's baseline: O(n^d) query, O(1) update).
 
@@ -113,6 +155,9 @@ func (c *NaiveCube) Set(p []int, v int64) error { return c.a.Set(grid.Point(p), 
 
 // Add implements Cube.
 func (c *NaiveCube) Add(p []int, d int64) error { return c.a.Add(grid.Point(p), d) }
+
+// RangeAdd implements Cube (brute force: one Add per covered cell).
+func (c *NaiveCube) RangeAdd(lo, hi []int, d int64) error { return fallbackRangeAdd(c, lo, hi, d) }
 
 // Prefix implements Cube.
 func (c *NaiveCube) Prefix(p []int) int64 { return c.a.Prefix(grid.Point(p)) }
@@ -170,6 +215,9 @@ func (c *PrefixSumCube) Add(p []int, d int64) error {
 	_, err := c.ps.Add(grid.Point(p), d)
 	return err
 }
+
+// RangeAdd implements Cube (brute force: one Add per covered cell).
+func (c *PrefixSumCube) RangeAdd(lo, hi []int, d int64) error { return fallbackRangeAdd(c, lo, hi, d) }
 
 // Prefix implements Cube.
 func (c *PrefixSumCube) Prefix(p []int) int64 { return c.ps.Prefix(grid.Point(p)) }
@@ -241,6 +289,11 @@ func (c *RelativePrefixSumCube) Add(p []int, d int64) error {
 	return err
 }
 
+// RangeAdd implements Cube (brute force: one Add per covered cell).
+func (c *RelativePrefixSumCube) RangeAdd(lo, hi []int, d int64) error {
+	return fallbackRangeAdd(c, lo, hi, d)
+}
+
 // Prefix implements Cube.
 func (c *RelativePrefixSumCube) Prefix(p []int) int64 { return c.r.Prefix(grid.Point(p)) }
 
@@ -297,6 +350,9 @@ func (c *FenwickCube) Set(p []int, v int64) error { return c.f.Set(grid.Point(p)
 
 // Add implements Cube.
 func (c *FenwickCube) Add(p []int, d int64) error { return c.f.Add(grid.Point(p), d) }
+
+// RangeAdd implements Cube (brute force: one Add per covered cell).
+func (c *FenwickCube) RangeAdd(lo, hi []int, d int64) error { return fallbackRangeAdd(c, lo, hi, d) }
 
 // Prefix implements Cube.
 func (c *FenwickCube) Prefix(p []int) int64 { return c.f.Prefix(grid.Point(p)) }
@@ -356,6 +412,11 @@ func (c *BasicDynamicCube) Set(p []int, v int64) error { return c.t.Set(grid.Poi
 
 // Add implements Cube.
 func (c *BasicDynamicCube) Add(p []int, d int64) error { return c.t.Add(grid.Point(p), d) }
+
+// RangeAdd implements Cube (brute force: one Add per covered cell).
+func (c *BasicDynamicCube) RangeAdd(lo, hi []int, d int64) error {
+	return fallbackRangeAdd(c, lo, hi, d)
+}
 
 // Prefix implements Cube.
 func (c *BasicDynamicCube) Prefix(p []int) int64 { return c.t.Prefix(grid.Point(p)) }

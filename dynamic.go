@@ -222,6 +222,35 @@ func (c *DynamicCube) Add(p []int, d int64) error {
 	return err
 }
 
+// RangeAdd implements Cube: the box delta is recorded as a pending
+// lazy update in O(d) — independent of the box volume — and composed
+// into every subsequent query until Grow, Materialize or Compact push
+// it down into the tree (see FlushPending). Each outstanding pending
+// box adds O(d) to every query, so interleave RangeAdd bursts with
+// Materialize/Compact at quiet moments. See Set for the telemetry
+// contract.
+func (c *DynamicCube) RangeAdd(lo, hi []int, d int64) error {
+	tel := globalTelemetry
+	if !tel.on() {
+		return c.t.RangeAdd(grid.Point(lo), grid.Point(hi), d)
+	}
+	start := time.Now()
+	ops, err := c.t.RangeAddOps(grid.Point(lo), grid.Point(hi), d)
+	tel.recordUpdate(uOpRangeAdd, c.be, time.Since(start), ops)
+	if err == nil && !c.noProfile {
+		tel.workloadRangeWrite(c, lo, hi)
+	}
+	return err
+}
+
+// FlushPending pushes every outstanding RangeAdd box down into the
+// tree, one point update per covered cell, restoring pending-free
+// queries. Grow, Materialize and Compact flush implicitly.
+func (c *DynamicCube) FlushPending() { c.t.FlushPending() }
+
+// PendingBoxes returns the number of outstanding lazy range updates.
+func (c *DynamicCube) PendingBoxes() int { return c.t.PendingBoxes() }
+
 // Prefix implements Cube. With telemetry enabled the query's latency,
 // node visits and contribution kinds are recorded, and sampled or slow
 // queries land in the trace ring (sampled traces re-walk the descent
@@ -350,11 +379,25 @@ func (c *DynamicCube) ForEachNonZero(fn func(p []int, v int64)) {
 	c.t.ForEachNonZero(func(p grid.Point, v int64) { fn(p, v) })
 }
 
+// ForEachNonZeroUntil is ForEachNonZero with early termination: the walk
+// stops as soon as fn returns false. It reports whether the walk ran to
+// completion.
+func (c *DynamicCube) ForEachNonZeroUntil(fn func(p []int, v int64) bool) bool {
+	return c.t.ForEachNonZeroUntil(func(p grid.Point, v int64) bool { return fn(p, v) })
+}
+
 // ForEachNonZeroInRange calls fn for every nonzero cell in the inclusive
 // box [lo, hi], pruning subtrees outside the box. The slice passed to fn
 // is reused between calls.
 func (c *DynamicCube) ForEachNonZeroInRange(lo, hi []int, fn func(p []int, v int64)) error {
 	return c.t.ForEachNonZeroInRange(grid.Point(lo), grid.Point(hi), func(p grid.Point, v int64) { fn(p, v) })
+}
+
+// ForEachNonZeroInRangeUntil is ForEachNonZeroInRange with early
+// termination: the walk stops as soon as fn returns false. Stopping
+// early is not an error.
+func (c *DynamicCube) ForEachNonZeroInRangeUntil(lo, hi []int, fn func(p []int, v int64) bool) error {
+	return c.t.ForEachNonZeroInRangeUntil(grid.Point(lo), grid.Point(hi), func(p grid.Point, v int64) bool { return fn(p, v) })
 }
 
 // Options returns the cube's effective options. Backend is reported in

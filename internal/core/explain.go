@@ -22,6 +22,10 @@ const (
 	KindDelegated
 	// KindLeaf: raw cells summed inside the final leaf tile.
 	KindLeaf
+	// KindPending: a lazy range update (RangeAdd) composed into the
+	// query — delta times the volume of the pending box's intersection
+	// with the dominated region.
+	KindPending
 )
 
 // String names the kind.
@@ -35,6 +39,8 @@ func (k ContributionKind) String() string {
 		return "delegated"
 	case KindLeaf:
 		return "leaf"
+	case KindPending:
+		return "pending"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -57,7 +63,7 @@ type Contribution struct {
 // Like Prefix, it only reads the tree and is safe for concurrent
 // callers.
 func (t *Tree) ExplainPrefix(p grid.Point) (int64, []Contribution) {
-	if len(p) != t.d || t.root == nil {
+	if len(p) != t.d || (t.root == nil && len(t.pending) == 0) {
 		return 0, nil
 	}
 	q := make(grid.Point, t.d)
@@ -73,7 +79,43 @@ func (t *Tree) ExplainPrefix(p grid.Point) (int64, []Contribution) {
 	}
 	var parts []Contribution
 	s := getQueryScratch(t.d)
-	sum := t.explainRec(s, t.root, make(grid.Point, t.d), t.n, q, 0, &parts)
+	var sum int64
+	if t.root != nil {
+		sum = t.explainRec(s, t.root, make(grid.Point, t.d), t.n, q, 0, &parts)
+	}
+	// Pending range updates contribute at the top of the descent: one
+	// entry per overlapping box (Level 0; K reports the box's longest
+	// side since pending boxes need not be cubes).
+	for bi := range t.pending {
+		b := &t.pending[bi]
+		cells := int64(1)
+		side := 0
+		for i, v := range q {
+			hi := b.hi[i]
+			if lp := v + t.origin[i]; lp < hi {
+				hi = lp
+			}
+			w := hi - b.lo[i] + 1
+			if w <= 0 {
+				cells = 0
+				break
+			}
+			cells *= int64(w)
+			if ext := b.hi[i] - b.lo[i] + 1; ext > side {
+				side = ext
+			}
+		}
+		if cells == 0 {
+			continue
+		}
+		s.ops.QueryCells++
+		s.ops.Contribs[KindPending]++
+		v := b.delta * cells
+		sum += v
+		parts = append(parts, Contribution{
+			Level: 0, BoxAnchor: b.lo.Clone(), K: side, Kind: KindPending, Value: v,
+		})
+	}
 	t.ops.AtomicAdd(s.ops)
 	putQueryScratch(s)
 	return sum, parts

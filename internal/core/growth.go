@@ -22,6 +22,10 @@ func (t *Tree) Grow(before []bool) error {
 	if t.n*2 > maxSide {
 		return fmt.Errorf("%w: side %d would exceed %d", ErrTooLarge, t.n*2, maxSide)
 	}
+	// Push pending range deltas down first: the delegating box's subtotal
+	// is about to freeze the old region's total, and flushing here keeps
+	// the invariant that pending boxes lie inside the current bounds.
+	t.FlushPending()
 	t.bumpEpoch()
 	ci := 0
 	for i, bf := range before {
@@ -77,6 +81,7 @@ func (t *Tree) GrowToInclude(p grid.Point) error {
 // query cost for ranges that cut through grown regions. Cost is
 // proportional to the number of nonzero cells below delegating boxes.
 func (t *Tree) Materialize() {
+	t.FlushPending()
 	t.bumpEpoch()
 	var ops cube.OpCounter
 	t.materializeRec(&ops, t.root, make(grid.Point, t.d), t.n)
@@ -99,13 +104,14 @@ func (t *Tree) materializeRec(ops *cube.OpCounter, nd *node, anchor grid.Point, 
 			b.groups = t.makeGroups(k)
 			b.delegate = false
 			o := make(grid.Point, t.d)
-			t.forEachNonZeroRec(nd.children[ci], boxAnchor, k, func(p grid.Point, v int64) {
+			t.forEachNonZeroRec(nd.children[ci], boxAnchor, k, func(p grid.Point, v int64) bool {
 				for i := 0; i < t.d; i++ {
 					o[i] = p[i] - boxAnchor[i]
 				}
 				for j := range b.groups {
 					b.groups[j].add(dropDim(o, j), v, ops)
 				}
+				return true
 			})
 		}
 		t.materializeRec(ops, nd.children[ci], boxAnchor, k)

@@ -91,8 +91,9 @@ func (t *Tree) checkGroups(nd *node, ci int, b *box, boxAnchor grid.Point, k int
 	}
 	// Collect the raw cells below the child once.
 	raw := map[string]int64{}
-	t.forEachNonZeroRec(nd.children[ci], boxAnchor, k, func(p grid.Point, v int64) {
+	t.forEachNonZeroRec(nd.children[ci], boxAnchor, k, func(p grid.Point, v int64) bool {
 		raw[p.String()] = v
+		return true
 	})
 	// For each dimension j and each local face coordinate, compare the
 	// group's prefix answer to a direct sum over raw cells.

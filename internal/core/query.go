@@ -38,7 +38,7 @@ func (t *Tree) PrefixOps(p grid.Point) (int64, cube.OpCounter) {
 // into ops instead of the tree's shared counter. Nested group trees use
 // this entry point so an entire query merges its counts exactly once.
 func (t *Tree) prefixWithOps(p grid.Point, ops *cube.OpCounter) int64 {
-	if len(p) != t.d || t.root == nil {
+	if len(p) != t.d || (t.root == nil && len(t.pending) == 0) {
 		return 0
 	}
 	s := getQueryScratch(t.d)
@@ -54,7 +54,11 @@ func (t *Tree) prefixWithOps(p grid.Point, ops *cube.OpCounter) int64 {
 		}
 		q[i] = v
 	}
-	sum := t.prefixRec(s, t.root, t.zero, t.n, q, 0)
+	var sum int64
+	if t.root != nil {
+		sum = t.prefixRec(s, t.root, t.zero, t.n, q, 0)
+	}
+	sum += t.pendingPrefix(q, &s.ops)
 	ops.Add(s.ops)
 	putQueryScratch(s)
 	return sum
@@ -68,7 +72,7 @@ func (t *Tree) prefixWithOps(p grid.Point, ops *cube.OpCounter) int64 {
 // against one visit per level per corner. Only the tracing path pays
 // for this; the normal query path never sets the level flag.
 func (t *Tree) prefixLevels(p grid.Point, ops *cube.OpCounter, lv []uint64) (int64, []uint64) {
-	if len(p) != t.d || t.root == nil {
+	if len(p) != t.d || (t.root == nil && len(t.pending) == 0) {
 		return 0, lv
 	}
 	s := getQueryScratch(t.d)
@@ -86,7 +90,11 @@ func (t *Tree) prefixLevels(p grid.Point, ops *cube.OpCounter, lv []uint64) (int
 		}
 		q[i] = v
 	}
-	sum := t.prefixRec(s, t.root, t.zero, t.n, q, 0)
+	var sum int64
+	if t.root != nil {
+		sum = t.prefixRec(s, t.root, t.zero, t.n, q, 0)
+	}
+	sum += t.pendingPrefix(q, &s.ops)
 	ops.Add(s.ops)
 	for i, n := range s.lv {
 		for len(lv) <= i {
@@ -312,17 +320,24 @@ func (t *Tree) checkRange(lo, hi grid.Point) error {
 	return nil
 }
 
-// Get returns the raw value of cell p (0 outside the current bounds) by
-// descending to its leaf tile in O(log n). Per-call state comes from the
-// pooled query scratch and no operations are counted, so it is safe for
-// concurrent callers and allocation-free.
+// Get returns the value of cell p (0 outside the current bounds) by
+// descending to its leaf tile in O(log n), plus any pending range
+// deltas covering p. Per-call state comes from the pooled query scratch
+// and no operations are counted, so it is safe for concurrent callers
+// and allocation-free.
 func (t *Tree) Get(p grid.Point) int64 {
-	if len(p) != t.d || t.root == nil {
+	if len(p) != t.d {
 		return 0
 	}
-	s := getQueryScratch(t.d)
-	v := t.getWithScratch(s, p)
-	putQueryScratch(s)
+	var v int64
+	if t.root != nil {
+		s := getQueryScratch(t.d)
+		v = t.getWithScratch(s, p)
+		putQueryScratch(s)
+	}
+	if len(t.pending) != 0 {
+		v += t.pendingAt(p)
+	}
 	return v
 }
 

@@ -34,26 +34,50 @@ func storageRec(nd *node) int {
 }
 
 // ForEachNonZero calls fn for every cell with a nonzero value, passing
-// logical coordinates. The point passed to fn is reused between calls.
+// logical coordinates. Pending range deltas (RangeAdd) are composed on
+// the fly, so fn sees the values queries see. The point passed to fn is
+// reused between calls.
 func (t *Tree) ForEachNonZero(fn func(p grid.Point, v int64)) {
-	logical := make(grid.Point, t.d)
-	t.forEachNonZeroRec(t.root, make(grid.Point, t.d), t.n, func(q grid.Point, v int64) {
-		for i := 0; i < t.d; i++ {
-			logical[i] = q[i] + t.origin[i]
-		}
-		fn(logical, v)
+	t.ForEachNonZeroUntil(func(p grid.Point, v int64) bool {
+		fn(p, v)
+		return true
 	})
 }
 
+// ForEachNonZeroUntil is ForEachNonZero with early termination: fn
+// returning false stops the walk immediately. It reports whether the
+// walk ran to completion. Like the other iteration methods it only
+// reads the tree and is safe for concurrent callers.
+func (t *Tree) ForEachNonZeroUntil(fn func(p grid.Point, v int64) bool) bool {
+	logical := make(grid.Point, t.d)
+	merged := len(t.pending) != 0
+	cont := t.forEachNonZeroRec(t.root, make(grid.Point, t.d), t.n, func(q grid.Point, v int64) bool {
+		for i := 0; i < t.d; i++ {
+			logical[i] = q[i] + t.origin[i]
+		}
+		if merged {
+			if v += t.pendingAt(logical); v == 0 {
+				return true
+			}
+		}
+		return fn(logical, v)
+	})
+	if !cont {
+		return false
+	}
+	return t.forEachPendingOnlyUntil(nil, nil, fn)
+}
+
 // forEachNonZeroRec walks leaf tiles below nd, reporting internal
-// coordinates.
-func (t *Tree) forEachNonZeroRec(nd *node, anchor grid.Point, ext int, fn func(p grid.Point, v int64)) {
+// coordinates; fn returning false stops the walk. Reports whether the
+// walk ran to completion.
+func (t *Tree) forEachNonZeroRec(nd *node, anchor grid.Point, ext int, fn func(p grid.Point, v int64) bool) bool {
 	if nd == nil {
-		return
+		return true
 	}
 	if ext == t.cfg.Tile {
 		if nd.leaf == nil {
-			return
+			return true
 		}
 		p := make(grid.Point, t.d)
 		idx := make([]int, t.d)
@@ -62,7 +86,9 @@ func (t *Tree) forEachNonZeroRec(nd *node, anchor grid.Point, ext int, fn func(p
 				for i := 0; i < t.d; i++ {
 					p[i] = anchor[i] + idx[i]
 				}
-				fn(p, v)
+				if !fn(p, v) {
+					return false
+				}
 			}
 			i := t.d - 1
 			for ; i >= 0; i-- {
@@ -73,7 +99,7 @@ func (t *Tree) forEachNonZeroRec(nd *node, anchor grid.Point, ext int, fn func(p
 				idx[i] = 0
 			}
 			if i < 0 {
-				return
+				return true
 			}
 			off = 0
 			for j := 0; j < t.d; j++ {
@@ -92,8 +118,67 @@ func (t *Tree) forEachNonZeroRec(nd *node, anchor grid.Point, ext int, fn func(p
 				childAnchor[i] += k
 			}
 		}
-		t.forEachNonZeroRec(ch, childAnchor, k, fn)
+		if !t.forEachNonZeroRec(ch, childAnchor, k, fn) {
+			return false
+		}
 	}
+	return true
+}
+
+// forEachPendingOnlyUntil yields, in logical coordinates, every cell
+// whose merged value is nonzero purely because of pending range deltas
+// (its stored value is zero) — the second pass of a merged iteration.
+// rlo/rhi optionally restrict the walk to an inclusive logical box (nil
+// means unbounded). Reports whether the walk ran to completion.
+func (t *Tree) forEachPendingOnlyUntil(rlo, rhi grid.Point, fn func(p grid.Point, v int64) bool) bool {
+	if len(t.pending) == 0 {
+		return true
+	}
+	s := getQueryScratch(t.d)
+	defer putQueryScratch(s)
+	blo := make(grid.Point, t.d)
+	bhi := make(grid.Point, t.d)
+	for bi := range t.pending {
+		b := &t.pending[bi]
+		empty := false
+		for i := 0; i < t.d; i++ {
+			blo[i], bhi[i] = b.lo[i], b.hi[i]
+			if rlo != nil && rlo[i] > blo[i] {
+				blo[i] = rlo[i]
+			}
+			if rhi != nil && rhi[i] < bhi[i] {
+				bhi[i] = rhi[i]
+			}
+			if blo[i] > bhi[i] {
+				empty = true
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		cont := grid.ForEachInBoxUntil(blo, bhi, func(p grid.Point) bool {
+			if t.getWithScratch(s, p) != 0 {
+				return true // already yielded by the storage pass
+			}
+			// Yield each pending-only cell from the first box covering
+			// it; later boxes see it as already handled.
+			for bj := 0; bj < bi; bj++ {
+				if t.pending[bj].contains(p) {
+					return true
+				}
+			}
+			v := t.pendingAt(p)
+			if v == 0 {
+				return true
+			}
+			return fn(p, v)
+		})
+		if !cont {
+			return false
+		}
+	}
+	return true
 }
 
 // NonZeroCells returns the number of nonzero cells.
@@ -152,6 +237,7 @@ func statsRec(nd *node, s *Stats) {
 // later zeroed) call this at quiet moments; bounds and configuration
 // are preserved and every query answers identically afterwards.
 func (t *Tree) Compact() {
+	t.FlushPending()
 	t.bumpEpoch()
 	old := t.root
 	oldN := t.n
@@ -159,12 +245,13 @@ func (t *Tree) Compact() {
 	// Re-add every nonzero cell into a fresh tree with the same bounds.
 	q := make(grid.Point, t.d)
 	var ops cube.OpCounter
-	t.forEachNonZeroRec(old, make(grid.Point, t.d), oldN, func(p grid.Point, v int64) {
+	t.forEachNonZeroRec(old, make(grid.Point, t.d), oldN, func(p grid.Point, v int64) bool {
 		copy(q, p)
 		if t.root == nil {
 			t.root = &node{}
 		}
 		t.addRec(&ops, t.root, t.zero, t.n, q, v, 0)
+		return true
 	})
 	t.ops.AtomicAdd(ops)
 }
@@ -172,36 +259,56 @@ func (t *Tree) Compact() {
 // ForEachNonZeroInRange calls fn for every nonzero cell inside the
 // inclusive logical box [lo, hi]. Subtrees disjoint from the box are
 // pruned, so the cost is proportional to the allocated tree inside the
-// box, not the whole cube. The point passed to fn is reused.
+// box, not the whole cube. Pending range deltas are composed like in
+// ForEachNonZero. The point passed to fn is reused.
 func (t *Tree) ForEachNonZeroInRange(lo, hi grid.Point, fn func(p grid.Point, v int64)) error {
+	return t.ForEachNonZeroInRangeUntil(lo, hi, func(p grid.Point, v int64) bool {
+		fn(p, v)
+		return true
+	})
+}
+
+// ForEachNonZeroInRangeUntil is ForEachNonZeroInRange with early
+// termination: fn returning false stops the walk immediately (the error
+// stays nil — only an invalid box errors).
+func (t *Tree) ForEachNonZeroInRangeUntil(lo, hi grid.Point, fn func(p grid.Point, v int64) bool) error {
 	if err := t.checkRange(lo, hi); err != nil {
 		return err
 	}
 	ilo := t.internalize(lo)
 	ihi := t.internalize(hi)
 	logical := make(grid.Point, t.d)
-	t.forEachInRangeRec(t.root, make(grid.Point, t.d), t.n, ilo, ihi, func(q grid.Point, v int64) {
+	merged := len(t.pending) != 0
+	cont := t.forEachInRangeRec(t.root, make(grid.Point, t.d), t.n, ilo, ihi, func(q grid.Point, v int64) bool {
 		for i := 0; i < t.d; i++ {
 			logical[i] = q[i] + t.origin[i]
 		}
-		fn(logical, v)
+		if merged {
+			if v += t.pendingAt(logical); v == 0 {
+				return true
+			}
+		}
+		return fn(logical, v)
 	})
+	if cont {
+		t.forEachPendingOnlyUntil(lo, hi, fn)
+	}
 	return nil
 }
 
-func (t *Tree) forEachInRangeRec(nd *node, anchor grid.Point, ext int, lo, hi grid.Point, fn func(p grid.Point, v int64)) {
+func (t *Tree) forEachInRangeRec(nd *node, anchor grid.Point, ext int, lo, hi grid.Point, fn func(p grid.Point, v int64) bool) bool {
 	if nd == nil {
-		return
+		return true
 	}
 	// Prune regions disjoint from the box.
 	for i := 0; i < t.d; i++ {
 		if anchor[i] > hi[i] || anchor[i]+ext-1 < lo[i] {
-			return
+			return true
 		}
 	}
 	if ext == t.cfg.Tile {
 		if nd.leaf == nil {
-			return
+			return true
 		}
 		p := make(grid.Point, t.d)
 		idx := make([]int, t.d)
@@ -215,8 +322,8 @@ func (t *Tree) forEachInRangeRec(nd *node, anchor grid.Point, ext int, lo, hi gr
 						break
 					}
 				}
-				if in {
-					fn(p, v)
+				if in && !fn(p, v) {
+					return false
 				}
 			}
 			i := t.d - 1
@@ -228,7 +335,7 @@ func (t *Tree) forEachInRangeRec(nd *node, anchor grid.Point, ext int, lo, hi gr
 				idx[i] = 0
 			}
 			if i < 0 {
-				return
+				return true
 			}
 			off = 0
 			for j := 0; j < t.d; j++ {
@@ -247,6 +354,9 @@ func (t *Tree) forEachInRangeRec(nd *node, anchor grid.Point, ext int, lo, hi gr
 				childAnchor[i] += k
 			}
 		}
-		t.forEachInRangeRec(ch, childAnchor, k, lo, hi, fn)
+		if !t.forEachInRangeRec(ch, childAnchor, k, lo, hi, fn) {
+			return false
+		}
 	}
+	return true
 }

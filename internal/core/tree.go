@@ -136,6 +136,13 @@ type Tree struct {
 	// pcache memoises corner prefix values for the batched query engine
 	// (outer trees only; see batch.go).
 	pcache prefixCache
+
+	// pending holds lazily-composed range updates (RangeAdd) not yet
+	// pushed down into the overlay tree; queries fold them in on the
+	// fly and Grow/Materialize/Compact flush them (see rangeadd.go).
+	// Boxes are stored in logical coordinates, always inside the
+	// current bounds.
+	pending []pendingBox
 }
 
 // Epoch returns the tree's mutation epoch: it moves on every Add/Set,
@@ -321,19 +328,18 @@ func (t *Tree) internalize(p grid.Point) grid.Point {
 	return q
 }
 
-// Total returns the sum of every cell in O(2^d).
+// Total returns the sum of every cell in O(2^d + pending).
 func (t *Tree) Total() int64 {
+	s := t.pendingTotal()
 	if t.root == nil {
-		return 0
+		return s
 	}
 	if t.root.leaf != nil {
-		var s int64
 		for _, v := range t.root.leaf {
 			s += v
 		}
 		return s
 	}
-	var s int64
 	for _, b := range t.root.boxes {
 		if b != nil {
 			s += b.sub

@@ -7,6 +7,7 @@
 // API (all JSON unless noted):
 //
 //	POST /v1/add        {"point":[45,341],"delta":250}
+//	POST /v1/add/range  {"lo":[27,220],"hi":[45,251],"delta":250}
 //	POST /v1/set        {"point":[45,341],"value":250}
 //	POST /v1/batch      {"ops":[{"op":"add","point":[45,341],"value":250},...]}
 //	POST /v1/checkpoint (persist a snapshot and rotate the log)
@@ -57,6 +58,7 @@ import (
 // it; a bare *ddc.WAL is adapted by New.
 type Persistence interface {
 	Add(p []int, delta int64) error
+	RangeAdd(lo, hi []int, delta int64) error
 	Set(p []int, value int64) error
 	Flush() error
 	Checkpoint() error
@@ -84,6 +86,9 @@ var ErrCheckpointUnsupported = errors.New("cubeserver: persistence does not supp
 type walPersistence struct{ w *ddc.WAL }
 
 func (p walPersistence) Add(pt []int, delta int64) error { return p.w.Add(pt, delta) }
+func (p walPersistence) RangeAdd(lo, hi []int, delta int64) error {
+	return p.w.RangeAdd(lo, hi, delta)
+}
 func (p walPersistence) Set(pt []int, value int64) error { return p.w.Set(pt, value) }
 func (p walPersistence) Flush() error                    { return p.w.Flush() }
 func (p walPersistence) Checkpoint() error               { return ErrCheckpointUnsupported }
@@ -181,6 +186,7 @@ func NewWithPersistence(c *ddc.DynamicCube, p Persistence, opts Options) *Server
 	}
 	s := &Server{c: c, persist: p, mux: http.NewServeMux(), log: logger}
 	s.mux.HandleFunc("/v1/add", s.handleAdd)
+	s.mux.HandleFunc("/v1/add/range", s.handleRangeAdd)
 	s.mux.HandleFunc("/v1/set", s.handleSet)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
@@ -402,6 +408,54 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	v := s.c.Get(m.Point)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]int64{"value": v})
+}
+
+// rangeMutation is the body of POST /v1/add/range.
+type rangeMutation struct {
+	Lo    []int  `json:"lo"`
+	Hi    []int  `json:"hi"`
+	Delta *int64 `json:"delta,omitempty"`
+}
+
+// handleRangeAdd applies one delta to every cell of an inclusive box —
+// a single O(d) lazy update on the cube regardless of the box volume,
+// and a single range record in the log when persistence is attached.
+func (s *Server) handleRangeAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var m rangeMutation
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(m.Lo) == 0 || len(m.Hi) == 0 {
+		writeErr(w, http.StatusBadRequest, "lo and hi required")
+		return
+	}
+	if m.Delta == nil {
+		writeErr(w, http.StatusBadRequest, "delta required")
+		return
+	}
+	err := s.mutate(r.Context(), func() error {
+		if s.persist != nil {
+			return s.persist.RangeAdd(m.Lo, m.Hi, *m.Delta)
+		}
+		return s.c.RangeAdd(m.Lo, m.Hi, *m.Delta)
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	sum, serr := s.c.RangeSum(m.Lo, m.Hi)
+	s.mu.RUnlock()
+	if serr != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"sum": sum})
 }
 
 func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {

@@ -15,11 +15,12 @@ import (
 // server must report itself unready while still serving.
 type brokenPersistence struct{ err error }
 
-func (p brokenPersistence) Add(pt []int, delta int64) error { return nil }
-func (p brokenPersistence) Set(pt []int, value int64) error { return nil }
-func (p brokenPersistence) Flush() error                    { return nil }
-func (p brokenPersistence) Checkpoint() error               { return ErrCheckpointUnsupported }
-func (p brokenPersistence) Healthy() error                  { return p.err }
+func (p brokenPersistence) Add(pt []int, delta int64) error          { return nil }
+func (p brokenPersistence) RangeAdd(lo, hi []int, delta int64) error { return nil }
+func (p brokenPersistence) Set(pt []int, value int64) error          { return nil }
+func (p brokenPersistence) Flush() error                             { return nil }
+func (p brokenPersistence) Checkpoint() error                        { return ErrCheckpointUnsupported }
+func (p brokenPersistence) Healthy() error                           { return p.err }
 
 func TestHealthAndReadiness(t *testing.T) {
 	resetTelemetry(t)

@@ -108,3 +108,69 @@ func TestCheckpointUnsupportedByBareWAL(t *testing.T) {
 		t.Fatalf("status = %d, want 501", resp.StatusCode)
 	}
 }
+
+// TestRangeAddEndpoint covers POST /v1/add/range on an in-memory
+// server: the contract body, validation failures, and method rejection.
+func TestRangeAddEndpoint(t *testing.T) {
+	srv := newTestServer(t, nil, mustCube(t, []int{8, 8}, ddc.Options{}))
+	if resp, _ := post(t, srv.URL+"/v1/add", `{"point":[1,1],"delta":5}`); resp.StatusCode != 200 {
+		t.Fatalf("add status = %d", resp.StatusCode)
+	}
+	resp, out := post(t, srv.URL+"/v1/add/range", `{"lo":[0,0],"hi":[3,3],"delta":2}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("add/range status = %d: %v", resp.StatusCode, out)
+	}
+	// The response reports the box's post-update sum: 16 cells * 2 + the
+	// 5 already at (1,1).
+	if got := out["sum"].(float64); got != 37 {
+		t.Fatalf("add/range sum = %v, want 37", got)
+	}
+
+	for name, body := range map[string]string{
+		"missing corners": `{"delta":1}`,
+		"missing delta":   `{"lo":[0,0],"hi":[1,1]}`,
+		"out of bounds":   `{"lo":[0,0],"hi":[9,9],"delta":1}`,
+		"inverted box":    `{"lo":[5,5],"hi":[1,1],"delta":1}`,
+		"wrong dims":      `{"lo":[1],"hi":[2],"delta":1}`,
+		"bad json":        `{"lo":[0,0],`,
+	} {
+		if resp, out := post(t, srv.URL+"/v1/add/range", body); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d (%v), want 400", name, resp.StatusCode, out)
+		}
+	}
+	gresp, err := http.Get(srv.URL + "/v1/add/range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/add/range = %d, want 405", gresp.StatusCode)
+	}
+}
+
+// TestRangeAddEndpointDurability: a store-backed /v1/add/range writes
+// one range record; the box survives a crash and reopen.
+func TestRangeAddEndpointDurability(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := newStoreServer(t, dir)
+	if resp, out := post(t, srv.URL+"/v1/add/range", `{"lo":[1,1],"hi":[4,4],"delta":3}`); resp.StatusCode != 200 {
+		t.Fatalf("add/range status = %d: %v", resp.StatusCode, out)
+	}
+	if resp, _ := post(t, srv.URL+"/v1/add/range", `{"lo":[0,0],"hi":[9,9],"delta":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-bounds box status = %d, want 400", resp.StatusCode)
+	}
+	srv.Close() // crash: per-request commits only
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c := st2.Cube()
+	if got := c.Get([]int{2, 3}); got != 3 {
+		t.Fatalf("recovered cell (2,3) = %d, want 3", got)
+	}
+	if got := c.Total(); got != 16*3 {
+		t.Fatalf("recovered total = %d, want 48", got)
+	}
+}

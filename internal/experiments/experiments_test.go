@@ -16,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"thm1", "thm2", "crossover", "crossover3d", "rangecost", "ablation-fenwick",
 		"sec5sparse", "sec5growth",
 		"ablation-tile", "ablation-fanout", "ablation-bulk",
+		"rangeaddcost",
 	}
 	got := map[string]bool{}
 	for _, e := range All() {

@@ -244,15 +244,27 @@ func (e *Extent) increment(p Point) bool {
 // The box must be valid (lo dominated by hi); an empty call is made for
 // no cells if any dimension is inverted.
 func ForEachInBox(lo, hi Point, fn func(p Point)) {
+	ForEachInBoxUntil(lo, hi, func(p Point) bool {
+		fn(p)
+		return true
+	})
+}
+
+// ForEachInBoxUntil is ForEachInBox with early termination: fn
+// returning false stops the walk. Reports whether the walk ran to
+// completion.
+func ForEachInBoxUntil(lo, hi Point, fn func(p Point) bool) bool {
 	mustSameDims(len(lo), len(hi))
 	for i := range lo {
 		if lo[i] > hi[i] {
-			return
+			return true
 		}
 	}
 	p := lo.Clone()
 	for {
-		fn(p)
+		if !fn(p) {
+			return false
+		}
 		i := len(p) - 1
 		for ; i >= 0; i-- {
 			p[i]++
@@ -262,7 +274,7 @@ func ForEachInBox(lo, hi Point, fn func(p Point)) {
 			p[i] = lo[i]
 		}
 		if i < 0 {
-			return
+			return true
 		}
 	}
 }

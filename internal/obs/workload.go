@@ -407,6 +407,24 @@ func (w *WorkloadProfiler) RecordWrite(p []int) {
 	}
 }
 
+// RecordWriteBox profiles one box range update (RangeAdd): the write
+// plane heats at the box center — mirroring how RecordRead attributes
+// range queries — and the write mix counter moves by one regardless of
+// how many cells the box covers.
+func (w *WorkloadProfiler) RecordWriteBox(lo, hi []int) {
+	if !w.enabled.Load() {
+		return
+	}
+	w.writes.Inc()
+	if lay := w.layout.Load(); lay != nil && lay.matches(len(lo)) {
+		center := make([]int, len(lo))
+		for i := range lo {
+			center[i] = lo[i] + (hi[i]-lo[i])/2
+		}
+		lay.write[lay.cellIndex(center)].Add(1)
+	}
+}
+
 // Reads returns the profiled read count.
 func (w *WorkloadProfiler) Reads() uint64 { return w.reads.Value() }
 

@@ -286,6 +286,18 @@ func (s *Store) Add(p []int, delta int64) error {
 	return s.wal.Add(p, delta)
 }
 
+// RangeAdd applies a box delta and appends one range record to the
+// active segment — O(1) log growth regardless of the box volume. It is
+// not durable until Flush returns nil.
+func (s *Store) RangeAdd(lo, hi []int, delta int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.wal.RangeAdd(lo, hi, delta)
+}
+
 // Set writes a cell value and appends it to the active segment. It is
 // not durable until Flush returns nil.
 func (s *Store) Set(p []int, value int64) error {

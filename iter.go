@@ -9,33 +9,25 @@ import "iter"
 //	for p, v := range c.All() {
 //	    fmt.Println(p, v)
 //	}
+//
+// Breaking out of the loop stops the underlying tree walk immediately:
+// no further subtrees are descended and no further cells are visited.
 func (c *DynamicCube) All() iter.Seq2[[]int, int64] {
 	return func(yield func([]int, int64) bool) {
-		stop := false
-		c.ForEachNonZero(func(p []int, v int64) {
-			if stop {
-				return
-			}
-			if !yield(p, v) {
-				stop = true
-			}
+		c.ForEachNonZeroUntil(func(p []int, v int64) bool {
+			return yield(p, v)
 		})
 	}
 }
 
 // InRange returns an iterator over the nonzero cells inside the
 // inclusive box [lo, hi], pruning subtrees outside it. An invalid range
-// yields nothing (use ForEachNonZeroInRange for the error).
+// yields nothing (use ForEachNonZeroInRange for the error). Breaking out
+// of the loop stops the walk immediately.
 func (c *DynamicCube) InRange(lo, hi []int) iter.Seq2[[]int, int64] {
 	return func(yield func([]int, int64) bool) {
-		stop := false
-		_ = c.ForEachNonZeroInRange(lo, hi, func(p []int, v int64) {
-			if stop {
-				return
-			}
-			if !yield(p, v) {
-				stop = true
-			}
+		_ = c.ForEachNonZeroInRangeUntil(lo, hi, func(p []int, v int64) bool {
+			return yield(p, v)
 		})
 	}
 }

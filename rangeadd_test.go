@@ -1,0 +1,832 @@
+package ddc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ddc/internal/workload"
+)
+
+// This file covers the box range-update path (RangeAdd): the lazy
+// pending-box composition on DynamicCube, the brute-force fallback on
+// the baseline cubes, the sharded fan-out, and the partial-failure
+// bugfix sweep (Scenario.Rollback, Aggregate.Record/Remove, iterator
+// early termination) that rides along with it.
+
+// TestRangeAddAllMethodsAgree drives every implementation through the
+// same interleaved stream of point adds and box adds, checking every
+// cell and range query against the naive ground truth.
+func TestRangeAddAllMethodsAgree(t *testing.T) {
+	for _, dims := range [][]int{{17}, {9, 13}, {8, 8}, {5, 6, 7}} {
+		cubes := factories(t, dims)
+		naive := cubes["naive"]
+		r := workload.NewRNG(907)
+		ups := workload.Uniform(r, dims, 40, 50)
+		boxes := workload.Ranges(r, dims, 40, 0.6)
+		qs := workload.Ranges(r, dims, 50, 0.8)
+		for i := range ups {
+			for name, c := range cubes {
+				if err := c.Add(ups[i].Point, ups[i].Value); err != nil {
+					t.Fatalf("dims %v %s: Add: %v", dims, name, err)
+				}
+				delta := int64(i%7 - 3) // negatives and zero included
+				if err := c.RangeAdd(boxes[i].Lo, boxes[i].Hi, delta); err != nil {
+					t.Fatalf("dims %v %s: RangeAdd: %v", dims, name, err)
+				}
+			}
+			if i%8 != 7 {
+				continue
+			}
+			for _, q := range qs {
+				want, err := naive.RangeSum(q.Lo, q.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, c := range cubes {
+					got, err := c.RangeSum(q.Lo, q.Hi)
+					if err != nil {
+						t.Fatalf("dims %v %s: RangeSum: %v", dims, name, err)
+					}
+					if got != want {
+						t.Fatalf("dims %v %s: RangeSum(%v,%v) = %d, want %d",
+							dims, name, q.Lo, q.Hi, got, want)
+					}
+				}
+			}
+		}
+		for name, c := range cubes {
+			if got, want := c.Total(), naive.Total(); got != want {
+				t.Fatalf("dims %v %s: Total = %d, want %d", dims, name, got, want)
+			}
+		}
+	}
+}
+
+// TestRangeAddValidation pins the error taxonomy on both the lazy path
+// and the fallback path.
+func TestRangeAddValidation(t *testing.T) {
+	for name, c := range factories(t, []int{8, 8}) {
+		if _, ok := c.(*DynamicCube); ok {
+			continue // DynamicCube default has AutoGrow off but separate cases below
+		}
+		if err := c.RangeAdd([]int{1}, []int{2}, 5); !errors.Is(err, ErrDims) {
+			t.Errorf("%s: wrong dims error = %v, want ErrDims", name, err)
+		}
+		if err := c.RangeAdd([]int{0, 0}, []int{8, 3}, 5); !errors.Is(err, ErrRange) {
+			t.Errorf("%s: out-of-bounds error = %v, want ErrRange", name, err)
+		}
+		if err := c.RangeAdd([]int{5, 5}, []int{2, 2}, 5); !errors.Is(err, ErrEmptyRange) {
+			t.Errorf("%s: inverted box error = %v, want ErrEmptyRange", name, err)
+		}
+		if err := c.RangeAdd([]int{1, 1}, []int{3, 3}, 0); err != nil {
+			t.Errorf("%s: zero delta error = %v, want nil", name, err)
+		}
+		if c.Total() != 0 {
+			t.Errorf("%s: rejected boxes mutated the cube (total %d)", name, c.Total())
+		}
+	}
+}
+
+// TestRangeAddLazyPending pins the lazy semantics on the DDC tree: a
+// box add is O(d) bookkeeping (a pending box, not a cell sweep), every
+// read path sees it immediately, and flush points (explicit, Grow,
+// Compact) drain it without changing any answer.
+func TestRangeAddLazyPending(t *testing.T) {
+	c, err := NewDynamicWithOptions([]int{16, 16}, Options{AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add([]int{3, 3}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RangeAdd([]int{2, 2}, []int{5, 5}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PendingBoxes(); got != 1 {
+		t.Fatalf("PendingBoxes = %d, want 1", got)
+	}
+	check := func(stage string) {
+		t.Helper()
+		if got := c.Get([]int{3, 3}); got != 17 {
+			t.Fatalf("%s: Get(3,3) = %d, want 17", stage, got)
+		}
+		if got := c.Get([]int{2, 5}); got != 7 {
+			t.Fatalf("%s: Get(2,5) = %d, want 7", stage, got)
+		}
+		if got := c.Get([]int{6, 6}); got != 0 {
+			t.Fatalf("%s: Get(6,6) = %d, want 0", stage, got)
+		}
+		sum, err := c.RangeSum([]int{0, 0}, []int{15, 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(10 + 16*7); sum != want {
+			t.Fatalf("%s: full-range sum = %d, want %d", stage, sum, want)
+		}
+		if got := c.Total(); got != 10+16*7 {
+			t.Fatalf("%s: Total = %d, want %d", stage, got, 10+16*7)
+		}
+	}
+	check("pending")
+
+	// Identical inverse box composes with the pending entry and cancels
+	// it exactly — no flush, no residue.
+	if err := c.RangeAdd([]int{2, 2}, []int{5, 5}, -7); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PendingBoxes(); got != 0 {
+		t.Fatalf("PendingBoxes after exact inverse = %d, want 0", got)
+	}
+	if got := c.Total(); got != 10 {
+		t.Fatalf("Total after cancel = %d, want 10", got)
+	}
+
+	// Re-apply and flush explicitly: answers unchanged, boxes drained.
+	if err := c.RangeAdd([]int{2, 2}, []int{5, 5}, 7); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushPending()
+	if got := c.PendingBoxes(); got != 0 {
+		t.Fatalf("PendingBoxes after FlushPending = %d, want 0", got)
+	}
+	check("flushed")
+
+	// Growth flushes first (the delegating box freezes the old total),
+	// then the grown cube still answers identically.
+	if err := c.RangeAdd([]int{0, 0}, []int{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add([]int{-4, 20}, 2); err != nil { // forces growth
+		t.Fatal(err)
+	}
+	if got := c.PendingBoxes(); got != 0 {
+		t.Fatalf("PendingBoxes after growth = %d, want 0", got)
+	}
+	if got := c.Get([]int{0, 0}); got != 1 {
+		t.Fatalf("Get(0,0) after growth = %d, want 1", got)
+	}
+	if got := c.Get([]int{-4, 20}); got != 2 {
+		t.Fatalf("Get(-4,20) = %d, want 2", got)
+	}
+
+	// Compact flushes too.
+	if err := c.RangeAdd([]int{0, 0}, []int{3, 0}, 5); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Total()
+	c.Compact()
+	if got := c.PendingBoxes(); got != 0 {
+		t.Fatalf("PendingBoxes after Compact = %d, want 0", got)
+	}
+	if got := c.Total(); got != before {
+		t.Fatalf("Total after Compact = %d, want %d", got, before)
+	}
+}
+
+// TestRangeAddPendingOnlyCube: a cube that has never seen a point
+// update must still answer from its pending boxes alone.
+func TestRangeAddPendingOnlyCube(t *testing.T) {
+	c := mustNewDynamic(t, []int{8, 8})
+	if err := c.RangeAdd([]int{1, 1}, []int{2, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get([]int{1, 2}); got != 3 {
+		t.Fatalf("Get = %d, want 3", got)
+	}
+	if got := c.Prefix([]int{7, 7}); got != 12 {
+		t.Fatalf("Prefix = %d, want 12", got)
+	}
+	if got := c.Total(); got != 12 {
+		t.Fatalf("Total = %d, want 12", got)
+	}
+	sum, parts := c.ExplainPrefix([]int{7, 7})
+	if sum != 12 {
+		t.Fatalf("ExplainPrefix sum = %d, want 12", sum)
+	}
+	var pending int64
+	for _, p := range parts {
+		if p.Kind == "pending" {
+			pending += p.Value
+		}
+	}
+	if pending != 12 {
+		t.Fatalf("pending contributions sum to %d, want 12", pending)
+	}
+	// Merged iteration enumerates exactly the four pending-only cells.
+	seen := map[[2]int]int64{}
+	for p, v := range c.All() {
+		seen[[2]int{p[0], p[1]}] = v
+	}
+	if len(seen) != 4 {
+		t.Fatalf("All() visited %d cells, want 4: %v", len(seen), seen)
+	}
+	for x := 1; x <= 2; x++ {
+		for y := 1; y <= 2; y++ {
+			if seen[[2]int{x, y}] != 3 {
+				t.Fatalf("All() missed cell (%d,%d): %v", x, y, seen)
+			}
+		}
+	}
+}
+
+// TestRangeAddMergedIteration checks the two-pass merged walk: stored
+// cells folded with overlapping pending boxes, pending-only cells
+// enumerated once, and exact cancellations (merged value zero) skipped.
+func TestRangeAddMergedIteration(t *testing.T) {
+	c := mustNewDynamic(t, []int{8, 8})
+	if err := c.Add([]int{1, 1}, 5); err != nil { // overlapped by the box
+		t.Fatal(err)
+	}
+	if err := c.Add([]int{6, 6}, 2); err != nil { // outside the box
+		t.Fatal(err)
+	}
+	if err := c.Add([]int{2, 2}, -4); err != nil { // cancelled exactly by the box
+		t.Fatal(err)
+	}
+	if err := c.RangeAdd([]int{1, 1}, []int{2, 2}, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int]int64{
+		{1, 1}: 9, // 5 stored + 4 pending
+		{1, 2}: 4, // pending only
+		{2, 1}: 4, // pending only
+		{6, 6}: 2, // stored only
+		// (2,2) is -4 + 4 = 0: must not be yielded
+	}
+	got := map[[2]int]int64{}
+	c.ForEachNonZero(func(p []int, v int64) {
+		k := [2]int{p[0], p[1]}
+		if _, dup := got[k]; dup {
+			t.Fatalf("cell %v yielded twice", p)
+		}
+		got[k] = v
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("cell %v = %d, want %d", k, got[k], v)
+		}
+	}
+	// Range-restricted walk clamps pending boxes to the query box.
+	got = map[[2]int]int64{}
+	if err := c.ForEachNonZeroInRange([]int{0, 0}, []int{1, 7}, func(p []int, v int64) {
+		got[[2]int{p[0], p[1]}] = v
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[[2]int{1, 1}] != 9 || got[[2]int{1, 2}] != 4 {
+		t.Fatalf("in-range walk = %v, want cells (1,1)=9 and (1,2)=4", got)
+	}
+}
+
+// TestShardedRangeAdd checks the slab-split fan-out against the naive
+// ground truth, including boxes entirely inside one shard and boxes
+// spanning every shard.
+func TestShardedRangeAdd(t *testing.T) {
+	dims := []int{32, 9}
+	sc, err := NewSharded(dims, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewNaive(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := [][2][]int{
+		{{0, 0}, {31, 8}},  // all shards
+		{{3, 2}, {5, 4}},   // one shard
+		{{7, 0}, {9, 8}},   // shard boundary straddle
+		{{30, 3}, {31, 3}}, // last shard
+	}
+	for i, b := range boxes {
+		delta := int64(i + 1)
+		if err := sc.RangeAdd(b[0], b[1], delta); err != nil {
+			t.Fatalf("sharded RangeAdd %v: %v", b, err)
+		}
+		if err := naive.RangeAdd(b[0], b[1], delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := make([]int, 2)
+	for x := 0; x < dims[0]; x++ {
+		for y := 0; y < dims[1]; y++ {
+			p[0], p[1] = x, y
+			if got, want := sc.Get(p), naive.Get(p); got != want {
+				t.Fatalf("cell %v = %d, want %d", p, got, want)
+			}
+		}
+	}
+	if err := sc.RangeAdd([]int{0, 0}, []int{40, 8}, 1); !errors.Is(err, ErrRange) {
+		t.Fatalf("out-of-bounds sharded box error = %v, want ErrRange", err)
+	}
+	if sc.Total() != naive.Total() {
+		t.Fatalf("sharded Total = %d, want %d", sc.Total(), naive.Total())
+	}
+}
+
+// faultCube wraps a cube and fails mutations while tripped — unlike a
+// poisoned WAL the fault is clearable, which lets tests exercise the
+// retry path of best-effort rollback.
+type faultCube struct {
+	Cube
+	fail error
+}
+
+func (f *faultCube) Add(p []int, d int64) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	return f.Cube.Add(p, d)
+}
+
+func (f *faultCube) RangeAdd(lo, hi []int, d int64) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	return f.Cube.RangeAdd(lo, hi, d)
+}
+
+// TestScenarioAddRangeRollback: a box hypothesis rolls back through the
+// exact inverse box, leaving no residue — on a DynamicCube not even a
+// pending entry.
+func TestScenarioAddRangeRollback(t *testing.T) {
+	c := mustNewDynamic(t, []int{16, 16})
+	if err := c.Add([]int{4, 4}, 100); err != nil {
+		t.Fatal(err)
+	}
+	s := Begin(c)
+	if err := s.AddRange([]int{2, 2}, []int{9, 9}, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add([]int{4, 4}, -30); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get([]int{4, 4}); got != 95 {
+		t.Fatalf("hypothetical Get = %d, want 95", got)
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get([]int{4, 4}); got != 100 {
+		t.Fatalf("Get after rollback = %d, want 100", got)
+	}
+	if got := c.Total(); got != 100 {
+		t.Fatalf("Total after rollback = %d, want 100", got)
+	}
+	if got := c.PendingBoxes(); got != 0 {
+		t.Fatalf("rollback left %d pending boxes, want 0", got)
+	}
+	if err := s.AddRange([]int{0, 0}, []int{1, 1}, 1); !errors.Is(err, ErrClosedScenario) {
+		t.Fatalf("AddRange on closed scenario = %v, want ErrClosedScenario", err)
+	}
+}
+
+// TestScenarioRollbackBestEffort is the regression test for the
+// dropped-undo-log bug: a failing inverse used to close the scenario
+// and abandon every remaining entry. Now all inverses are attempted,
+// errors are joined, the failed entries are retained, and a retry after
+// the fault clears completes the rollback.
+func TestScenarioRollbackBestEffort(t *testing.T) {
+	inner := mustNewDynamic(t, []int{8, 8})
+	fc := &faultCube{Cube: inner}
+	s := Begin(fc)
+	if err := s.Add([]int{1, 1}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRange([]int{2, 2}, []int{3, 3}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add([]int{4, 4}, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("injected mutation failure")
+	fc.fail = boom
+	err := s.Rollback()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Rollback error = %v, want the injected failure", err)
+	}
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("Pending after failed rollback = %d, want all 3 retained", got)
+	}
+	// The scenario stays open for retry, not closed with a dangling log.
+	if err := s.Rollback(); !errors.Is(err, boom) {
+		t.Fatalf("second failing Rollback = %v, want the injected failure", err)
+	}
+
+	fc.fail = nil
+	if err := s.Rollback(); err != nil {
+		t.Fatalf("retry after fault cleared: %v", err)
+	}
+	if got := inner.Total(); got != 0 {
+		t.Fatalf("Total after retried rollback = %d, want 0", got)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after successful rollback = %d, want 0", got)
+	}
+	if err := s.Rollback(); !errors.Is(err, ErrClosedScenario) {
+		t.Fatalf("Rollback on closed scenario = %v, want ErrClosedScenario", err)
+	}
+}
+
+// selectiveFaultCube fails Add for points selected by failOn.
+type selectiveFaultCube struct {
+	Cube
+	failOn func(p []int) error
+}
+
+func (f *selectiveFaultCube) Add(p []int, d int64) error {
+	if f.failOn != nil {
+		if err := f.failOn(p); err != nil {
+			return err
+		}
+	}
+	return f.Cube.Add(p, d)
+}
+
+// TestScenarioRollbackPartialFault: only some inverses fail; the ones
+// that succeed must not be retried (no double-undo) and only the failed
+// entries survive for retry.
+func TestScenarioRollbackPartialFault(t *testing.T) {
+	inner := mustNewDynamic(t, []int{8, 8})
+	boom := errors.New("selective failure")
+	fc := &selectiveFaultCube{Cube: inner}
+	s := Begin(fc)
+	if err := s.Add([]int{1, 1}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add([]int{6, 6}, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail exactly the inverse of the (6,6) entry — the first one the
+	// reverse-order rollback attempts.
+	fc.failOn = func(p []int) error {
+		if p[0] == 6 {
+			return boom
+		}
+		return nil
+	}
+	err := s.Rollback()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Rollback error = %v, want the selective failure", err)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want only the failed entry", got)
+	}
+	if got := inner.Get([]int{1, 1}); got != 0 {
+		t.Fatalf("surviving inverse not applied: Get(1,1) = %d, want 0", got)
+	}
+	if got := inner.Get([]int{6, 6}); got != 3 {
+		t.Fatalf("failed inverse must leave the cell: Get(6,6) = %d, want 3", got)
+	}
+
+	// Retry applies only the retained entry.
+	fc.failOn = nil
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.Total(); got != 0 {
+		t.Fatalf("Total after retry = %d, want 0 (double-undo?)", got)
+	}
+}
+
+// TestScenarioRollbackPoisonedWAL drives the best-effort rollback
+// against a realistic fault: a WAL whose sink dies mid-scenario. Every
+// inverse fails (the log is poisoned), the joined error surfaces, and
+// the undo log survives intact.
+func TestScenarioRollbackPoisonedWAL(t *testing.T) {
+	errDisk := errors.New("simulated full disk")
+	// The sink accepts the 12-byte header plus a few bytes, then dies:
+	// the scenario's mutations buffer fine, the flush poisons the log.
+	w, err := NewWAL(mustNewDynamic(t, []int{8, 8}), &failAfterWriter{n: 20, err: errDisk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Begin(w)
+	if err := s.Add([]int{1, 1}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRange([]int{0, 0}, []int{2, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); !errors.Is(err, errDisk) {
+		t.Fatalf("Flush = %v, want the disk error", err)
+	}
+	if err := s.Rollback(); !errors.Is(err, errDisk) {
+		t.Fatalf("Rollback = %v, want the disk error", err)
+	}
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want both entries retained", got)
+	}
+}
+
+// TestAggregateRecordCompensates is the regression test for the
+// diverged-cubes bug: when the count write fails after the sum write
+// succeeded, the sum write must be undone so AVERAGE queries never see
+// a sum with no matching observation. The fault is induced with
+// mismatched growth policies: the sum cube auto-grows, the count cube
+// rejects out-of-bounds points.
+func TestAggregateRecordCompensates(t *testing.T) {
+	sum, err := NewDynamicWithOptions([]int{8, 8}, Options{AutoGrow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := NewDynamicWithOptions([]int{8, 8}, Options{AutoGrow: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RestoreAggregate(sum, count)
+	if err := a.Record([]int{2, 2}, 40); err != nil {
+		t.Fatal(err)
+	}
+
+	// Out of the count cube's bounds: sum grows and accepts, count
+	// rejects — the compensating undo must remove the sum write.
+	if err := a.Record([]int{20, 20}, 99); err == nil {
+		t.Fatal("Record beyond the count cube's bounds succeeded")
+	}
+	if got := a.Sum().Total(); got != 40 {
+		t.Fatalf("sum total after failed Record = %d, want 40 (divergence!)", got)
+	}
+	if got := a.Count().Total(); got != 1 {
+		t.Fatalf("count total after failed Record = %d, want 1", got)
+	}
+	avg, err := a.AverageRange([]int{0, 0}, []int{7, 7})
+	if err != nil || avg != 40 {
+		t.Fatalf("AverageRange = %v, %v, want 40, nil", avg, err)
+	}
+
+	// Remove has the same guarantee.
+	if err := a.Remove([]int{30, 30}, 5); err == nil {
+		t.Fatal("Remove beyond the count cube's bounds succeeded")
+	}
+	if got := a.Sum().Total(); got != 40 {
+		t.Fatalf("sum total after failed Remove = %d, want 40", got)
+	}
+}
+
+// TestIteratorEarlyTermination is the regression test for the
+// keep-walking bug: breaking out of All()/InRange() used to only mask
+// later yields while the full tree walk continued. The walk must stop —
+// pinned by counting underlying visits, not just yields.
+func TestIteratorEarlyTermination(t *testing.T) {
+	c := mustNewDynamic(t, []int{16, 16})
+	for i := 0; i < 10; i++ {
+		if err := c.Add([]int{i, i}, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	yields := 0
+	for range c.All() {
+		yields++
+		if yields == 3 {
+			break
+		}
+	}
+	if yields != 3 {
+		t.Fatalf("All yielded %d times after break at 3", yields)
+	}
+
+	// The underlying Until walk visits exactly as many cells as yields.
+	visits := 0
+	completed := c.ForEachNonZeroUntil(func(p []int, v int64) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Fatalf("ForEachNonZeroUntil visited %d cells after stop at 3", visits)
+	}
+	if completed {
+		t.Fatal("ForEachNonZeroUntil reported completion despite early stop")
+	}
+	visits = 0
+	if c.ForEachNonZeroUntil(func(p []int, v int64) bool { visits++; return true }) != true {
+		t.Fatal("full walk must report completion")
+	}
+	if visits != 10 {
+		t.Fatalf("full walk visited %d cells, want 10", visits)
+	}
+
+	// Same for the range-restricted iterator.
+	yields = 0
+	for range c.InRange([]int{0, 0}, []int{15, 15}) {
+		yields++
+		break
+	}
+	if yields != 1 {
+		t.Fatalf("InRange yielded %d times after immediate break", yields)
+	}
+	visits = 0
+	if err := c.ForEachNonZeroInRangeUntil([]int{0, 0}, []int{15, 15}, func(p []int, v int64) bool {
+		visits++
+		return false
+	}); err != nil {
+		t.Fatalf("early stop surfaced as error: %v", err)
+	}
+	if visits != 1 {
+		t.Fatalf("ForEachNonZeroInRangeUntil visited %d cells after immediate stop", visits)
+	}
+
+	// Early termination through pending-only cells stops too.
+	if err := c.RangeAdd([]int{12, 0}, []int{15, 3}, 2); err != nil {
+		t.Fatal(err)
+	}
+	yields = 0
+	for range c.All() {
+		yields++
+		if yields == 12 {
+			break
+		}
+	}
+	if yields != 12 {
+		t.Fatalf("merged All yielded %d times after break at 12", yields)
+	}
+}
+
+// TestWhatIfRangeSnapshotRestore: saving a cube that carries pending
+// boxes must capture their effect (Save flushes through Materialize or
+// the snapshot walk sees merged state).
+func TestRangeAddSurvivesSnapshot(t *testing.T) {
+	c := mustNewDynamic(t, []int{8, 8})
+	if err := c.Add([]int{1, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RangeAdd([]int{0, 0}, []int{3, 3}, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDynamic(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != c.Total() {
+		t.Fatalf("restored Total = %d, want %d", got.Total(), c.Total())
+	}
+	if v := got.Get([]int{1, 1}); v != 5 {
+		t.Fatalf("restored Get(1,1) = %d, want 5", v)
+	}
+	if v := got.Get([]int{0, 3}); v != 2 {
+		t.Fatalf("restored Get(0,3) = %d, want 2", v)
+	}
+}
+
+// FuzzRangeAdd interprets the input as a little program of interleaved
+// point adds, box adds, flushes, compactions and growth-inducing
+// updates, run against several backends and a dense reference model.
+// Every backend must agree with the reference on every cell — the
+// equivalence property of the lazy pending-box path under arbitrary
+// interleavings, including negative origins after growth.
+func FuzzRangeAdd(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 7, 7, 1, 2, 2, 5, 5, 0, 3, 3, 0, 0})
+	f.Add([]byte{1, 1, 1, 2, 2, 2, 0, 0, 0, 0, 1, 1, 1, 2, 2})
+	f.Add([]byte{5, 0, 9, 0, 0, 1, 0, 0, 3, 3, 3, 0, 0, 0, 0})
+	f.Add([]byte{4, 2, 2, 6, 6, 1, 6, 0, 1, 4, 2, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{1, 0, 0, 7, 7}, 12))
+
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 400 {
+			prog = prog[:400]
+		}
+		dims := []int{8, 8}
+		fixed := map[string]Cube{}
+		addFixed := func(name string, c Cube, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			fixed[name] = c
+		}
+		d, err := NewDynamic(dims)
+		addFixed("ddc", d, err)
+		d1, err := NewDynamicWithOptions(dims, Options{Tile: 1, Fanout: 3})
+		addFixed("ddc-tile1", d1, err)
+		fw, err := NewFenwick(dims)
+		addFixed("fenwick", fw, err)
+		bd, err := NewBasicDynamic(dims, 2)
+		addFixed("basic", bd, err)
+		ref := map[[2]int]int64{}
+
+		// The growing cube sees the same program with coordinates shifted
+		// into [-4, 20): growth and negative origins under pending boxes.
+		grower, err := NewDynamicWithOptions(dims, Options{AutoGrow: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gref := map[[2]int]int64{}
+		gcoord := func(b byte) int { return int(b%24) - 4 }
+
+		byteAt := func(i int) byte {
+			if i < len(prog) {
+				return prog[i]
+			}
+			return 0
+		}
+		for i := 0; i+4 < len(prog); i += 5 {
+			op := byteAt(i) % 6
+			x1, y1 := int(byteAt(i+1)%8), int(byteAt(i+2)%8)
+			x2, y2 := int(byteAt(i+3)%8), int(byteAt(i+4)%8)
+			delta := int64(byteAt(i+1))%11 - 5
+			switch op {
+			case 0: // point add
+				for name, c := range fixed {
+					if err := c.Add([]int{x1, y1}, delta); err != nil {
+						t.Fatalf("%s: Add: %v", name, err)
+					}
+				}
+				ref[[2]int{x1, y1}] += delta
+				gx, gy := gcoord(byteAt(i+1)), gcoord(byteAt(i+2))
+				if err := grower.Add([]int{gx, gy}, delta); err != nil {
+					t.Fatalf("grower Add(%d,%d): %v", gx, gy, err)
+				}
+				gref[[2]int{gx, gy}] += delta
+			case 1, 4, 5: // box add (the most common op)
+				lx, hx := min(x1, x2), max(x1, x2)
+				ly, hy := min(y1, y2), max(y1, y2)
+				for name, c := range fixed {
+					if err := c.RangeAdd([]int{lx, ly}, []int{hx, hy}, delta); err != nil {
+						t.Fatalf("%s: RangeAdd: %v", name, err)
+					}
+				}
+				for x := lx; x <= hx; x++ {
+					for y := ly; y <= hy; y++ {
+						ref[[2]int{x, y}] += delta
+					}
+				}
+				glx, ghx := gcoord(byteAt(i+1)), gcoord(byteAt(i+3))
+				gly, ghy := gcoord(byteAt(i+2)), gcoord(byteAt(i+4))
+				if glx > ghx {
+					glx, ghx = ghx, glx
+				}
+				if gly > ghy {
+					gly, ghy = ghy, gly
+				}
+				if err := grower.RangeAdd([]int{glx, gly}, []int{ghx, ghy}, delta); err != nil {
+					t.Fatalf("grower RangeAdd([%d,%d],[%d,%d]): %v", glx, gly, ghx, ghy, err)
+				}
+				for x := glx; x <= ghx; x++ {
+					for y := gly; y <= ghy; y++ {
+						gref[[2]int{x, y}] += delta
+					}
+				}
+			case 2: // flush the lazy boxes
+				d.FlushPending()
+				d1.FlushPending()
+				grower.FlushPending()
+			case 3: // compact (flushes too)
+				d.Compact()
+				grower.Compact()
+			}
+		}
+
+		var refTotal int64
+		p := make([]int, 2)
+		for x := 0; x < 8; x++ {
+			for y := 0; y < 8; y++ {
+				p[0], p[1] = x, y
+				want := ref[[2]int{x, y}]
+				refTotal += want
+				for name, c := range fixed {
+					if got := c.Get(p); got != want {
+						t.Fatalf("%s: Get(%v) = %d, want %d", name, p, got, want)
+					}
+				}
+			}
+		}
+		for name, c := range fixed {
+			if got := c.Total(); got != refTotal {
+				t.Fatalf("%s: Total = %d, want %d", name, got, refTotal)
+			}
+		}
+		sum, err := d.RangeSum([]int{1, 1}, []int{6, 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantSum int64
+		for x := 1; x <= 6; x++ {
+			for y := 1; y <= 6; y++ {
+				wantSum += ref[[2]int{x, y}]
+			}
+		}
+		if sum != wantSum {
+			t.Fatalf("RangeSum(1,1..6,6) = %d, want %d", sum, wantSum)
+		}
+
+		var gTotal int64
+		for k, want := range gref {
+			gTotal += want
+			if got := grower.Get([]int{k[0], k[1]}); got != want {
+				t.Fatalf("grower: Get(%v) = %d, want %d", k, got, want)
+			}
+		}
+		if got := grower.Total(); got != gTotal {
+			t.Fatalf("grower: Total = %d, want %d", got, gTotal)
+		}
+	})
+}

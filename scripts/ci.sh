@@ -64,3 +64,17 @@ go test -run 'Workload|Capture|TopK|LogHist|HotSlabs|RecommendBackend' -count=1 
 go build -o /tmp/ddcbench_smoke ./cmd/ddcbench
 /tmp/ddcbench_smoke -version
 go run ./scripts/wkldsmoke -server /tmp/ddcserver_smoke -bench /tmp/ddcbench_smoke
+# Range-update tier (DESIGN.md §14): cross-implementation equivalence of
+# box updates against the naive ground truth, the lazy pending-box
+# semantics (flush points, merged iteration, explain contributions), the
+# partial-failure sweep (scenario rollback, aggregate compensation,
+# iterator early termination), the FuzzRangeAdd seed corpus, and the WAL
+# corruption matrix over the mixed point+range record stream.
+go test -run 'RangeAdd|Scenario|AggregateRecordCompensates|IteratorEarlyTermination' -count=1 . ./internal/core ./internal/store ./internal/cubeserver
+go test -run FuzzRangeAdd -count=1 .
+# Bench smoke guard: the rangeaddcost experiment fails its run if the
+# lazy path's cost is not flat (cells exactly constant, latency within
+# 2x) across box volumes spanning three orders of magnitude, while the
+# per-cell loop scales linearly — the volume-independence contract of
+# the O(d) RangeAdd.
+/tmp/ddcbench_smoke rangeaddcost

@@ -310,6 +310,97 @@ func (s *ShardedCube) AddBatch(batch []PointDelta) error {
 	return nil
 }
 
+// RangeAdd implements Cube: the box is validated up front (a bad box
+// rejects the whole update before any shard mutates), split at slab
+// boundaries, and each overlapping shard records its sub-box lazily
+// under its own write lock, with the per-shard updates running
+// concurrently. Cost is O(d) per overlapping shard — independent of
+// the box volume — like the single-cube lazy path underneath.
+func (s *ShardedCube) RangeAdd(lo, hi []int, d int64) error {
+	if len(lo) != len(s.dims) || len(hi) != len(s.dims) {
+		return fmt.Errorf("%w: box dims", ErrDims)
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return fmt.Errorf("%w: dimension %d", ErrEmptyRange, i)
+		}
+		if lo[i] < 0 || hi[i] >= s.dims[i] {
+			return fmt.Errorf("%w: dimension %d", ErrRange, i)
+		}
+	}
+	if d == 0 {
+		return nil
+	}
+	first, last := lo[0]/s.span, hi[0]/s.span
+	tel := globalTelemetry
+	on := tel.on()
+	var start time.Time
+	var merged cube.OpCounter
+	if on {
+		start = time.Now()
+	}
+	var firstErr atomic.Value
+	parallelDo(last-first+1, func(i int) {
+		if on {
+			tel.recordQueueWait(time.Since(start))
+		}
+		si := first + i
+		sh := &s.shards[si]
+		lop := getCoord(len(s.dims))
+		hip := getCoord(len(s.dims))
+		defer coordPool.Put(lop)
+		defer coordPool.Put(hip)
+		llo, lhi := *lop, *hip
+		copy(llo, lo)
+		copy(lhi, hi)
+		slabLo, slabHi := si*s.span, si*s.span+sh.c.Dims()[0]-1
+		if llo[0] < slabLo {
+			llo[0] = slabLo
+		}
+		if lhi[0] > slabHi {
+			lhi[0] = slabHi
+		}
+		llo[0] -= slabLo
+		lhi[0] -= slabLo
+		sh.mu.Lock()
+		var err error
+		if on {
+			// One logical update: merge per-shard counts, count once.
+			var ops cube.OpCounter
+			ops, err = sh.c.t.RangeAddOps(grid.Point(llo), grid.Point(lhi), d)
+			merged.AtomicAdd(ops)
+		} else {
+			err = sh.c.RangeAdd(llo, lhi, d)
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err)
+		}
+	})
+	if on {
+		tel.recordFanout(last - first + 1)
+		tel.recordUpdate(uOpRangeAdd, s.be(), time.Since(start), merged.AtomicSnapshot())
+	}
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	if on {
+		tel.workloadRangeWrite(s, lo, hi)
+	}
+	return nil
+}
+
+// FlushPending pushes every shard's outstanding RangeAdd boxes down
+// into its tree, each under its own write lock, in parallel.
+func (s *ShardedCube) FlushPending() {
+	parallelDo(len(s.shards), func(si int) {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		sh.c.FlushPending()
+		sh.mu.Unlock()
+	})
+}
+
 // parallelDo runs fn(0..n-1) across up to GOMAXPROCS goroutines. For
 // n <= 1 (or a single-processor box) it stays on the calling goroutine.
 func parallelDo(n int, fn func(i int)) {

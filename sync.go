@@ -71,6 +71,13 @@ func (s *Synchronized) Add(p []int, d int64) error {
 	return s.c.Add(p, d)
 }
 
+// RangeAdd implements Cube.
+func (s *Synchronized) RangeAdd(lo, hi []int, d int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.RangeAdd(lo, hi, d)
+}
+
 // AddBatch applies a batch of deltas under one lock acquisition,
 // implementing BatchAdder. If the wrapped cube has its own bulk path it
 // is used; otherwise the deltas are applied in order.

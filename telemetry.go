@@ -120,11 +120,12 @@ const (
 	uOpAdd = iota
 	uOpSet
 	uOpBatch
+	uOpRangeAdd
 	numUpdateOps
 )
 
 var qOpNames = [numQueryOps]string{"prefix", "rangesum", "rangesum_batch"}
-var uOpNames = [numUpdateOps]string{"add", "set", "batch"}
+var uOpNames = [numUpdateOps]string{"add", "set", "batch", "rangeadd"}
 
 // backendNames indexes the per-backend metric label by psum.Index.
 var backendNames = func() []string {
@@ -137,7 +138,7 @@ var backendNames = func() []string {
 }()
 
 // kindNames maps core.ContributionKind values to metric labels.
-var kindNames = [cube.NumContribKinds]string{"subtotal", "row_sum", "delegated", "leaf"}
+var kindNames = [cube.NumContribKinds]string{"subtotal", "row_sum", "delegated", "leaf", "pending"}
 
 // traceRingCapacity bounds the slow-query/sampled-trace ring.
 const traceRingCapacity = 256
@@ -837,6 +838,17 @@ func (t *Telemetry) workloadWrite(src workloadDomain, p []int, v int64, set bool
 		} else {
 			cp.Add(p, v)
 		}
+	}
+}
+
+// workloadRangeWrite profiles one box range update (RangeAdd). The
+// capture stream has no range-update opcode (DDCWKLD1 is frozen), so
+// range adds heat the write plane and mix counters but are not
+// captured for replay; FORMATS.md documents the gap.
+func (t *Telemetry) workloadRangeWrite(src workloadDomain, lo, hi []int) {
+	if t.wl.Enabled() {
+		t.ensureWorkloadDomain(src)
+		t.wl.RecordWriteBox(lo, hi)
 	}
 }
 

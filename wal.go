@@ -36,8 +36,9 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Log record opcodes.
 const (
-	walOpAdd = uint8(1) // add delta to a cell
-	walOpSet = uint8(2) // set a cell's value
+	walOpAdd      = uint8(1) // add delta to a cell
+	walOpSet      = uint8(2) // set a cell's value
+	walOpRangeAdd = uint8(3) // add delta to every cell of a box (v2 only)
 )
 
 // ErrBadWAL is returned for malformed log streams.
@@ -156,8 +157,8 @@ func (l *WAL) flush() error {
 	return nil
 }
 
-// append frames and writes one record: uint32 payload length, uint32
-// CRC32C of the payload, then the payload (op, point, value).
+// append frames and writes one point record: uint32 payload length,
+// uint32 CRC32C of the payload, then the payload (op, point, value).
 func (l *WAL) append(op uint8, p []int, v int64) error {
 	if l.err != nil {
 		return l.err
@@ -177,6 +178,41 @@ func (l *WAL) append(op uint8, p []int, v int64) error {
 		l.buf = binary.LittleEndian.AppendUint64(l.buf, uint64(int64(x)))
 	}
 	l.buf = binary.LittleEndian.AppendUint64(l.buf, uint64(v))
+	return l.writeRecord()
+}
+
+// appendRange frames and writes one range record: the payload is the
+// opcode, the 8-byte low corner coordinates, the 8-byte high corner
+// coordinates, then the 8-byte delta — 1+16d+8 bytes, so replay can
+// pair the opcode with the longer frame.
+func (l *WAL) appendRange(lo, hi []int, v int64) error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.tsc != nil {
+		span := l.tsc.Start("wal.append", l.tparent)
+		defer l.tsc.End(span)
+	}
+	tel := globalTelemetry
+	if tel.on() {
+		start := time.Now()
+		defer func() { tel.recordWALAppend(time.Since(start)) }()
+	}
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, walOpRangeAdd)
+	for _, x := range lo {
+		l.buf = binary.LittleEndian.AppendUint64(l.buf, uint64(int64(x)))
+	}
+	for _, x := range hi {
+		l.buf = binary.LittleEndian.AppendUint64(l.buf, uint64(int64(x)))
+	}
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, uint64(v))
+	return l.writeRecord()
+}
+
+// writeRecord frames l.buf (uint32 length + uint32 CRC32C) and writes
+// it, poisoning the log on failure.
+func (l *WAL) writeRecord() error {
 	var frame [8]byte
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(l.buf)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(l.buf, castagnoli))
@@ -205,6 +241,22 @@ func (l *WAL) Add(p []int, delta int64) error {
 		return err
 	}
 	return l.append(walOpAdd, p, delta)
+}
+
+// RangeAdd implements Cube: apply (validating the box), then log one
+// range record — the log grows by one record regardless of the box
+// volume, matching the lazy path's cost profile.
+func (l *WAL) RangeAdd(lo, hi []int, delta int64) error {
+	if l.err != nil {
+		return l.err
+	}
+	if len(lo) != l.d || len(hi) != l.d {
+		return fmt.Errorf("%w: box has %d/%d dims, log has %d", ErrBadWAL, len(lo), len(hi), l.d)
+	}
+	if err := l.c.RangeAdd(lo, hi, delta); err != nil {
+		return err
+	}
+	return l.appendRange(lo, hi, delta)
 }
 
 // Set implements Cube: apply (validating bounds), then log.
@@ -383,13 +435,18 @@ func replayV1(br *bufio.Reader, c Cube, d int, st *WALReplayStats) error {
 }
 
 // replayV2 reads the version-2 framed record stream: length, CRC32C,
-// payload. A record cut anywhere is a torn tail; a full-length record
-// whose checksum or framing disagrees is corruption.
+// payload. Two record layouts exist — point records (op, point, value:
+// 1+8d+8 bytes) and range records (op, lo corner, hi corner, delta:
+// 1+16d+8 bytes) — distinguished by the frame length, which must agree
+// with the decoded opcode. A record cut anywhere is a torn tail; a
+// full-length record whose checksum or framing disagrees is corruption.
 func replayV2(br *bufio.Reader, c Cube, d int, st *WALReplayStats) error {
-	wantLen := 1 + 8*d + 8 // op + point + value
+	pointLen := 1 + 8*d + 8  // op + point + value
+	rangeLen := 1 + 16*d + 8 // op + lo + hi + delta
 	p := make([]int, d)
+	hi := make([]int, d)
 	var frame [8]byte
-	payload := make([]byte, wantLen)
+	payload := make([]byte, rangeLen)
 	for {
 		if _, err := io.ReadFull(br, frame[:]); err != nil {
 			if err == io.EOF {
@@ -403,32 +460,49 @@ func replayV2(br *bufio.Reader, c Cube, d int, st *WALReplayStats) error {
 		}
 		length := int(binary.LittleEndian.Uint32(frame[0:4]))
 		want := binary.LittleEndian.Uint32(frame[4:8])
-		if length != wantLen {
-			return fmt.Errorf("%w: record %d: bad length %d (want %d)", ErrBadWAL, st.Applied, length, wantLen)
+		if length != pointLen && length != rangeLen {
+			return fmt.Errorf("%w: record %d: bad length %d (want %d or %d)", ErrBadWAL, st.Applied, length, pointLen, rangeLen)
 		}
-		if _, err := io.ReadFull(br, payload); err != nil {
+		if _, err := io.ReadFull(br, payload[:length]); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				st.torn()
 				return nil
 			}
 			return err
 		}
-		if got := crc32.Checksum(payload, castagnoli); got != want {
+		if got := crc32.Checksum(payload[:length], castagnoli); got != want {
 			if tel := globalTelemetry; tel.on() {
 				tel.recordWALChecksumReject()
 			}
 			return fmt.Errorf("%w: record %d: checksum mismatch (got %08x, want %08x)", ErrBadWAL, st.Applied, got, want)
 		}
 		op := payload[0]
-		if op != walOpAdd && op != walOpSet {
+		switch op {
+		case walOpAdd, walOpSet:
+			if length != pointLen {
+				return fmt.Errorf("%w: record %d: opcode %d with range-record length %d", ErrBadWAL, st.Applied, op, length)
+			}
+			for j := 0; j < d; j++ {
+				p[j] = int(int64(binary.LittleEndian.Uint64(payload[1+8*j:])))
+			}
+			v := int64(binary.LittleEndian.Uint64(payload[1+8*d:]))
+			if err := applyRecord(c, op, p, v, st.Applied); err != nil {
+				return err
+			}
+		case walOpRangeAdd:
+			if length != rangeLen {
+				return fmt.Errorf("%w: record %d: opcode %d with point-record length %d", ErrBadWAL, st.Applied, op, length)
+			}
+			for j := 0; j < d; j++ {
+				p[j] = int(int64(binary.LittleEndian.Uint64(payload[1+8*j:])))
+				hi[j] = int(int64(binary.LittleEndian.Uint64(payload[1+8*(d+j):])))
+			}
+			v := int64(binary.LittleEndian.Uint64(payload[1+16*d:]))
+			if err := c.RangeAdd(p, hi, v); err != nil {
+				return fmt.Errorf("%w: record %d: %v", ErrBadWAL, st.Applied, err)
+			}
+		default:
 			return fmt.Errorf("%w: unknown opcode %d at record %d", ErrBadWAL, op, st.Applied)
-		}
-		for j := 0; j < d; j++ {
-			p[j] = int(int64(binary.LittleEndian.Uint64(payload[1+8*j:])))
-		}
-		v := int64(binary.LittleEndian.Uint64(payload[1+8*d:]))
-		if err := applyRecord(c, op, p, v, st.Applied); err != nil {
-			return err
 		}
 		st.Applied++
 	}

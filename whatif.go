@@ -1,6 +1,9 @@
 package ddc
 
-import "errors"
+import (
+	"errors"
+	"slices"
+)
 
 // ErrClosedScenario is returned when a finished scenario is used again.
 var ErrClosedScenario = errors.New("ddc: scenario already committed or rolled back")
@@ -22,9 +25,20 @@ type Scenario struct {
 	closed bool
 }
 
+// scenarioDelta is one recorded hypothetical update. A point delta has
+// hi == nil; a box delta (from AddRange) carries both corners.
 type scenarioDelta struct {
 	p     []int
+	hi    []int
 	delta int64
+}
+
+// undo applies the exact inverse of the recorded update.
+func (d scenarioDelta) undo(c Cube) error {
+	if d.hi == nil {
+		return c.Add(d.p, -d.delta)
+	}
+	return c.RangeAdd(d.p, d.hi, -d.delta)
 }
 
 // Begin starts a what-if scenario on the cube.
@@ -39,6 +53,26 @@ func (s *Scenario) Add(p []int, delta int64) error {
 		return err
 	}
 	s.undo = append(s.undo, scenarioDelta{p: append([]int(nil), p...), delta: delta})
+	return nil
+}
+
+// AddRange applies a hypothetical delta to every cell of the inclusive
+// box [lo, hi] — one O(d) lazy update on a DynamicCube — and records the
+// exact inverse box for Rollback. On a DynamicCube the undo composes
+// with the original pending entry and cancels it without leaving any
+// residue in the structure.
+func (s *Scenario) AddRange(lo, hi []int, delta int64) error {
+	if s.closed {
+		return ErrClosedScenario
+	}
+	if err := s.c.RangeAdd(lo, hi, delta); err != nil {
+		return err
+	}
+	s.undo = append(s.undo, scenarioDelta{
+		p:     append([]int(nil), lo...),
+		hi:    append([]int(nil), hi...),
+		delta: delta,
+	})
 	return nil
 }
 
@@ -58,16 +92,33 @@ func (s *Scenario) Pending() int { return len(s.undo) }
 
 // Rollback undoes every hypothetical update, in reverse order, and
 // closes the scenario.
+//
+// Undo is best-effort: a failing inverse (for example a poisoned WAL
+// underneath the cube) does not abandon the rest of the log. Every
+// entry is attempted, the errors are joined, and only the entries that
+// actually failed are kept — in their original order — so the caller
+// can retry Rollback after clearing the fault. The scenario closes only
+// when every inverse has been applied.
 func (s *Scenario) Rollback() error {
 	if s.closed {
 		return ErrClosedScenario
 	}
-	s.closed = true
+	var errs []error
+	var failed []scenarioDelta
 	for i := len(s.undo) - 1; i >= 0; i-- {
-		if err := s.c.Add(s.undo[i].p, -s.undo[i].delta); err != nil {
-			return err
+		if err := s.undo[i].undo(s.c); err != nil {
+			errs = append(errs, err)
+			failed = append(failed, s.undo[i])
 		}
 	}
+	if len(errs) != 0 {
+		// failed was collected newest-first; restore original order so a
+		// retry replays the survivors newest-first again.
+		slices.Reverse(failed)
+		s.undo = failed
+		return errors.Join(errs...)
+	}
+	s.closed = true
 	s.undo = nil
 	return nil
 }
