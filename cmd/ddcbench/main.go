@@ -7,8 +7,12 @@
 //	ddcbench <id> [<id>...]  run selected experiments
 //	ddcbench all             run everything (the EXPERIMENTS.md inputs)
 //	ddcbench -json out.json  run the concurrency perf suite, write JSON
+//	ddcbench -mixed out.json [-procs 1,2,4,max] [-smoke]
+//	                         run the mixed-workload suite (direct vs
+//	                         buffered write fronts, checkpoint stall,
+//	                         GOMAXPROCS sweep), write JSON
 //	ddcbench -replay cap.bin [-replay-speed X] [-backend B] [-json out.json]
-//	                         replay a DDCWKLD1 workload capture
+//	                         replay a DDCWKLD2 workload capture
 //	ddcbench -version        print build identity and exit
 package main
 
@@ -26,9 +30,11 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV series instead of tables (figure1 only)")
 	jsonOut := flag.String("json", "", "run the concurrency perf suite and write JSON results to `file`")
-	smoke := flag.Bool("smoke", false, "with -json, run only the fast batched-query section (CI smoke)")
+	smoke := flag.Bool("smoke", false, "with -json or -mixed, run only the fast guarded tier (CI smoke)")
+	mixed := flag.String("mixed", "", "run the mixed-workload suite (direct vs buffered fronts) and write JSON results to `file`")
+	procs := flag.String("procs", "1,2,4,max", "with -mixed, comma-separated GOMAXPROCS sweep values (\"max\" = NumCPU)")
 	version := flag.Bool("version", false, "print version, Go toolchain and backend, then exit")
-	replay := flag.String("replay", "", "replay the DDCWKLD1 workload capture in `file` (see FORMATS.md)")
+	replay := flag.String("replay", "", "replay the DDCWKLD2 (or DDCWKLD1) workload capture in `file` (see FORMATS.md)")
 	replaySpeed := flag.Float64("replay-speed", 0, "replay pacing: 0 = as fast as possible, 1 = recorded rate, 2 = twice as fast")
 	backend := flag.String("backend", "", "prefix-sum backend for -replay: classic (default), blocked, blockfenwick")
 	flag.Usage = func() {
@@ -48,6 +54,13 @@ func main() {
 	}
 	if *replay != "" {
 		if err := runReplay(*replay, *backend, *replaySpeed, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ddcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mixed != "" {
+		if err := runMixedSuite(*mixed, *procs, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "ddcbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,496 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ddc"
+	"ddc/internal/store"
+	"ddc/internal/workload"
+)
+
+// The mixed-workload suite measures sustained ingest under concurrent
+// analytics — the scenario the buffered delta front exists for. Each
+// cell runs W writer goroutines (point adds with periodic box updates)
+// against R reader goroutines (range sums) for a fixed wall interval,
+// in two modes over the same cube geometry:
+//
+//   - direct:   ddc.Synchronized — every update takes the tree's
+//     exclusive lock for an O(log^d n) descent
+//   - buffered: ddc.Buffered — updates land in the delta front, the
+//     background merger drains them in batches
+//
+// A separate checkpoint tier runs buffered writers against a durable
+// store with and without a concurrent checkpoint streamer, pinning the
+// freeze design's no-stall claim (write p99 ratio). The -procs sweep
+// repeats one cell across GOMAXPROCS values for scaling rows.
+
+// mixedRow is one measured mixed-workload cell.
+type mixedRow struct {
+	Name    string `json:"name"`
+	Mode    string `json:"mode"` // "direct" or "buffered"
+	Backend string `json:"backend,omitempty"`
+	Dims    []int  `json:"dims,omitempty"`
+	Procs   int    `json:"procs"`
+	Writers int    `json:"writers"`
+	Readers int    `json:"readers"`
+	WallNs  int64  `json:"wall_ns"`
+
+	Updates       uint64  `json:"updates"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	Queries       uint64  `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+
+	WriteP50Ns int64 `json:"write_p50_ns"`
+	WriteP99Ns int64 `json:"write_p99_ns"`
+	QueryP50Ns int64 `json:"query_p50_ns,omitempty"`
+	QueryP99Ns int64 `json:"query_p99_ns,omitempty"`
+
+	// Checkpoint marks the store-backed rows that streamed checkpoints
+	// concurrently with the writers.
+	Checkpoint  bool               `json:"checkpoint,omitempty"`
+	Checkpoints uint64             `json:"checkpoints,omitempty"`
+	Delta       *ddc.BufferedStats `json:"delta,omitempty"`
+}
+
+// mixedSummary is the mixed-workload block of the JSON report.
+type mixedSummary struct {
+	Rows []mixedRow `json:"rows"`
+	// WriteSpeedup is buffered/direct sustained updates-per-sec on the
+	// guard tier (first backend × dims cell), with the query p99 ratio
+	// alongside — the ≥2x-at-equal-p99 acceptance numbers.
+	GuardTier     string  `json:"guard_tier"`
+	WriteSpeedup  float64 `json:"write_speedup"`
+	QueryP99Ratio float64 `json:"query_p99_ratio"`
+	// CheckpointStallRatio is write p99 with a concurrent checkpoint
+	// streamer over write p99 without one (buffered store, NoSync).
+	CheckpointStallRatio float64 `json:"checkpoint_stall_ratio,omitempty"`
+}
+
+// mixedFront is the mutation+query surface a mixed cell drives.
+type mixedFront interface {
+	Add(p []int, delta int64) error
+	RangeAdd(lo, hi []int, delta int64) error
+	RangeSum(lo, hi []int) (int64, error)
+}
+
+// latencies collects per-op latencies with bounded memory: past cap,
+// it subsamples 1-in-8 so percentiles stay representative.
+type latencies struct {
+	v    []int64
+	skip int
+	n    int
+}
+
+func newLatencies() *latencies { return &latencies{v: make([]int64, 0, 1<<18)} }
+
+func (l *latencies) add(d int64) {
+	if len(l.v) == cap(l.v) {
+		l.skip = 8
+	}
+	if l.skip > 1 {
+		l.n++
+		if l.n%l.skip != 0 {
+			return
+		}
+		if len(l.v) == cap(l.v) {
+			// Halve the reservoir (keep every other sample) and double
+			// the sampling stride.
+			half := l.v[:0]
+			for i := 0; i < len(l.v); i += 2 {
+				half = append(half, l.v[i])
+			}
+			l.v = half
+			l.skip *= 2
+		}
+	}
+	l.v = append(l.v, d)
+}
+
+// percentile returns the q-quantile (0..1) of the collected samples.
+func percentile(all []int64, q float64) int64 {
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	i := int(q * float64(len(all)-1))
+	return all[i]
+}
+
+// runMixedCell drives one mode×backend×dims cell for the wall
+// interval and reports throughput and tail latencies.
+func runMixedCell(name, mode, backend string, dims []int, writers, readers int, dur time.Duration) (mixedRow, error) {
+	dyn, err := ddc.NewDynamicWithOptions(dims, ddc.Options{Backend: backend})
+	if err != nil {
+		return mixedRow{}, err
+	}
+	var front mixedFront
+	var buf *ddc.Buffered
+	switch mode {
+	case "direct":
+		front = ddc.NewSynchronized(dyn)
+	case "buffered":
+		buf = ddc.NewBuffered(dyn, ddc.BufferedOptions{})
+		front = buf
+	default:
+		return mixedRow{}, fmt.Errorf("mixed: unknown mode %q", mode)
+	}
+
+	var updates, queries atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wLats := make([]*latencies, writers)
+	qLats := make([]*latencies, readers)
+
+	for w := 0; w < writers; w++ {
+		w := w
+		wLats[w] = newLatencies()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := workload.NewRNG(uint64(1000 + w))
+			p := make([]int, len(dims))
+			lo := make([]int, len(dims))
+			hi := make([]int, len(dims))
+			n := 0
+			for !stop.Load() {
+				start := time.Now()
+				var err error
+				if n%64 == 63 {
+					for j, ext := range dims {
+						lo[j] = r.Intn(ext)
+						hi[j] = lo[j] + r.Intn(ext-lo[j])
+					}
+					err = front.RangeAdd(lo, hi, 1)
+				} else {
+					for j, ext := range dims {
+						p[j] = r.Intn(ext)
+					}
+					err = front.Add(p, 1)
+				}
+				wLats[w].add(time.Since(start).Nanoseconds())
+				if err != nil {
+					stop.Store(true)
+					return
+				}
+				updates.Add(1)
+				n++
+			}
+		}()
+	}
+	for q := 0; q < readers; q++ {
+		q := q
+		qLats[q] = newLatencies()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := workload.NewRNG(uint64(2000 + q))
+			lo := make([]int, len(dims))
+			hi := make([]int, len(dims))
+			var sink int64
+			for !stop.Load() {
+				for j, ext := range dims {
+					lo[j] = r.Intn(ext / 2)
+					hi[j] = lo[j] + ext/4
+				}
+				start := time.Now()
+				v, err := front.RangeSum(lo, hi)
+				qLats[q].add(time.Since(start).Nanoseconds())
+				if err != nil {
+					stop.Store(true)
+					return
+				}
+				sink += v
+				queries.Add(1)
+			}
+			_ = sink
+		}()
+	}
+
+	begin := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	wall := time.Since(begin)
+
+	row := mixedRow{
+		Name: name, Mode: mode, Backend: dyn.Backend(), Dims: dims,
+		Procs: runtime.GOMAXPROCS(0), Writers: writers, Readers: readers,
+		WallNs:  wall.Nanoseconds(),
+		Updates: updates.Load(), Queries: queries.Load(),
+	}
+	row.UpdatesPerSec = float64(row.Updates) / wall.Seconds()
+	row.QueriesPerSec = float64(row.Queries) / wall.Seconds()
+	var wAll, qAll []int64
+	for _, l := range wLats {
+		wAll = append(wAll, l.v...)
+	}
+	for _, l := range qLats {
+		qAll = append(qAll, l.v...)
+	}
+	row.WriteP50Ns = percentile(wAll, 0.50)
+	row.WriteP99Ns = percentile(wAll, 0.99)
+	row.QueryP50Ns = percentile(qAll, 0.50)
+	row.QueryP99Ns = percentile(qAll, 0.99)
+	if buf != nil {
+		st := buf.Stats()
+		row.Delta = &st
+		if err := buf.Close(); err != nil {
+			return row, err
+		}
+	}
+	return row, nil
+}
+
+// runCheckpointCell drives buffered writers against a durable store
+// (NoSync — the fsync cost is not what this tier measures) with or
+// without a concurrent checkpoint streamer, reporting write tails.
+func runCheckpointCell(dims []int, writers int, dur time.Duration, checkpoint bool) (mixedRow, error) {
+	dir, err := os.MkdirTemp("", "ddcmixed")
+	if err != nil {
+		return mixedRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{
+		Dims:     dims,
+		NoSync:   true,
+		Buffered: true,
+	})
+	if err != nil {
+		return mixedRow{}, err
+	}
+	defer st.Close()
+
+	var updates atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	lats := make([]*latencies, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		lats[w] = newLatencies()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := workload.NewRNG(uint64(3000 + w))
+			p := make([]int, len(dims))
+			n := 0
+			for !stop.Load() {
+				for j, ext := range dims {
+					p[j] = r.Intn(ext)
+				}
+				start := time.Now()
+				err := st.Add(p, 1)
+				if err == nil && n%32 == 31 {
+					err = st.Flush()
+				}
+				lats[w].add(time.Since(start).Nanoseconds())
+				if err != nil {
+					stop.Store(true)
+					return
+				}
+				updates.Add(1)
+				n++
+			}
+		}()
+	}
+	var checkpoints atomic.Uint64
+	if checkpoint {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := st.Checkpoint(); err != nil {
+					stop.Store(true)
+					return
+				}
+				checkpoints.Add(1)
+			}
+		}()
+	}
+
+	begin := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	wall := time.Since(begin)
+	if err := st.Healthy(); err != nil {
+		return mixedRow{}, fmt.Errorf("mixed checkpoint cell: store unhealthy: %w", err)
+	}
+
+	name := "mixed/store"
+	if checkpoint {
+		name = "mixed/store+checkpoint"
+	}
+	row := mixedRow{
+		Name: name, Mode: "buffered", Dims: dims,
+		Procs: runtime.GOMAXPROCS(0), Writers: writers,
+		WallNs:  wall.Nanoseconds(),
+		Updates: updates.Load(), Checkpoint: checkpoint,
+		Checkpoints: checkpoints.Load(),
+	}
+	row.UpdatesPerSec = float64(row.Updates) / wall.Seconds()
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l.v...)
+	}
+	row.WriteP50Ns = percentile(all, 0.50)
+	row.WriteP99Ns = percentile(all, 0.99)
+	bst := st.Buffered().Stats()
+	row.Delta = &bst
+	return row, nil
+}
+
+// parseProcs expands a -procs list ("1,2,4,max") into distinct
+// ascending GOMAXPROCS values.
+func parseProcs(spec string) ([]int, error) {
+	seen := map[int]bool{}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n := 0
+		if f == "max" {
+			n = runtime.NumCPU()
+		} else {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("bad -procs entry %q", f)
+			}
+			n = v
+		}
+		if n > runtime.NumCPU() {
+			n = runtime.NumCPU()
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-procs list is empty")
+	}
+	return out, nil
+}
+
+// runMixedSuite measures the mixed-workload matrix and writes the JSON
+// report. Smoke shrinks it to one guarded tier; the guard (buffered
+// sustained writes ≥2x direct at no worse than 1.25x query p99) makes
+// a front regression fail CI.
+func runMixedSuite(path, procsSpec string, smoke bool) error {
+	procs, err := parseProcs(procsSpec)
+	if err != nil {
+		return err
+	}
+	report := perfReport{
+		Suite:      "mixed-workload",
+		Version:    ddc.Version,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	sum := &mixedSummary{}
+
+	cell := 600 * time.Millisecond
+	ckptCell := 800 * time.Millisecond
+	backends := ddc.Backends()
+	tiers := [][]int{{1024, 256}, {64, 64, 64}}
+	if smoke {
+		cell = 250 * time.Millisecond
+		ckptCell = 400 * time.Millisecond
+		backends = backends[:1]
+		tiers = tiers[:1]
+	}
+	writers, readers := 4, 2
+
+	// Direct vs buffered over the backend × dims matrix.
+	for _, be := range backends {
+		for _, dims := range tiers {
+			var rows [2]mixedRow
+			for i, mode := range []string{"direct", "buffered"} {
+				name := fmt.Sprintf("mixed/%s/%s/%dd", mode, be, len(dims))
+				row, err := runMixedCell(name, mode, be, dims, writers, readers, cell)
+				if err != nil {
+					return err
+				}
+				rows[i] = row
+				sum.Rows = append(sum.Rows, row)
+			}
+			if sum.GuardTier == "" {
+				sum.GuardTier = fmt.Sprintf("%s/%dd", rows[0].Backend, len(dims))
+				sum.WriteSpeedup = rows[1].UpdatesPerSec / rows[0].UpdatesPerSec
+				if rows[0].QueryP99Ns > 0 {
+					sum.QueryP99Ratio = float64(rows[1].QueryP99Ns) / float64(rows[0].QueryP99Ns)
+				}
+			}
+		}
+	}
+
+	// Checkpoint-stall tier: buffered store writers with and without a
+	// concurrent checkpoint streamer.
+	base, err := runCheckpointCell(tiers[0], writers, ckptCell, false)
+	if err != nil {
+		return err
+	}
+	sum.Rows = append(sum.Rows, base)
+	ck, err := runCheckpointCell(tiers[0], writers, ckptCell, true)
+	if err != nil {
+		return err
+	}
+	sum.Rows = append(sum.Rows, ck)
+	if base.WriteP99Ns > 0 {
+		sum.CheckpointStallRatio = float64(ck.WriteP99Ns) / float64(base.WriteP99Ns)
+	}
+
+	// GOMAXPROCS sweep: scaling rows for write and query throughput.
+	if !smoke {
+		prev := runtime.GOMAXPROCS(0)
+		for _, p := range procs {
+			runtime.GOMAXPROCS(p)
+			for _, mode := range []string{"direct", "buffered"} {
+				name := fmt.Sprintf("mixed/procs/%s/p%d", mode, p)
+				row, err := runMixedCell(name, mode, "", tiers[0], writers, readers, cell/2)
+				if err != nil {
+					runtime.GOMAXPROCS(prev)
+					return err
+				}
+				sum.Rows = append(sum.Rows, row)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+
+	report.Mixed = sum
+	if err := writeReport(path, &report); err != nil {
+		return err
+	}
+
+	if smoke {
+		// The CI guard: a buffered front that cannot beat the synchronous
+		// path by 2x on sustained writes — or that costs more than 25% of
+		// query p99 — is a regression.
+		if sum.WriteSpeedup < 2.0 {
+			return fmt.Errorf("mixed smoke guard: buffered/direct write speedup %.2fx < 2x (tier %s)",
+				sum.WriteSpeedup, sum.GuardTier)
+		}
+		if sum.QueryP99Ratio > 1.25 {
+			return fmt.Errorf("mixed smoke guard: buffered query p99 is %.2fx direct (limit 1.25x, tier %s)",
+				sum.QueryP99Ratio, sum.GuardTier)
+		}
+		if sum.CheckpointStallRatio > 1.5 {
+			return fmt.Errorf("mixed smoke guard: concurrent checkpoint inflates write p99 by %.2fx (limit 1.5x)",
+				sum.CheckpointStallRatio)
+		}
+		fmt.Printf("mixed smoke guard: %.2fx writes, %.2fx query p99, %.2fx checkpoint stall — ok\n",
+			sum.WriteSpeedup, sum.QueryP99Ratio, sum.CheckpointStallRatio)
+	}
+	return nil
+}

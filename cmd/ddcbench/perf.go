@@ -56,6 +56,10 @@ type perfReport struct {
 	// order-sensitive answer checksums the capture→replay equivalence
 	// check compares across backends.
 	Replay *replaySummary `json:"replay,omitempty"`
+	// Mixed summarises a `-mixed` run: sustained updates/sec and tail
+	// latencies for the synchronous vs buffered write fronts, the
+	// checkpoint-stall ratio, and the GOMAXPROCS scaling rows.
+	Mixed *mixedSummary `json:"mixed,omitempty"`
 }
 
 const (
@@ -277,6 +281,10 @@ func writeReport(path string, report *perfReport) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d results to %s (GOMAXPROCS=%d)\n", len(report.Results), path, report.GoMaxProcs)
+	n := len(report.Results)
+	if report.Mixed != nil {
+		n += len(report.Mixed.Rows)
+	}
+	fmt.Printf("wrote %d results to %s (GOMAXPROCS=%d)\n", n, path, report.GoMaxProcs)
 	return nil
 }

@@ -11,7 +11,8 @@ import (
 	"ddc/internal/workload"
 )
 
-// Replay mode executes a DDCWKLD1 workload capture (see FORMATS.md)
+// Replay mode executes a DDCWKLD2 (or legacy DDCWKLD1) workload
+// capture (see FORMATS.md)
 // against a freshly built cube: updates rebuild the captured state in
 // order, queries re-run with their answers folded into order-sensitive
 // checksums. Replaying the same capture under every -backend must
@@ -88,6 +89,10 @@ func execReplay(path, backend string, speed float64) (*replaySummary, *ddc.Dynam
 		case workload.OpSet:
 			if err := c.Set(rec.Point, rec.Value); err != nil {
 				return nil, nil, fmt.Errorf("replay set %v: %w", rec.Point, err)
+			}
+		case workload.OpRangeAdd:
+			if err := c.RangeAdd(rec.Lo, rec.Hi, rec.Value); err != nil {
+				return nil, nil, fmt.Errorf("replay rangeadd %v..%v: %w", rec.Lo, rec.Hi, err)
 			}
 		case workload.OpPrefix:
 			sum.mix(c.Prefix(rec.Point))

@@ -61,7 +61,10 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log queries at or above this duration to /v1/trace (0 = off)")
 	sloObjective := flag.Duration("slo-objective", 0, "latency objective for the SLO burn-rate counters in /metrics (0 = off)")
 	version := flag.Bool("version", false, "print version, Go toolchain and backend, then exit")
-	capturePath := flag.String("workload-capture", "", "append a DDCWKLD1 workload capture to this file (see FORMATS.md); replay with ddcbench -replay")
+	buffered := flag.Bool("buffered", false, "buffer writes in an in-memory delta front drained by a background merger (sustained-write mode; requires -data)")
+	bufferMaxDelta := flag.Int("buffer-max-delta", 0, "delta depth that wakes the merger (0 = default 256; with -buffered)")
+	bufferFlush := flag.Duration("buffer-flush-interval", 0, "merger tick interval (0 = default 1ms; with -buffered)")
+	capturePath := flag.String("workload-capture", "", "append a DDCWKLD2 workload capture to this file (see FORMATS.md); replay with ddcbench -replay")
 	captureSample := flag.Int("capture-sample", 1, "capture 1 in N queries (updates are always captured)")
 	captureMaxBytes := flag.Int64("capture-max-bytes", 0, "rotate the capture file past this size, keeping one previous generation (0 = never)")
 	flag.Parse()
@@ -104,8 +107,13 @@ func main() {
 		// land in /metrics.
 		ddc.GlobalTelemetry().Enable()
 		st, err := store.Open(*dataDir, store.Options{
-			Dims: dims,
-			Cube: ddc.Options{AutoGrow: *autogrow, Backend: *backend},
+			Dims:     dims,
+			Cube:     ddc.Options{AutoGrow: *autogrow, Backend: *backend},
+			Buffered: *buffered,
+			Buffer: ddc.BufferedOptions{
+				MaxDelta:      *bufferMaxDelta,
+				FlushInterval: *bufferFlush,
+			},
 		})
 		if err != nil {
 			log.Fatal("ddcserver: opening store: ", err)
@@ -114,10 +122,17 @@ func main() {
 		log.Printf("store %s: recovered snapshot seq %d + %d segments (%d records%s)",
 			st.Dir(), rec.SnapshotSeq, rec.Segments, rec.Records,
 			map[bool]string{true: ", torn tail dropped", false: ""}[rec.TornTail])
+		if *buffered {
+			opts.Buffered = st.Buffered()
+			log.Print("buffered write front enabled (delta + background merger)")
+		}
 		handler = cubeserver.NewWithPersistence(st.Cube(), st, opts)
 		dims = st.Cube().Dims()
 		shutdown = st.Close
 	default:
+		if *buffered {
+			log.Fatal("ddcserver: -buffered requires -data")
+		}
 		// A previous run may have checkpointed recovered WAL state to
 		// <wal>.ckpt; pick it up when no explicit snapshot is given.
 		base := *cubePath

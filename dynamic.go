@@ -238,7 +238,7 @@ func (c *DynamicCube) RangeAdd(lo, hi []int, d int64) error {
 	ops, err := c.t.RangeAddOps(grid.Point(lo), grid.Point(hi), d)
 	tel.recordUpdate(uOpRangeAdd, c.be, time.Since(start), ops)
 	if err == nil && !c.noProfile {
-		tel.workloadRangeWrite(c, lo, hi)
+		tel.workloadRangeWrite(c, lo, hi, d)
 	}
 	return err
 }

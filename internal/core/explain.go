@@ -26,6 +26,9 @@ const (
 	// query — delta times the volume of the pending box's intersection
 	// with the dominated region.
 	KindPending
+	// KindDelta: an undrained entry of the buffered write front (the
+	// in-memory delta in front of the tree) composed into the query.
+	KindDelta
 )
 
 // String names the kind.
@@ -41,6 +44,8 @@ func (k ContributionKind) String() string {
 		return "leaf"
 	case KindPending:
 		return "pending"
+	case KindDelta:
+		return "delta"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -24,10 +24,10 @@ type Array struct {
 
 // NumContribKinds is the number of contribution kinds the DDC query
 // path classifies, matching internal/core's ContributionKind taxonomy
-// (subtotal, row sum, delegated, leaf, pending — in that order). The
-// counter carries the array so per-kind counts ride the same per-call
-// merge discipline as the scalar counts.
-const NumContribKinds = 5
+// (subtotal, row sum, delegated, leaf, pending, delta — in that
+// order). The counter carries the array so per-kind counts ride the
+// same per-call merge discipline as the scalar counts.
+const NumContribKinds = 6
 
 // OpCounter tallies the number of cells touched by queries and updates.
 // The paper's evaluation is in operation counts, not wall time; every

@@ -104,7 +104,8 @@ func (p walPersistence) TraceSpans(sc *obs.SpanContext, parent obs.SpanID) {
 type Server struct {
 	mu      sync.RWMutex
 	c       *ddc.DynamicCube
-	persist Persistence // optional; when set, mutations go through it
+	buf     *ddc.Buffered // optional delta front; reads compose through it
+	persist Persistence   // optional; when set, mutations go through it
 	mux     *http.ServeMux
 	log     *slog.Logger
 	ready   atomic.Bool // construction (post-recovery) complete
@@ -143,6 +144,13 @@ type Options struct {
 	// Logger receives structured log records (slow requests with trace
 	// IDs, 5xx errors). Defaults to slog.Default().
 	Logger *slog.Logger
+	// Buffered, when non-nil, is the delta write front sitting between
+	// the persistence layer and the cube (store.Open with
+	// Options.Buffered). Point and range reads compose tree + delta
+	// through it (read-your-writes under sustained ingest); tree-walk
+	// endpoints (/v1/scan, /v1/snapshot) drain it first so the streamed
+	// tree is exact.
+	Buffered *ddc.Buffered
 }
 
 // New returns a server over the cube. If wal is non-nil, every mutation
@@ -184,7 +192,7 @@ func NewWithPersistence(c *ddc.DynamicCube, p Persistence, opts Options) *Server
 	if logger == nil {
 		logger = slog.Default()
 	}
-	s := &Server{c: c, persist: p, mux: http.NewServeMux(), log: logger}
+	s := &Server{c: c, buf: opts.Buffered, persist: p, mux: http.NewServeMux(), log: logger}
 	s.mux.HandleFunc("/v1/add", s.handleAdd)
 	s.mux.HandleFunc("/v1/add/range", s.handleRangeAdd)
 	s.mux.HandleFunc("/v1/set", s.handleSet)
@@ -405,7 +413,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	v := s.c.Get(m.Point)
+	v := s.readGet(m.Point)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]int64{"value": v})
 }
@@ -449,7 +457,7 @@ func (s *Server) handleRangeAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	sum, serr := s.c.RangeSum(m.Lo, m.Hi)
+	sum, serr := s.readRangeSum(m.Lo, m.Hi)
 	s.mu.RUnlock()
 	if serr != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", serr)
@@ -552,7 +560,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	v := s.c.Get(p)
+	v := s.readGet(p)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]int64{"value": v})
 }
@@ -564,7 +572,7 @@ func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	sum, err := s.c.RangeSum(lo, hi)
+	sum, err := s.readRangeSum(lo, hi)
 	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -612,7 +620,13 @@ func (s *Server) handleSumBatch(w http.ResponseWriter, r *http.Request) {
 		// Traced request: the planner records its stage spans (plan,
 		// dedup, execute, gather) into the request's trace.
 		sums = make([]int64, len(queries))
-		stats, _, err = s.c.RangeSumBatchTrace(queries, sums, sc, span)
+		if s.buf != nil {
+			stats, _, err = s.buf.RangeSumBatchTrace(queries, sums, sc, span)
+		} else {
+			stats, _, err = s.c.RangeSumBatchTrace(queries, sums, sc, span)
+		}
+	} else if s.buf != nil {
+		sums, stats, err = s.buf.RangeSumBatchStats(queries)
 	} else {
 		sums, stats, err = s.c.RangeSumBatchStats(queries)
 	}
@@ -686,15 +700,51 @@ func (s *Server) derivedStats() (total int64, nonzero, storage int) {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	if !s.stats.valid || s.stats.version != v {
+		total := s.c.Total()
+		if s.buf != nil {
+			// The composed total counts undrained deltas; NonZeroCells and
+			// StorageCells stay tree-side metrics (they measure the index,
+			// not the front).
+			total = s.buf.Total()
+		}
 		s.stats = cachedStats{
 			version: v,
 			valid:   true,
-			total:   s.c.Total(),
+			total:   total,
 			nonzero: s.c.NonZeroCells(),
 			storage: s.c.StorageCells(),
 		}
 	}
 	return s.stats.total, s.stats.nonzero, s.stats.storage
+}
+
+// readGet answers a point read, composing the delta front when one is
+// attached. Callers hold the shared lock.
+func (s *Server) readGet(p []int) int64 {
+	if s.buf != nil {
+		return s.buf.Get(p)
+	}
+	return s.c.Get(p)
+}
+
+// readRangeSum answers a range sum, composing the delta front when one
+// is attached. Callers hold the shared lock.
+func (s *Server) readRangeSum(lo, hi []int) (int64, error) {
+	if s.buf != nil {
+		return s.buf.RangeSum(lo, hi)
+	}
+	return s.c.RangeSum(lo, hi)
+}
+
+// drainFront empties the delta front so tree-walk endpoints (/v1/scan,
+// /v1/snapshot) see every acknowledged mutation. A no-op without a
+// front. Must be called before taking s.mu — the drain briefly takes
+// the cube's exclusive apply lock.
+func (s *Server) drainFront() error {
+	if s.buf == nil {
+		return nil
+	}
+	return s.buf.Drain()
 }
 
 // handleMetrics serves the telemetry registry in the Prometheus text
@@ -792,7 +842,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	sum, parts := s.c.ExplainPrefix(p)
+	var sum int64
+	var parts []ddc.Contribution
+	if s.buf != nil {
+		sum, parts = s.buf.ExplainPrefix(p)
+	} else {
+		sum, parts = s.c.ExplainPrefix(p)
+	}
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"prefix":        sum,
@@ -836,7 +892,14 @@ func (s *Server) handleExplainBatch(w http.ResponseWriter, r *http.Request) {
 	root := sc.Start("explain", parent)
 	sums := make([]int64, len(queries))
 	s.mu.RLock()
-	stats, levels, err := s.c.RangeSumBatchTrace(queries, sums, sc, root)
+	var stats ddc.BatchStats
+	var levels []uint64
+	var err error
+	if s.buf != nil {
+		stats, levels, err = s.buf.RangeSumBatchTrace(queries, sums, sc, root)
+	} else {
+		stats, levels, err = s.c.RangeSumBatchTrace(queries, sums, sc, root)
+	}
 	treeLevels := s.c.TreeLevels()
 	s.mu.RUnlock()
 	sc.End(root)
@@ -903,6 +966,10 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 			limit = scanLimit
 		}
 	}
+	if err := s.drainFront(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "drain: %v", err)
+		return
+	}
 	s.mu.RLock()
 	cells := make([]scanCell, 0, 64)
 	truncated := false
@@ -925,6 +992,10 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if err := s.drainFront(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "drain: %v", err)
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/octet-stream")

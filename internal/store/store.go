@@ -95,6 +95,17 @@ type Options struct {
 	// benchmarks: acknowledged mutations then survive process crashes
 	// but not power loss.
 	NoSync bool
+	// Buffered puts the delta-buffer write front (ddc.Buffered) between
+	// the WAL and the tree: mutations are validated, buffered in memory
+	// and logged, and a background merger drains them into the tree in
+	// batches. Checkpoints then run asynchronously off a frozen tree —
+	// writers keep landing in a fresh delta + rotated segment while the
+	// snapshot streams, so checkpoint duration leaves the write tail.
+	// Route queries through Buffered() (not Cube()) in this mode.
+	Buffered bool
+	// Buffer tunes the delta front when Buffered is set (zero value =
+	// defaults).
+	Buffer ddc.BufferedOptions
 }
 
 // RecoveryInfo describes what Open found and replayed.
@@ -134,9 +145,18 @@ type Store struct {
 	opts Options
 
 	cube *ddc.DynamicCube
+	buf  *ddc.Buffered // non-nil in Options.Buffered mode
 	wal  *ddc.WAL
 	f    *os.File // active segment
 	seg  uint64   // active segment sequence
+
+	// ckptMu serializes buffered-mode checkpoints end to end (drain,
+	// rotate, stream, gc) without holding s.mu across the stream, so
+	// writers proceed while the snapshot is written. Lock order:
+	// ckptMu before s.mu.
+	ckptMu   sync.Mutex
+	ckptBusy bool  // an async auto-checkpoint is in flight
+	ckptErr  error // latched failure from an async checkpoint
 
 	recovery    RecoveryInfo
 	checkpoints uint64
@@ -214,10 +234,19 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		s.recovery.Segments = len(tail)
 	}
+	// The delta front goes in before the first segment opens, so the
+	// recovered WAL wraps it and every later mutation is buffered.
+	// Recovery itself replayed straight into the tree above.
+	if opts.Buffered {
+		s.buf = ddc.NewBuffered(s.cube, opts.Buffer)
+	}
 	// One checkpoint makes the recovered state durable, opens a fresh
 	// active segment, and garbage-collects every older file (including
 	// stale segments a mid-checkpoint crash left behind).
 	if err := s.checkpointLocked(); err != nil {
+		if s.buf != nil {
+			s.buf.Close()
+		}
 		return nil, err
 	}
 	ddc.GlobalTelemetry().RecordStoreRecovery(time.Since(start))
@@ -226,7 +255,14 @@ func Open(dir string, opts Options) (*Store, error) {
 
 // Cube exposes the recovered cube for queries. Reads must not run
 // concurrently with Add/Set/Checkpoint — the caller provides locking.
+// In Options.Buffered mode, read through Buffered() instead: the raw
+// cube misses undrained deltas and races with the merger.
 func (s *Store) Cube() *ddc.DynamicCube { return s.cube }
+
+// Buffered exposes the delta front in Options.Buffered mode (nil
+// otherwise). Its queries compose tree + undrained delta and are safe
+// concurrently with mutations, drains and checkpoints.
+func (s *Store) Buffered() *ddc.Buffered { return s.buf }
 
 // Dir returns the data directory.
 func (s *Store) Dir() string { return s.dir }
@@ -243,6 +279,14 @@ func (s *Store) Healthy() error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.ckptErr != nil {
+		return s.ckptErr
+	}
+	if s.buf != nil {
+		if err := s.buf.Err(); err != nil {
+			return err
+		}
 	}
 	if s.wal != nil {
 		return s.wal.Err()
@@ -324,32 +368,130 @@ func (s *Store) Flush() error {
 	}
 	if !s.opts.DisableAutoCheckpoint &&
 		(s.wal.Records() >= s.opts.CheckpointRecords || s.wal.Bytes() >= s.opts.CheckpointBytes) {
+		if s.buf != nil {
+			// Buffered mode: the checkpoint streams in the background so
+			// this Flush (and the writer behind it) returns immediately;
+			// a failure is latched into Healthy.
+			s.asyncCheckpointLocked()
+			return nil
+		}
 		return s.checkpointLocked()
 	}
 	return nil
 }
 
-// Checkpoint persists a snapshot of the current state, rotates to a
-// fresh WAL segment, and truncates the old ones.
-func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+// asyncCheckpointLocked kicks off a background checkpoint unless one is
+// already in flight. Callers hold s.mu.
+func (s *Store) asyncCheckpointLocked() {
+	if s.ckptBusy {
+		return
 	}
-	return s.checkpointLocked()
+	s.ckptBusy = true
+	go func() {
+		err := s.Checkpoint()
+		s.mu.Lock()
+		s.ckptBusy = false
+		if err != nil && !errors.Is(err, ErrClosed) && s.ckptErr == nil {
+			s.ckptErr = err
+		}
+		s.mu.Unlock()
+	}()
 }
 
-// Close flushes and fsyncs the active segment and releases it. The
-// store cannot be used afterwards; reopen the directory instead.
-func (s *Store) Close() error {
+// Checkpoint persists a snapshot of the current state, rotates to a
+// fresh WAL segment, and truncates the old ones. In Options.Buffered
+// mode the snapshot streams off a frozen tree while writers keep
+// landing in a fresh delta and the rotated segment — only the brief
+// drain-and-rotate prologue excludes them.
+func (s *Store) Checkpoint() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.buf == nil {
+		defer s.mu.Unlock()
+		return s.checkpointLocked()
+	}
+	s.mu.Unlock()
+	return s.checkpointBuffered()
+}
+
+// checkpointBuffered is the async-checkpoint sequence. The invariant
+// "snap-S covers every mutation in segments <= S" holds because the
+// delta is drained into the tree and the WAL flushed while s.mu still
+// excludes writers, and the tree is frozen (drains and growth blocked,
+// writers and readers not) before s.mu is released — so the streamed
+// snapshot is exactly segment-S state no matter what lands meanwhile.
+func (s *Store) checkpointBuffered() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	start := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.tsc != nil {
+		span := s.tsc.Start("store.checkpoint", s.tparent)
+		defer s.tsc.End(span)
+	}
+	if err := s.buf.Drain(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if err := s.wal.Flush(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	S := s.seg
+	release := s.buf.Freeze()
+	if err := s.openSegment(S + 1); err != nil {
+		release()
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+	// Stream without s.mu: writers land in the fresh delta + segment
+	// S+1, readers compose tree + delta, the frozen tree holds still.
+	err := s.writeCheckpoint(S)
+	release()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.gc(S)
+	s.checkpoints++
+	s.mu.Unlock()
+	ddc.GlobalTelemetry().RecordStoreCheckpoint(time.Since(start))
+	return nil
+}
+
+// Close flushes and fsyncs the active segment and releases it. In
+// buffered mode it first waits out any in-flight checkpoint, stops the
+// merger and drains the delta (those records are already in the log, so
+// the final drain only settles the in-memory tree). The store cannot be
+// used afterwards; reopen the directory instead.
+func (s *Store) Close() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	err := s.wal.Flush()
+	buf := s.buf
+	s.mu.Unlock()
+	var err error
+	if buf != nil {
+		err = buf.Close()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.wal.Flush(); err == nil {
+		err = ferr
+	}
 	if cerr := s.f.Close(); err == nil {
 		err = cerr
 	}
@@ -365,6 +507,13 @@ func (s *Store) checkpointLocked() error {
 	if s.tsc != nil {
 		span := s.tsc.Start("store.checkpoint", s.tparent)
 		defer s.tsc.End(span)
+	}
+	if s.buf != nil {
+		// Synchronous path (Open's initial checkpoint): the delta must
+		// be in the tree before the snapshot streams.
+		if err := s.buf.Drain(); err != nil {
+			return err
+		}
 	}
 	if s.wal != nil {
 		if err := s.wal.Flush(); err != nil {
@@ -489,7 +638,13 @@ func (s *Store) openSegment(q uint64) error {
 	if s.opts.NoSync {
 		w = noSyncWriter{f}
 	}
-	wal, err := ddc.NewWAL(s.cube, w)
+	// In buffered mode the WAL applies through the delta front, so
+	// validate-then-buffer-then-log ordering is preserved per record.
+	var target ddc.Cube = s.cube
+	if s.buf != nil {
+		target = s.buf
+	}
+	wal, err := ddc.NewWAL(target, w)
 	if err == nil {
 		err = wal.Flush()
 	}

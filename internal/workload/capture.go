@@ -1,18 +1,21 @@
 // Workload capture: a compact binary log of the operations a live cube
-// served — point updates always, queries sampled 1-in-N — so captured
+// served — updates always, queries sampled 1-in-N — so captured
 // production shapes replay as benchmarks (ddcbench -replay) and
-// regression workloads. The format, DDCWKLD1 (docs/FORMATS.md):
+// regression workloads. The format, DDCWKLD2 (docs/FORMATS.md):
 //
-//	header:  magic "DDCWKLD1" | uint32 d | uint32 sampleN |
+//	header:  magic "DDCWKLD2" | uint32 d | uint32 sampleN |
 //	         int64 base unix-nanos | d × int64 domain extents
 //	record:  uint32 payload length | uint32 CRC-32C(payload) | payload
 //	payload: op byte | uvarint Δt-nanos since the previous record |
 //	         op body (zigzag-varint coordinates and values)
 //
-// Record framing mirrors the WAL v2 discipline: a truncated final
-// record is a torn tail (clean stop — the process died mid-write), a
-// checksum mismatch is corruption (an error). Fixed-width header
-// fields are little-endian.
+// DDCWKLD2 adds the range-update opcode (OpRangeAdd: lo, hi, delta) so
+// box updates replay state-exactly; writers always emit v2, and the
+// reader still accepts DDCWKLD1 streams (which simply cannot contain
+// op 6). Record framing mirrors the WAL v2 discipline: a truncated
+// final record is a torn tail (clean stop — the process died
+// mid-write), a checksum mismatch is corruption (an error).
+// Fixed-width header fields are little-endian.
 package workload
 
 import (
@@ -29,8 +32,12 @@ import (
 	"ddc/internal/grid"
 )
 
-// CaptureMagic is the DDCWKLD1 file signature.
-const CaptureMagic = "DDCWKLD1"
+// CaptureMagic is the DDCWKLD2 file signature written by Capture.
+const CaptureMagic = "DDCWKLD2"
+
+// CaptureMagicV1 is the previous generation's signature; ReadCapture
+// still accepts it (v1 streams never contain OpRangeAdd).
+const CaptureMagicV1 = "DDCWKLD1"
 
 // Capture record op kinds.
 const (
@@ -39,6 +46,7 @@ const (
 	OpRangeSum = byte(3) // one query box: lo, hi
 	OpPrefix   = byte(4) // one prefix-sum point: coords
 	OpBatch    = byte(5) // batched range sums: count, then count boxes
+	OpRangeAdd = byte(6) // box update: lo, hi, delta (DDCWKLD2 only)
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -84,7 +92,7 @@ type CaptureStats struct {
 	Err        string `json:"error,omitempty"`
 }
 
-// Capture writes a DDCWKLD1 stream. All methods are safe for
+// Capture writes a DDCWKLD2 stream. All methods are safe for
 // concurrent use (one mutex guards the encoder and file; capture sits
 // on the telemetry-enabled path only, never the disabled fast path).
 // The first write error latches: subsequent records are dropped and
@@ -248,6 +256,21 @@ func (c *Capture) point(op byte, p []int, v int64) {
 	c.emit()
 }
 
+// RangeAdd captures one box update. Updates are always captured.
+func (c *Capture) RangeAdd(lo, hi []int, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.begin(OpRangeAdd)
+	c.buf = appendPoint(c.buf, lo)
+	c.buf = appendPoint(c.buf, hi)
+	c.buf = binary.AppendVarint(c.buf, delta)
+	c.updates++
+	c.emit()
+}
+
 // sampleQuery admits 1 in n query events; the caller holds the lock.
 func (c *Capture) sampleQuery() bool {
 	c.qseq++
@@ -383,8 +406,9 @@ func (c *Capture) Close() error {
 // Reading
 
 // CaptureRecord is one decoded capture record. Point is set for
-// add/set/prefix (Value for add/set), Lo/Hi for rangesum, Batch for
-// batched calls. At is the reconstructed absolute unix-nano timestamp.
+// add/set/prefix (Value for add/set), Lo/Hi for rangesum and rangeadd
+// (Value carries the rangeadd delta), Batch for batched calls. At is
+// the reconstructed absolute unix-nano timestamp.
 type CaptureRecord struct {
 	Op    byte
 	At    int64
@@ -398,6 +422,7 @@ type CaptureRecord struct {
 // CaptureInfo summarises a decoded stream.
 type CaptureInfo struct {
 	Dims    []int
+	Version int // capture format generation: 1 (DDCWKLD1) or 2
 	SampleN int
 	Base    int64 // header unix-nanos
 	Records int
@@ -406,10 +431,11 @@ type CaptureInfo struct {
 	Torn    bool
 }
 
-// ReadCapture decodes a DDCWKLD1 stream, invoking fn for every record
-// in order; a non-nil error from fn aborts the read. A truncated final
-// record sets Torn and stops cleanly; corruption (bad magic, checksum
-// mismatch, malformed payload) returns ErrBadCapture.
+// ReadCapture decodes a DDCWKLD2 (or legacy DDCWKLD1) stream, invoking
+// fn for every record in order; a non-nil error from fn aborts the
+// read. A truncated final record sets Torn and stops cleanly;
+// corruption (bad magic, checksum mismatch, malformed payload) returns
+// ErrBadCapture.
 func ReadCapture(r io.Reader, fn func(rec CaptureRecord) error) (CaptureInfo, error) {
 	br := bufio.NewReader(r)
 	var info CaptureInfo
@@ -417,7 +443,12 @@ func ReadCapture(r io.Reader, fn func(rec CaptureRecord) error) (CaptureInfo, er
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return info, fmt.Errorf("%w: short header", ErrBadCapture)
 	}
-	if string(hdr[:8]) != CaptureMagic {
+	switch string(hdr[:8]) {
+	case CaptureMagic:
+		info.Version = 2
+	case CaptureMagicV1:
+		info.Version = 1
+	default:
 		return info, fmt.Errorf("%w: magic %q", ErrBadCapture, hdr[:8])
 	}
 	d := int(binary.LittleEndian.Uint32(hdr[8:12]))
@@ -468,7 +499,7 @@ func ReadCapture(r io.Reader, fn func(rec CaptureRecord) error) (CaptureInfo, er
 		}
 		info.Records++
 		switch rec.Op {
-		case OpAdd, OpSet:
+		case OpAdd, OpSet, OpRangeAdd:
 			info.Updates++
 		default:
 			info.Queries++
@@ -554,6 +585,16 @@ func decodeRecord(payload []byte, d int, last *int64) (CaptureRecord, error) {
 			return rec, err
 		}
 		if rec.Hi, err = p.point(d); err != nil {
+			return rec, err
+		}
+	case OpRangeAdd:
+		if rec.Lo, err = p.point(d); err != nil {
+			return rec, err
+		}
+		if rec.Hi, err = p.point(d); err != nil {
+			return rec, err
+		}
+		if rec.Value, err = p.varint(); err != nil {
 			return rec, err
 		}
 	case OpBatch:

@@ -290,3 +290,75 @@ func TestGeneratorsDegenerateExtents(t *testing.T) {
 		}
 	}
 }
+
+func TestCaptureRangeAddRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wk2.bin")
+	c, err := NewCapture(CaptureOptions{Path: path, Dims: []int{32, 32}, Now: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add([]int{1, 2}, 10)
+	c.RangeAdd([]int{0, 0}, []int{15, 15}, -7)
+	c.RangeSum([]int{0, 0}, []int{31, 31})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var recs []CaptureRecord
+	info, err := ReadCaptureFile(path, func(r CaptureRecord) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Fatalf("version = %d, want 2", info.Version)
+	}
+	if info.Updates != 2 || info.Queries != 1 {
+		t.Fatalf("counts = %+v (rangeadd must count as an update)", info)
+	}
+	r := recs[1]
+	if r.Op != OpRangeAdd || r.Lo[0] != 0 || r.Hi[0] != 15 || r.Hi[1] != 15 || r.Value != -7 {
+		t.Fatalf("rangeadd rec = %+v", r)
+	}
+}
+
+// TestCaptureReadsV1 pins backward compatibility: a DDCWKLD1 stream —
+// byte-identical to a v2 stream except for the magic, with no op-6
+// records — still decodes.
+func TestCaptureReadsV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wk.bin")
+	c, err := NewCapture(CaptureOptions{Path: path, Dims: []int{16}, Now: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add([]int{3}, 5)
+	c.RangeSum([]int{0}, []int{15})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, CaptureMagicV1)
+	var recs []CaptureRecord
+	info, err := ReadCapture(bytes.NewReader(data), func(r CaptureRecord) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("version = %d, want 1", info.Version)
+	}
+	if len(recs) != 2 || recs[0].Op != OpAdd || recs[0].Value != 5 || recs[1].Op != OpRangeSum {
+		t.Fatalf("v1 records = %+v", recs)
+	}
+	// An unrelated magic is still rejected.
+	copy(data, "DDCWKLD9")
+	if _, err := ReadCapture(bytes.NewReader(data), nil); !errors.Is(err, ErrBadCapture) {
+		t.Fatalf("bad magic err = %v, want ErrBadCapture", err)
+	}
+}

@@ -5,7 +5,8 @@
 # matrices over the WAL and the store), the telemetry-overhead
 # benchmark (DESIGN.md §8: the disabled fast path must stay within 2%
 # of pre-telemetry ns/op), the batch-equivalence property tier and the
-# batched-query bench smoke (DESIGN.md §10).
+# batched-query bench smoke (DESIGN.md §10), and the mixed-workload
+# tier for the buffered write front (DESIGN.md §15).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -78,3 +79,12 @@ go test -run FuzzRangeAdd -count=1 .
 # per-cell loop scales linearly — the volume-independence contract of
 # the O(d) RangeAdd.
 /tmp/ddcbench_smoke rangeaddcost
+# Mixed-workload tier (DESIGN.md §15): the buffered write front's
+# read-your-writes equivalence, drain/freeze interleavings and the
+# store crash matrix under the race detector, then the mixed bench
+# smoke — its internal guard fails the run unless the buffered front
+# sustains >=2x the synchronous path's updates/sec at no worse than
+# 1.25x query p99, with a concurrent checkpoint inflating write p99 by
+# at most 1.5x (full suite writes BENCH_pr10.json).
+go test -race -run 'Buffered|StoreBuffered|DeltaDrain' -count=1 . ./internal/store ./internal/cubeserver
+/tmp/ddcbench_smoke -mixed /tmp/ddc_mixed_smoke.json -smoke

@@ -385,7 +385,7 @@ func (s *ShardedCube) RangeAdd(lo, hi []int, d int64) error {
 		return err
 	}
 	if on {
-		tel.workloadRangeWrite(s, lo, hi)
+		tel.workloadRangeWrite(s, lo, hi, d)
 	}
 	return nil
 }

@@ -85,6 +85,18 @@ type Telemetry struct {
 
 	goroutines *obs.Gauge
 
+	// Delta-buffer write front (buffered.go): ingest and drain counters,
+	// plus a depth gauge recomputed at scrape time from the registered
+	// Buffered instances — pull-based so a Reset during an in-flight
+	// drain can never leave a negative or stale depth reading.
+	deltaBuffered   *obs.Counter
+	deltaCoalesced  *obs.Counter
+	deltaDrains     *obs.Counter
+	deltaDepth      *obs.Gauge
+	deltaDrainLat   *obs.Histogram
+	deltaDrainBatch *obs.Histogram
+	deltaSources    sync.Map // *Buffered -> func() int
+
 	// SLO burn-rate counters: per-op requests and requests meeting the
 	// latency objective. Burn rate = 1 - good/total over a scrape window;
 	// an objective of 0 counts everything good (SLO accounting off).
@@ -101,7 +113,7 @@ type Telemetry struct {
 	// wl profiles the workload's shape (heatmap, box-extent/volume
 	// histograms, heavy hitters, read/write mix); it records only inside
 	// telemetry-enabled branches, so the disabled fast path is untouched.
-	// capture, when attached, logs sampled operations to a DDCWKLD1 file
+	// capture, when attached, logs sampled operations to a DDCWKLD2 file
 	// for ddcbench -replay.
 	wl           *obs.WorkloadProfiler
 	readPermille *obs.Gauge
@@ -138,7 +150,7 @@ var backendNames = func() []string {
 }()
 
 // kindNames maps core.ContributionKind values to metric labels.
-var kindNames = [cube.NumContribKinds]string{"subtotal", "row_sum", "delegated", "leaf", "pending"}
+var kindNames = [cube.NumContribKinds]string{"subtotal", "row_sum", "delegated", "leaf", "pending", "delta"}
 
 // traceRingCapacity bounds the slow-query/sampled-trace ring.
 const traceRingCapacity = 256
@@ -238,6 +250,18 @@ func NewTelemetry() *Telemetry {
 	t.snapLoadLat = reg.Histogram("ddc_snapshot_load_latency_ns",
 		"snapshot load latency in nanoseconds", obs.LatencyBuckets())
 	t.goroutines = reg.Gauge("ddc_goroutines", "live goroutines at scrape time")
+	t.deltaBuffered = reg.Counter("ddc_delta_ops_buffered_total",
+		"mutations absorbed by the buffered write front")
+	t.deltaCoalesced = reg.Counter("ddc_delta_ops_coalesced_total",
+		"buffered mutations that merged into an existing delta entry")
+	t.deltaDrains = reg.Counter("ddc_delta_drains_total",
+		"delta drain cycles applied to the tree")
+	t.deltaDepth = reg.Gauge("ddc_delta_depth",
+		"undrained delta entries (points + boxes) at scrape time")
+	t.deltaDrainLat = reg.Histogram("ddc_delta_drain_latency_ns",
+		"delta drain latency in nanoseconds (freeze to tree-applied)", obs.LatencyBuckets())
+	t.deltaDrainBatch = reg.Histogram("ddc_delta_drain_batch_size",
+		"delta entries applied per drain", obs.ExpBuckets(1, 16))
 	t.wl = obs.NewWorkloadProfiler(
 		reg.Counter("ddc_workload_reads_total",
 			"queries profiled by the workload collectors (boxes and points)"),
@@ -313,6 +337,51 @@ func (t *Telemetry) Reset() {
 	}
 }
 
+// registerDeltaSource adds a buffered front's authoritative depth
+// callback; the depth gauge is recomputed from these at scrape time.
+func (t *Telemetry) registerDeltaSource(key any, fn func() int) {
+	t.deltaSources.Store(key, fn)
+}
+
+// unregisterDeltaSource removes a buffered front's depth callback.
+func (t *Telemetry) unregisterDeltaSource(key any) {
+	t.deltaSources.Delete(key)
+}
+
+// refreshDeltaDepth recomputes the depth gauge from the registered
+// buffered fronts. Called at scrape/snapshot time, so the gauge is
+// always derived from live state — Reset-proof by construction.
+func (t *Telemetry) refreshDeltaDepth() {
+	var depth int64
+	t.deltaSources.Range(func(_, v any) bool {
+		depth += int64(v.(func() int)())
+		return true
+	})
+	t.deltaDepth.Set(depth)
+}
+
+// recordDeltaBuffered counts one mutation absorbed by a buffered front.
+func (t *Telemetry) recordDeltaBuffered(coalesced bool) {
+	t.deltaBuffered.Inc()
+	if coalesced {
+		t.deltaCoalesced.Inc()
+	}
+}
+
+// recordDeltaDrain counts one completed drain cycle of n entries.
+func (t *Telemetry) recordDeltaDrain(d time.Duration, n int) {
+	t.deltaDrains.Inc()
+	t.deltaDrainLat.Observe(uint64(d.Nanoseconds()))
+	t.deltaDrainBatch.Observe(uint64(n))
+}
+
+// recordDeltaCompose counts n delta terms composed into a query answer
+// (the "delta" contribution kind).
+func (t *Telemetry) recordDeltaCompose(n int) {
+	t.queryCells.Add(uint64(n))
+	t.contrib[int(core.KindDelta)].Add(uint64(n))
+}
+
 // SetTraceSampling makes 1 in n queries produce a full structured trace
 // (with the per-level contribution walk) into the trace ring; n <= 0
 // disables sampling. Sampled traces re-walk the query's descent, so
@@ -341,6 +410,7 @@ func (t *Telemetry) Traces() []QueryTrace { return t.traces.Snapshot() }
 // recording continues.
 func (t *Telemetry) WritePrometheus(w io.Writer) error {
 	t.goroutines.Set(int64(runtime.NumGoroutine()))
+	t.refreshDeltaDepth()
 	if reads, writes := t.wl.Reads(), t.wl.Writes(); reads+writes > 0 {
 		t.readPermille.Set(int64(reads * 1000 / (reads + writes)))
 	}
@@ -420,6 +490,14 @@ type TelemetrySnapshot struct {
 	StoreCheckpoints   uint64    `json:"store_checkpoints"`
 	StoreRecoveryNs    DistStats `json:"store_recovery_ns"`
 	StoreCheckpointNs  DistStats `json:"store_checkpoint_ns"`
+
+	// Delta-buffer write front (sustained-write engine).
+	DeltaOpsBuffered uint64    `json:"delta_ops_buffered"`
+	DeltaCoalesced   uint64    `json:"delta_ops_coalesced"`
+	DeltaDrains      uint64    `json:"delta_drains"`
+	DeltaDepth       int64     `json:"delta_depth"`
+	DeltaDrainNs     DistStats `json:"delta_drain_ns"`
+	DeltaDrainBatch  DistStats `json:"delta_drain_batch"`
 }
 
 // Snapshot returns a consistent-enough copy of all metrics, read with
@@ -495,6 +573,13 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	s.StoreCheckpoints = t.storeCheckpoints.Value()
 	s.StoreRecoveryNs = distFrom(t.storeRecoveryLat.Snapshot())
 	s.StoreCheckpointNs = distFrom(t.storeCheckpointLat.Snapshot())
+	t.refreshDeltaDepth()
+	s.DeltaOpsBuffered = t.deltaBuffered.Value()
+	s.DeltaCoalesced = t.deltaCoalesced.Value()
+	s.DeltaDrains = t.deltaDrains.Value()
+	s.DeltaDepth = t.deltaDepth.Value()
+	s.DeltaDrainNs = distFrom(t.deltaDrainLat.Snapshot())
+	s.DeltaDrainBatch = distFrom(t.deltaDrainBatch.Snapshot())
 	return s
 }
 
@@ -841,14 +926,17 @@ func (t *Telemetry) workloadWrite(src workloadDomain, p []int, v int64, set bool
 	}
 }
 
-// workloadRangeWrite profiles one box range update (RangeAdd). The
-// capture stream has no range-update opcode (DDCWKLD1 is frozen), so
-// range adds heat the write plane and mix counters but are not
-// captured for replay; FORMATS.md documents the gap.
-func (t *Telemetry) workloadRangeWrite(src workloadDomain, lo, hi []int) {
+// workloadRangeWrite profiles one box range update (RangeAdd): it
+// heats the write plane and, since DDCWKLD2 added the range-update
+// opcode, lands in the capture stream so replay reproduces cube state
+// under box-update traffic.
+func (t *Telemetry) workloadRangeWrite(src workloadDomain, lo, hi []int, delta int64) {
 	if t.wl.Enabled() {
 		t.ensureWorkloadDomain(src)
 		t.wl.RecordWriteBox(lo, hi)
+	}
+	if cp := t.capture.Load(); cp != nil {
+		cp.RangeAdd(lo, hi, delta)
 	}
 }
 
